@@ -1,0 +1,232 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (§5). Each benchmark runs a reduced-size instance of the corresponding
+// experiment per iteration and reports the headline quantity the paper
+// reports as a custom metric, so
+//
+//	go test -bench=. -benchmem
+//
+// both exercises the full pipeline and prints the reproduced numbers:
+//
+//	BenchmarkFig7a / b / c   — mean makespan gain of Prop vs CMP|L1 and CMP|L2
+//	BenchmarkTable2          — worst-case (cold) normalised makespan gain
+//	BenchmarkFig8a / b       — success-ratio advantage at 70% utilisation
+//	BenchmarkFig8c           — L1.5 way utilisation and φ at 100% utilisation
+//	BenchmarkAreaOverhead    — §5.4 silicon overhead ratio
+//
+// The full-size experiments (500 DAGs, 200 trials) live in the cmd/ tools.
+package l15cache_test
+
+import (
+	"testing"
+
+	"l15cache/internal/area"
+	"l15cache/internal/experiments"
+	"l15cache/internal/rtsim"
+	"l15cache/internal/workload"
+)
+
+func benchCfg() experiments.MakespanConfig {
+	cfg := experiments.DefaultMakespanConfig()
+	cfg.DAGs = 60
+	cfg.Instances = 10
+	return cfg
+}
+
+func reportGains(b *testing.B, s *experiments.MakespanSweep) {
+	b.Helper()
+	b.ReportMetric(100*s.Gain(experiments.SysCMPL1), "%gain-vs-CMP|L1")
+	b.ReportMetric(100*s.Gain(experiments.SysCMPL2), "%gain-vs-CMP|L2")
+}
+
+// BenchmarkFig7a regenerates Fig. 7(a): normalised average makespan vs
+// task utilisation U ∈ {0.2..1.0}.
+func BenchmarkFig7a(b *testing.B) {
+	var sweep *experiments.MakespanSweep
+	for i := 0; i < b.N; i++ {
+		cfg := benchCfg()
+		cfg.Seed = int64(i + 1)
+		s, err := experiments.SweepUtilization(cfg, []float64{0.2, 0.4, 0.6, 0.8, 1.0})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sweep = s
+	}
+	reportGains(b, sweep)
+}
+
+// BenchmarkFig7b regenerates Fig. 7(b): makespan vs layer width p.
+func BenchmarkFig7b(b *testing.B) {
+	var sweep *experiments.MakespanSweep
+	for i := 0; i < b.N; i++ {
+		cfg := benchCfg()
+		cfg.Seed = int64(i + 1)
+		s, err := experiments.SweepWidth(cfg, []float64{9, 12, 15, 18, 21})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sweep = s
+	}
+	reportGains(b, sweep)
+}
+
+// BenchmarkFig7c regenerates Fig. 7(c): makespan vs critical-path ratio.
+func BenchmarkFig7c(b *testing.B) {
+	var sweep *experiments.MakespanSweep
+	for i := 0; i < b.N; i++ {
+		cfg := benchCfg()
+		cfg.Seed = int64(i + 1)
+		s, err := experiments.SweepCPR(cfg, []float64{0.1, 0.2, 0.3, 0.4, 0.5})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sweep = s
+	}
+	reportGains(b, sweep)
+}
+
+// BenchmarkTable2 regenerates Tab. 2: the deadline-normalised *worst-case*
+// makespan of CMP [15] vs the proposed system over the utilisation sweep.
+func BenchmarkTable2(b *testing.B) {
+	var sweep *experiments.MakespanSweep
+	for i := 0; i < b.N; i++ {
+		cfg := benchCfg()
+		cfg.Seed = int64(i + 1)
+		s, err := experiments.SweepUtilization(cfg, []float64{0.2, 0.6, 1.0})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sweep = s
+	}
+	b.ReportMetric(100*sweep.WorstGain(experiments.SysCMPL1), "%worst-case-gain")
+	last := sweep.Points[len(sweep.Points)-1]
+	b.ReportMetric(last.Worst[experiments.SysCMPL1], "CMP-worst@U=1")
+	b.ReportMetric(last.Worst[experiments.SysProp], "Prop-worst@U=1")
+}
+
+func benchCaseStudy(b *testing.B, cores int) {
+	var res *experiments.CaseStudyResult
+	for i := 0; i < b.N; i++ {
+		cfg := experiments.DefaultCaseStudyConfig(cores)
+		cfg.Trials = 25
+		cfg.Seed = int64(i + 1)
+		r, err := experiments.RunCaseStudy(cfg, []float64{0.7})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res = r
+	}
+	pt := res.Points[0]
+	b.ReportMetric(pt.Success[rtsim.KindProp.String()], "success-Prop@70%")
+	b.ReportMetric(pt.Success[rtsim.KindCMPL1.String()], "success-CMP|L1@70%")
+	b.ReportMetric(pt.Success[rtsim.KindCMPL2.String()], "success-CMP|L2@70%")
+}
+
+// BenchmarkFig8a regenerates one point of Fig. 8(a): success ratios on the
+// 8-core SoC at 70% target utilisation.
+func BenchmarkFig8a(b *testing.B) { benchCaseStudy(b, 8) }
+
+// BenchmarkFig8b regenerates the same point on the 16-core SoC (Fig. 8(b)).
+func BenchmarkFig8b(b *testing.B) { benchCaseStudy(b, 16) }
+
+// BenchmarkFig8c regenerates Fig. 8(c): the proposed system's L1.5 way
+// utilisation and mis-configuration ratio φ at 100% utilisation, 8 cores.
+func BenchmarkFig8c(b *testing.B) {
+	var pts []experiments.SideEffectsPoint
+	for i := 0; i < b.N; i++ {
+		cfg := experiments.SideEffectsConfig{
+			Trials: 10,
+			Seed:   int64(i + 1),
+			RT:     rtsim.DefaultConfig(),
+			Set:    workload.DefaultTaskSetParams(),
+		}
+		p, err := experiments.RunSideEffects(cfg, []int{8}, []float64{1.0})
+		if err != nil {
+			b.Fatal(err)
+		}
+		pts = p
+	}
+	b.ReportMetric(100*pts[0].WayUtilization, "%way-utilisation")
+	b.ReportMetric(100*pts[0].Phi, "%phi")
+}
+
+// BenchmarkAreaOverhead regenerates §5.4: the 16-core SoC silicon overhead
+// of the L1.5 Cache over the equal-capacity conventional design.
+func BenchmarkAreaOverhead(b *testing.B) {
+	var rep area.OverheadReport
+	for i := 0; i < b.N; i++ {
+		r, err := area.CompareOverhead(area.Synopsys28nm())
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep = r
+	}
+	b.ReportMetric(rep.Proposed.Total(), "mm2-proposed")
+	b.ReportMetric(rep.Conventional.Total(), "mm2-conventional")
+	b.ReportMetric(100*rep.Overhead(), "%overhead")
+}
+
+// BenchmarkAlg1 measures the scheduler itself: Algorithm 1 on a default
+// synthetic DAG (its cubic complexity is the paper's stated bound).
+func BenchmarkAlg1(b *testing.B) {
+	cfg := experiments.DefaultMakespanConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		task := mustSynthetic(b, int64(i+1), cfg)
+		b.StartTimer()
+		if _, err := scheduleL15(task); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSoCSharing measures the cycle-approximate SoC executing the
+// producer/consumer programming-model demo (instructions simulated per op).
+func BenchmarkSoCSharing(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runSharingDemo(b)
+	}
+}
+
+// BenchmarkAblationZeta measures the ζ-sweep ablation (reduced size) and
+// reports the makespan ratio between no L1.5 and the paper's 16 ways.
+func BenchmarkAblationZeta(b *testing.B) {
+	var res *experiments.AblationResult
+	for i := 0; i < b.N; i++ {
+		cfg := experiments.DefaultMakespanConfig()
+		cfg.DAGs = 40
+		cfg.Seed = int64(i + 1)
+		r, err := experiments.AblateZeta(cfg, []int{0, 16})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res = r
+	}
+	b.ReportMetric(res.Points[0].Value/res.Points[1].Value, "makespan-ratio-0-vs-16-ways")
+}
+
+// BenchmarkAcceptance measures the §4.2 analytical schedulability sweep and
+// reports the bound-acceptance advantage at the U=2.5 crossover.
+func BenchmarkAcceptance(b *testing.B) {
+	var pts []experiments.AcceptancePoint
+	for i := 0; i < b.N; i++ {
+		cfg := experiments.DefaultAcceptanceConfig()
+		cfg.DAGs = 60
+		cfg.Seed = int64(i + 1)
+		p, err := experiments.AcceptanceRatio(cfg, []float64{2.5})
+		if err != nil {
+			b.Fatal(err)
+		}
+		pts = p
+	}
+	b.ReportMetric(pts[0].PropAccepted, "prop-bound@U=2.5")
+	b.ReportMetric(pts[0].BaseAccepted, "cmp-bound@U=2.5")
+}
+
+// BenchmarkRTOSKernel measures the hardware-in-the-loop kernel: one
+// periodic pipeline, two jobs, on the cycle-approximate SoC.
+func BenchmarkRTOSKernel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runKernelBench(b)
+	}
+}

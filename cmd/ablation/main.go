@@ -1,0 +1,79 @@
+// Command ablation runs the design-choice ablations of DESIGN.md §4: the
+// L1.5 way count ζ, the way size κ at fixed capacity, the two components of
+// Algorithm 1 (way allocation vs λ-driven priorities), the SDU's per-way
+// configuration delay, and the ETM's diminishing returns per extra way.
+//
+// Usage:
+//
+//	ablation [-dags N] [-trials N] [-seed S] [-which zeta|kappa|prio|delay|etm|all]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"l15cache/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ablation: ")
+
+	dags := flag.Int("dags", 200, "DAG tasks per point (zeta/kappa/prio)")
+	trials := flag.Int("trials", 20, "trials per point (delay)")
+	seed := flag.Int64("seed", 1, "base RNG seed")
+	which := flag.String("which", "all", "zeta, kappa, prio, delay, etm or all")
+	flag.Parse()
+
+	cfg := experiments.DefaultMakespanConfig()
+	cfg.DAGs = *dags
+	cfg.Seed = *seed
+
+	want := func(name string) bool { return *which == "all" || *which == name }
+	ran := false
+
+	if want("zeta") {
+		ran = true
+		res, err := experiments.AblateZeta(cfg, experiments.AblationZetaDefault())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(res.Format())
+	}
+	if want("kappa") {
+		ran = true
+		res, err := experiments.AblateWayBytes(cfg, experiments.AblationWayBytesDefault())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(res.Format())
+	}
+	if want("prio") {
+		ran = true
+		res, err := experiments.AblatePriorities(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(res.Format())
+	}
+	if want("delay") {
+		ran = true
+		res, err := experiments.AblateConfigDelay(*trials, *seed, experiments.AblationDelayDefault())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(res.Format())
+	}
+	if want("etm") {
+		ran = true
+		fmt.Println("ablation — ETM cost vs ways (μ=10, δ=8KB, α=0.7; ⌈δ/κ⌉=4)")
+		for _, p := range experiments.ETMDiminishingReturns(10, 8192, 8) {
+			fmt.Printf("%10.0f%14.4f\n", p.Param, p.Value)
+		}
+		fmt.Println()
+	}
+	if !ran {
+		log.Fatalf("unknown ablation %q", *which)
+	}
+}

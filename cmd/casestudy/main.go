@@ -1,0 +1,48 @@
+// Command casestudy regenerates Fig. 8(a,b): the success ratio of the
+// proposed system and the three baselines (CMP|L1, CMP|L2, CMP|Shared-L1)
+// on PARSEC-like periodic DAG task sets, swept over the target utilisation.
+//
+// Usage:
+//
+//	casestudy [-cores 8|16] [-trials N] [-step pct] [-seed S]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"l15cache/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("casestudy: ")
+
+	cores := flag.Int("cores", 8, "core count (8 for Fig. 8(a), 16 for Fig. 8(b))")
+	trials := flag.Int("trials", 200, "trials per utilisation point")
+	step := flag.Float64("step", 0.05, "utilisation step")
+	seed := flag.Int64("seed", 1, "base RNG seed")
+	csv := flag.Bool("csv", false, "emit CSV instead of the formatted table")
+	partitioned := flag.Bool("partitioned", false, "partition tasks to clusters instead of global scheduling")
+	flag.Parse()
+
+	cfg := experiments.DefaultCaseStudyConfig(*cores)
+	cfg.Trials = *trials
+	cfg.Seed = *seed
+	cfg.RT.Partitioned = *partitioned
+
+	var utils []float64
+	for u := 0.40; u <= 0.90+1e-9; u += *step {
+		utils = append(utils, u)
+	}
+	res, err := experiments.RunCaseStudy(cfg, utils)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *csv {
+		fmt.Print(res.CSV())
+	} else {
+		fmt.Print(res.Format())
+	}
+}

@@ -1,0 +1,171 @@
+// Command l15sim runs RV32I + L1.5-extension assembly programs on the
+// cycle-approximate SoC simulator. Each -program flag loads one source file
+// onto the next core (all cores share one identity-mapped address space by
+// default); without any program a built-in producer/consumer demo of the
+// §4.3 programming model runs on two cores of cluster 0.
+//
+// Usage:
+//
+//	l15sim [-program file.s]... [-max N] [-stats]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"l15cache/internal/isa"
+	"l15cache/internal/soc"
+)
+
+type programList []string
+
+func (p *programList) String() string { return fmt.Sprint(*p) }
+func (p *programList) Set(v string) error {
+	*p = append(*p, v)
+	return nil
+}
+
+const demoProducer = `
+	# §4.3 programming model, producer side.
+	li a0, 4
+	demand a0          # kernel: apply 4 L1.5 ways
+wait:
+	supply a1
+	beqz a1, wait
+	ip_set a1          # inclusive: stores fill the L1.5
+	li t0, 0x4000      # write 64 words of dependent data
+	li t1, 64
+	li t2, 1
+wloop:
+	sw t2, 0(t0)
+	addi t0, t0, 4
+	addi t2, t2, 1
+	addi t1, t1, -1
+	bnez t1, wloop
+	gv_set a1          # publish to the cluster
+	li t0, 0x7000      # raise the ready flag
+	li t1, 1
+	sw t1, 0(t0)
+	ebreak
+`
+
+const demoConsumer = `
+	# §4.3 programming model, consumer side.
+	li t0, 0x7000
+spin:
+	lw t1, 0(t0)
+	beqz t1, spin
+	li t0, 0x4000      # sum the dependent data
+	li t1, 64
+	li a0, 0
+rloop:
+	lw t2, 0(t0)
+	add a0, a0, t2
+	addi t0, t0, 4
+	addi t1, t1, -1
+	bnez t1, rloop
+	ebreak
+`
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("l15sim: ")
+
+	var programs programList
+	flag.Var(&programs, "program", "assembly source file (repeatable, one per core)")
+	maxInstrs := flag.Uint64("max", 10_000_000, "instruction budget per core")
+	stats := flag.Bool("stats", false, "print cache and pipeline statistics")
+	width := flag.Int("width", 1, "core issue width (2 enables the §3.3 dual-issue front end)")
+	list := flag.Bool("list", false, "print the disassembly of each program before running")
+	flag.Parse()
+
+	sources := []string{demoProducer, demoConsumer}
+	names := []string{"demo-producer", "demo-consumer"}
+	if len(programs) > 0 {
+		sources = nil
+		names = nil
+		for _, path := range programs {
+			src, err := os.ReadFile(path)
+			if err != nil {
+				log.Fatal(err)
+			}
+			sources = append(sources, string(src))
+			names = append(names, path)
+		}
+	}
+
+	cfg := soc.DefaultConfig()
+	if *width > 1 {
+		cfg.IssueWidth = *width
+		cfg.MemPorts = 2
+	}
+	s, err := soc.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(sources) > len(s.Cores) {
+		log.Fatalf("%d programs for %d cores", len(sources), len(s.Cores))
+	}
+	pt := s.IdentityPageTable(1)
+	base := uint32(0x1000)
+	for i, src := range sources {
+		n, err := s.LoadProgram(base, src)
+		if err != nil {
+			log.Fatalf("%s: %v", names[i], err)
+		}
+		if err := s.SetPageTable(i, pt); err != nil {
+			log.Fatal(err)
+		}
+		s.StartCore(i, base, 0x8000+uint32(i)*0x1000)
+		fmt.Printf("core %d: %s (%d words at %#x)\n", i, names[i], n, base)
+		if *list {
+			words, err := isa.Assemble(src, base)
+			if err == nil {
+				fmt.Print(isa.Disassemble(words, base))
+			}
+		}
+		base += uint32(4*n) + 0x100
+	}
+	for i := len(sources); i < len(s.Cores); i++ {
+		s.Cores[i].Halted = true
+	}
+
+	trap, err := s.Run(*maxInstrs, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if trap.Kind != 0 {
+		fmt.Printf("stopped by trap: %v at pc %#x (%s)\n", trap.Kind, trap.PC, trap.Info)
+	}
+	if len(s.UART) > 0 {
+		fmt.Printf("console (%#x):\n%s", cfg.UARTAddr, string(s.UART))
+		if s.UART[len(s.UART)-1] != '\n' {
+			fmt.Println()
+		}
+	}
+	for i := range sources {
+		c := s.Cores[i]
+		fmt.Printf("core %d: halted=%v cycles=%d instret=%d a0=%d (%#x)\n",
+			i, c.Halted, c.Cycles, c.Stats.Instret, c.Regs[10], c.Regs[10])
+	}
+	if *stats {
+		for i := range sources {
+			c := s.Cores[i]
+			fmt.Printf("core %d: load-use stalls %d, branch flushes %d, fetch stall %d, mem stall %d, l15 ops %d, dual groups %d\n",
+				i, c.Stats.LoadUseStalls, c.Stats.BranchFlushes,
+				c.Stats.FetchStall, c.Stats.MemStall, c.Stats.L15Ops, c.Stats.DualIssued)
+		}
+		for _, cl := range s.Clusters {
+			for core, st := range cl.L15.Stats {
+				if st.Hits+st.Misses == 0 {
+					continue
+				}
+				fmt.Printf("cluster %d core %d: L1.5 hits %d (global %d), misses %d\n",
+					cl.ID, core, st.Hits, st.GlobalHits, st.Misses)
+			}
+		}
+		fmt.Printf("L2: hits %d, misses %d\n", s.L2.Stats.Hits, s.L2.Stats.Misses)
+	}
+}

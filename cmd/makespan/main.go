@@ -1,0 +1,77 @@
+// Command makespan regenerates the makespan evaluation of the paper:
+// Fig. 7 (a,b,c) — the normalised average makespan of the proposed system
+// against CMP|L1 and CMP|L2 under varied utilisation, layer width p and
+// critical-path ratio — and the matching worst-case blocks of Tab. 2.
+//
+// Usage:
+//
+//	makespan [-sweep u|p|cpr|all] [-dags N] [-instances N] [-cores N] [-seed S]
+//
+// With the defaults (500 DAGs × 10 instances, as in §5.1) a full run takes
+// a few minutes; use -dags 100 for a quick pass.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"l15cache/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("makespan: ")
+
+	sweep := flag.String("sweep", "all", "which sweep to run: u, p, cpr or all")
+	dags := flag.Int("dags", 500, "DAG tasks per parameter point")
+	instances := flag.Int("instances", 10, "instances per DAG (first is cold)")
+	cores := flag.Int("cores", 8, "number of cores m")
+	seed := flag.Int64("seed", 1, "base RNG seed")
+	csv := flag.Bool("csv", false, "emit CSV instead of the formatted tables")
+	flag.Parse()
+
+	cfg := experiments.DefaultMakespanConfig()
+	cfg.DAGs = *dags
+	cfg.Instances = *instances
+	cfg.Cores = *cores
+	cfg.Seed = *seed
+
+	type runner struct {
+		name string
+		run  func() (*experiments.MakespanSweep, error)
+	}
+	runners := []runner{
+		{"u", func() (*experiments.MakespanSweep, error) {
+			return experiments.SweepUtilization(cfg, []float64{0.2, 0.4, 0.6, 0.8, 1.0})
+		}},
+		{"p", func() (*experiments.MakespanSweep, error) {
+			return experiments.SweepWidth(cfg, []float64{9, 12, 15, 18, 21})
+		}},
+		{"cpr", func() (*experiments.MakespanSweep, error) {
+			return experiments.SweepCPR(cfg, []float64{0.1, 0.2, 0.3, 0.4, 0.5})
+		}},
+	}
+	ran := false
+	for _, r := range runners {
+		if *sweep != "all" && *sweep != r.name {
+			continue
+		}
+		ran = true
+		s, err := r.run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *csv {
+			fmt.Print(s.CSV())
+			continue
+		}
+		fmt.Print(s.FormatFig7())
+		fmt.Println()
+		fmt.Print(s.FormatTable2())
+		fmt.Println()
+	}
+	if !ran {
+		log.Fatalf("unknown sweep %q (want u, p, cpr or all)", *sweep)
+	}
+}

@@ -1,0 +1,173 @@
+// Command repro is the one-shot reproduction driver: it regenerates every
+// table and figure of the paper (Fig. 7, Tab. 2, Fig. 8(a,b,c), §5.4) plus
+// this repository's ablations and analytical experiments, and writes a
+// single markdown report.
+//
+// Usage:
+//
+//	repro [-quick] [-o report.md] [-seed S]
+//
+// -quick runs reduced sample sizes (~30 s); the default runs the paper's
+// full sizes (500 DAGs × 10 instances, 200 trials — several minutes).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"l15cache/internal/area"
+	"l15cache/internal/experiments"
+	"l15cache/internal/rtsim"
+	"l15cache/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("repro: ")
+
+	quick := flag.Bool("quick", false, "reduced sample sizes (~30s instead of minutes)")
+	out := flag.String("o", "repro_report.md", "output report path ('-' for stdout)")
+	seed := flag.Int64("seed", 1, "base RNG seed")
+	flag.Parse()
+
+	var sb strings.Builder
+	sb.WriteString("# Reproduction report — L1.5 Cache co-design (DAC 2024)\n\n")
+	mode := "full"
+	if *quick {
+		mode = "quick"
+	}
+	fmt.Fprintf(&sb, "Mode: %s, seed %d. See EXPERIMENTS.md for the paper-side numbers.\n\n", mode, *seed)
+
+	mk := experiments.DefaultMakespanConfig()
+	mk.Seed = *seed
+	cs8 := experiments.DefaultCaseStudyConfig(8)
+	cs16 := experiments.DefaultCaseStudyConfig(16)
+	cs8.Seed, cs16.Seed = *seed, *seed
+	seTrials := 50
+	utils := []float64{0.40, 0.45, 0.50, 0.55, 0.60, 0.65, 0.70, 0.75, 0.80, 0.85, 0.90}
+	if *quick {
+		mk.DAGs = 60
+		cs8.Trials, cs16.Trials = 25, 25
+		seTrials = 5
+		utils = []float64{0.40, 0.50, 0.60, 0.70, 0.80, 0.90}
+	}
+
+	section := func(title string) { fmt.Fprintf(&sb, "\n## %s\n\n```\n", title) }
+	endSection := func() { sb.WriteString("```\n") }
+	step := func(name string) { log.Printf("running %s ...", name) }
+
+	// Fig. 7 + Tab. 2.
+	type sweepRun struct {
+		name string
+		run  func() (*experiments.MakespanSweep, error)
+	}
+	for _, sr := range []sweepRun{
+		{"Fig. 7(a) + Tab. 2 left — utilisation sweep", func() (*experiments.MakespanSweep, error) {
+			return experiments.SweepUtilization(mk, []float64{0.2, 0.4, 0.6, 0.8, 1.0})
+		}},
+		{"Fig. 7(b) + Tab. 2 middle — width sweep", func() (*experiments.MakespanSweep, error) {
+			return experiments.SweepWidth(mk, []float64{9, 12, 15, 18, 21})
+		}},
+		{"Fig. 7(c) + Tab. 2 right — cpr sweep", func() (*experiments.MakespanSweep, error) {
+			return experiments.SweepCPR(mk, []float64{0.1, 0.2, 0.3, 0.4, 0.5})
+		}},
+	} {
+		step(sr.name)
+		s, err := sr.run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		section(sr.name)
+		sb.WriteString(s.FormatFig7())
+		sb.WriteString("\n")
+		sb.WriteString(s.FormatTable2())
+		endSection()
+	}
+
+	// Fig. 8(a,b).
+	for _, cfg := range []experiments.CaseStudyConfig{cs8, cs16} {
+		name := fmt.Sprintf("Fig. 8 — success ratio, %d cores", cfg.Cores)
+		step(name)
+		res, err := experiments.RunCaseStudy(cfg, utils)
+		if err != nil {
+			log.Fatal(err)
+		}
+		section(name)
+		sb.WriteString(res.Format())
+		endSection()
+	}
+
+	// Fig. 8(c).
+	step("Fig. 8(c) — side effects")
+	sePts, err := experiments.RunSideEffects(experiments.SideEffectsConfig{
+		Trials: seTrials,
+		Seed:   *seed,
+		RT:     rtsim.DefaultConfig(),
+		Set:    workload.DefaultTaskSetParams(),
+	}, []int{8, 16}, []float64{0.8, 1.0})
+	if err != nil {
+		log.Fatal(err)
+	}
+	section("Fig. 8(c) — L1.5 utilisation and φ")
+	sb.WriteString(experiments.FormatSideEffects(sePts))
+	endSection()
+
+	// §5.4 area.
+	step("§5.4 — hardware overhead")
+	rep, err := area.CompareOverhead(area.Synopsys28nm())
+	if err != nil {
+		log.Fatal(err)
+	}
+	section("§5.4 — hardware overhead")
+	sb.WriteString(rep.Format())
+	endSection()
+
+	// Ablations.
+	abl := mk
+	if *quick {
+		abl.DAGs = 40
+	} else {
+		abl.DAGs = 200
+	}
+	step("ablations")
+	zeta, err := experiments.AblateZeta(abl, experiments.AblationZetaDefault())
+	if err != nil {
+		log.Fatal(err)
+	}
+	prio, err := experiments.AblatePriorities(abl)
+	if err != nil {
+		log.Fatal(err)
+	}
+	section("Ablations")
+	sb.WriteString(zeta.Format())
+	sb.WriteString("\n")
+	sb.WriteString(prio.Format())
+	endSection()
+
+	// Acceptance.
+	acc := experiments.DefaultAcceptanceConfig()
+	acc.Seed = *seed
+	if *quick {
+		acc.DAGs = 50
+	}
+	step("acceptance ratio")
+	pts, err := experiments.AcceptanceRatio(acc, []float64{1.0, 2.0, 2.5, 3.0, 4.0})
+	if err != nil {
+		log.Fatal(err)
+	}
+	section("§4.2 — analytical acceptance ratio")
+	sb.WriteString(experiments.FormatAcceptance(pts))
+	endSection()
+
+	if *out == "-" {
+		fmt.Print(sb.String())
+		return
+	}
+	if err := os.WriteFile(*out, []byte(sb.String()), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %s", *out)
+}

@@ -1,0 +1,45 @@
+// Command sideeffects regenerates Fig. 8(c): the §5.3 side-effects analysis
+// of the proposed system under high demand — the L1.5 way utilisation and
+// the mis-configuration ratio φ for 8/16-core SoCs at 80% and 100% target
+// utilisation.
+//
+// Usage:
+//
+//	sideeffects [-trials N] [-seed S]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"l15cache/internal/experiments"
+	"l15cache/internal/rtsim"
+	"l15cache/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sideeffects: ")
+
+	trials := flag.Int("trials", 50, "trials per configuration")
+	seed := flag.Int64("seed", 1, "base RNG seed")
+	csv := flag.Bool("csv", false, "emit CSV instead of the formatted table")
+	flag.Parse()
+
+	cfg := experiments.SideEffectsConfig{
+		Trials: *trials,
+		Seed:   *seed,
+		RT:     rtsim.DefaultConfig(),
+		Set:    workload.DefaultTaskSetParams(),
+	}
+	pts, err := experiments.RunSideEffects(cfg, []int{8, 16}, []float64{0.8, 1.0})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *csv {
+		fmt.Print(experiments.SideEffectsCSV(pts))
+	} else {
+		fmt.Print(experiments.FormatSideEffects(pts))
+	}
+}

@@ -1,0 +1,99 @@
+// Conditional DAGs: the extension of the task model to exclusive branching
+// (reference [5] of the paper). An autonomous-driving step either follows
+// the normal perceive→plan pipeline or, on a hazard, takes the emergency
+// arm — exactly one arm executes per instance. Algorithm 1 allocates L1.5
+// ways over the full graph (safe: the unchosen arm's ways are simply unused
+// that instance); the timing analysis takes the worst case over the
+// scenarios.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"l15cache"
+	"l15cache/internal/analysis"
+	"l15cache/internal/dag"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	task := l15cache.NewTask("drive-step", 50, 50)
+	src := task.AddNode("sense", 3, 8192)
+	classify := task.AddNode("classify", 4, 4096)
+
+	// Normal arm: track → predict → plan.
+	track := task.AddNode("track", 6, 4096)
+	predict := task.AddNode("predict", 5, 4096)
+	plan := task.AddNode("plan", 7, 4096)
+
+	// Emergency arm: brake envelope only.
+	brake := task.AddNode("brake-envelope", 4, 2048)
+
+	merge := task.AddNode("actuate", 2, 0)
+	sink := task.AddNode("commit", 1, 0)
+
+	type e struct {
+		from, to dag.NodeID
+		cost     float64
+	}
+	for _, ed := range []e{
+		{src, classify, 4},
+		{classify, track, 3}, {track, predict, 2}, {predict, plan, 2}, {plan, merge, 2},
+		{classify, brake, 2}, {brake, merge, 1},
+		{merge, sink, 1},
+	} {
+		if err := task.AddEdge(ed.from, ed.to, ed.cost, 0.6); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	ct := dag.NewConditional(task)
+	if err := ct.AddConditional(classify, merge,
+		[][]dag.NodeID{{track, predict, plan}, {brake}}); err != nil {
+		log.Fatal(err)
+	}
+
+	// Alg. 1 over the full graph (every arm gets its ways).
+	alloc, err := l15cache.Schedule(task, 16, 2048)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("conditional task: %d nodes, %d scenarios\n", len(task.Nodes), ct.Scenarios())
+
+	// Per-scenario analysis with and without the L1.5.
+	fmt.Printf("\n%-12s%16s%16s\n", "scenario", "raw bound (ms)", "L1.5 bound (ms)")
+	err = ct.EachScenario(func(choice []int, st *dag.Task) error {
+		raw, err := analysis.Makespan(st, 4, dag.RawCost)
+		if err != nil {
+			return err
+		}
+		assisted, err := analysis.Makespan(st, 4, alloc.Model.Weight())
+		if err != nil {
+			return err
+		}
+		name := "normal"
+		if choice[0] == 1 {
+			name = "emergency"
+		}
+		fmt.Printf("%-12s%16.1f%16.1f\n", name, raw.Makespan, assisted.Makespan)
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	worstRaw, err := analysis.CondMakespan(ct, 4, dag.RawCost)
+	if err != nil {
+		log.Fatal(err)
+	}
+	worstL15, err := analysis.CondMakespan(ct, 4, alloc.Model.Weight())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nworst case over scenarios: raw %.1f ms, with L1.5 %.1f ms (deadline %g ms)\n",
+		worstRaw.Makespan, worstL15.Makespan, task.Deadline)
+	fmt.Println("\nThe emergency arm never waits on the long pipeline — conditional")
+	fmt.Println("arms keep the worst case honest while Alg. 1's allocation covers both.")
+}

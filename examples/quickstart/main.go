@@ -1,0 +1,72 @@
+// Quickstart: build a DAG task, schedule it with Algorithm 1, and compare
+// the proposed L1.5 system's makespan against the conventional baselines.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"l15cache"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// The paper's running example (Fig. 1 / Fig. 6): seven nodes, nine
+	// edges, communication costs on every edge.
+	task := l15cache.Fig1Example()
+	fmt.Printf("task %q: %d nodes, %d edges, W=%.0f\n",
+		task.Name, len(task.Nodes), len(task.Edges), task.Volume())
+
+	// Algorithm 1: allocate L1.5 ways (ζ=16 ways × κ=2KB) and assign
+	// priorities, longest path first.
+	alloc, err := l15cache.Schedule(task, 16, 2048)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nAlg. 1 way allocation (local ways per node):")
+	for _, id := range alloc.PriorityOrder() {
+		n := task.Node(id)
+		fmt.Printf("  %-3s C=%.0f δ=%4.1fKB priority=%d ways=%d\n",
+			n.Name, n.WCET, float64(n.Data)/1024, n.Priority, alloc.LocalWays[id])
+	}
+
+	// Simulate 4 instances on 4 cores for each system. The proposed
+	// system needs its own schedule (the ETM changes λ); the baselines
+	// use plain longest-path-first priorities.
+	opt := l15cache.SimOptions{Cores: 4, Instances: 4}
+
+	prop, err := l15cache.NewProposed(task.Clone(), 16, 2048)
+	if err != nil {
+		log.Fatal(err)
+	}
+	propStats, err := l15cache.Simulate(prop.Alloc, prop, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\nmakespans per instance (instance 1 is cold):")
+	fmt.Printf("  %-8s", "Prop")
+	for _, s := range propStats {
+		fmt.Printf("%8.2f", s.Makespan)
+	}
+	fmt.Println()
+
+	for _, plat := range []l15cache.Platform{l15cache.CMPL1(), l15cache.CMPL2()} {
+		base, err := l15cache.LongestPathFirst(task.Clone())
+		if err != nil {
+			log.Fatal(err)
+		}
+		stats, err := l15cache.Simulate(base, plat, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-8s", plat.Name())
+		for _, s := range stats {
+			fmt.Printf("%8.2f", s.Makespan)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nThe proposed system is warm-up free: every instance matches the")
+	fmt.Println("first, which is what shrinks the worst-case makespan (Tab. 2).")
+}

@@ -1,0 +1,3 @@
+module l15cache
+
+go 1.22

@@ -1,0 +1,206 @@
+package analysis
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"l15cache/internal/dag"
+	"l15cache/internal/rtsim"
+	"l15cache/internal/sched"
+	"l15cache/internal/workload"
+)
+
+func rtaTaskSet(t *testing.T, seed int64, util float64, n int) []*dag.Task {
+	t.Helper()
+	p := workload.DefaultTaskSetParams()
+	p.TargetUtilization = util
+	p.Tasks = n
+	tasks, err := workload.TaskSet(rand.New(rand.NewSource(seed)), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tasks
+}
+
+func TestTaskSetResponseSingleTask(t *testing.T) {
+	// One task: the response bound reduces to the Graham bound (no
+	// interference, no blocking).
+	task := dag.Fig1Example()
+	bounds, err := TaskSetResponse([]*dag.Task{task}, 4, RawWeights(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := Makespan(task, 4, dag.RawCost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(bounds[0].Response-single.Makespan) > 1e-9 {
+		t.Errorf("R = %g, want Graham %g", bounds[0].Response, single.Makespan)
+	}
+}
+
+func TestTaskSetResponseInterferenceGrows(t *testing.T) {
+	// Adding a higher-priority (shorter-period) task increases a task's
+	// bound.
+	lo := dag.Chain("lo", 4, 10, 2, 0.5, 2048)
+	lo.Period, lo.Deadline = 1000, 1000
+	hi := dag.Chain("hi", 3, 5, 1, 0.5, 2048)
+	hi.Period, hi.Deadline = 100, 100
+
+	alone, err := TaskSetResponse([]*dag.Task{lo}, 4, RawWeights(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	both, err := TaskSetResponse([]*dag.Task{lo, hi}, 4, RawWeights(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if both[0].Response <= alone[0].Response {
+		t.Errorf("interference missing: %g vs %g alone", both[0].Response, alone[0].Response)
+	}
+	// The high-priority task suffers only blocking from below.
+	if both[1].Response <= 0 || math.IsInf(both[1].Response, 1) {
+		t.Errorf("hi response = %g", both[1].Response)
+	}
+}
+
+func TestTaskSetSchedulableVerdicts(t *testing.T) {
+	// A light set passes; an overloaded one fails.
+	light := rtaTaskSet(t, 1, 1.0, 4)
+	ok, bounds, err := TaskSetSchedulable(light, 8, RawWeights(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		for _, b := range bounds {
+			t.Logf("task %d: R=%g D=%g", b.Task, b.Response, light[b.Task].Deadline)
+		}
+		t.Error("light set rejected")
+	}
+	heavy := rtaTaskSet(t, 2, 12.0, 8)
+	ok, _, err = TaskSetSchedulable(heavy, 8, RawWeights(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("overloaded set accepted")
+	}
+}
+
+func TestTaskSetResponseErrors(t *testing.T) {
+	task := dag.Fig1Example()
+	if _, err := TaskSetResponse(nil, 4, RawWeights(nil)); err == nil {
+		t.Error("empty set accepted")
+	}
+	if _, err := TaskSetResponse([]*dag.Task{task}, 0, RawWeights(nil)); err == nil {
+		t.Error("zero cores accepted")
+	}
+	bad := task.Clone()
+	bad.Period = 0
+	if _, err := TaskSetResponse([]*dag.Task{bad}, 4, RawWeights(nil)); err == nil {
+		t.Error("zero period accepted")
+	}
+}
+
+// TestRTAEmpiricallySoundForProp checks the sufficiency claim against the
+// periodic simulator: whenever the raw-cost RTA accepts a task set (the
+// sound verdict for best-effort runtime way allocation), the proposed
+// system simulates it without deadline misses. The ETM-cost RTA must
+// accept at least as much (it assumes guaranteed allocation).
+func TestRTAEmpiricallySoundForProp(t *testing.T) {
+	cfg := rtsim.DefaultConfig()
+	accepted, checked := 0, 0
+	for seed := int64(0); seed < 30; seed++ {
+		util := 1.0 + float64(seed%5) // 1.0 .. 5.0 of 8 cores
+		tasks := rtaTaskSet(t, 300+seed, util, 8)
+
+		okRaw, _, err := TaskSetSchedulable(tasks, cfg.Cores, RawWeights(nil))
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// ETM weights (guaranteed-allocation assumption) accept a
+		// superset.
+		weights := make([]dag.EdgeWeight, len(tasks))
+		clones := make([]*dag.Task, len(tasks))
+		for i, task := range tasks {
+			c := task.Clone()
+			alloc, err := sched.L15Schedule(c, cfg.Zeta, cfg.WayBytes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			clones[i] = c
+			weights[i] = alloc.Model.Weight()
+		}
+		okETM, _, err := TaskSetSchedulable(clones, cfg.Cores, func(i int) dag.EdgeWeight {
+			return weights[i]
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if okRaw && !okETM {
+			t.Errorf("seed %d: raw RTA accepted but ETM RTA rejected", seed)
+		}
+
+		checked++
+		if !okRaw {
+			continue
+		}
+		accepted++
+		m, err := rtsim.Run(tasks, rtsim.KindProp, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Misses > 0 {
+			t.Errorf("seed %d (util %g): RTA accepted but %d/%d jobs missed",
+				seed, util, m.Misses, m.Jobs)
+		}
+	}
+	if accepted == 0 {
+		t.Errorf("no set accepted out of %d — the test exercised nothing", checked)
+	}
+}
+
+// Property: shrinking edge costs (ETM) never increases any response bound,
+// and more cores never increase it either.
+func TestQuickRTAMonotone(t *testing.T) {
+	half := func(int) dag.EdgeWeight {
+		return func(e dag.Edge) float64 { return e.Cost / 2 }
+	}
+	f := func(seed int64, mr uint8) bool {
+		m := int(mr%8) + 2
+		p := workload.DefaultTaskSetParams()
+		p.TargetUtilization = 2
+		p.Tasks = 5
+		tasks, err := workload.TaskSet(rand.New(rand.NewSource(seed)), p)
+		if err != nil {
+			return false
+		}
+		full, err := TaskSetResponse(tasks, m, RawWeights(nil))
+		if err != nil {
+			return false
+		}
+		reduced, err := TaskSetResponse(tasks, m, half)
+		if err != nil {
+			return false
+		}
+		moreCores, err := TaskSetResponse(tasks, m+2, RawWeights(nil))
+		if err != nil {
+			return false
+		}
+		for i := range tasks {
+			if reduced[i].Response > full[i].Response+1e-9 {
+				return false
+			}
+			if moreCores[i].Response > full[i].Response+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,332 @@
+// Package area provides the analytical silicon-area model that reproduces
+// the paper's hardware-overhead analysis (§5.4): a 16-core SoC implemented
+// with Synopsys 28nm generic PDKs, once with the L1.5 Cache (32 KB, 8 ways
+// per 4-core cluster) and once with a conventional enlarged L1 (8 KB, 2 ways
+// extra per core), both at the same total cache capacity.
+//
+// The paper reports post-layout numbers; we model each microarchitectural
+// block of §3 (control registers, dual-level mask logic, line/data
+// selectors, protector, SDU) as NAND2-equivalent gate counts and SRAM macro
+// area, with effective 28nm density constants calibrated so the reference
+// configuration lands on the published totals (SoC 2.757 mm² vs 2.604 mm²,
+// +5.88%).
+package area
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// TechParams are the effective physical-design constants.
+type TechParams struct {
+	// SRAMAreaPerKB is the effective macro area per KB of cache storage,
+	// including tag bits, periphery and power rings (mm²/KB). It applies
+	// to the L1.5's way arrays and the baseline private L1s.
+	SRAMAreaPerKB float64
+
+	// L1ExtensionAreaPerKB is the effective area per KB of the
+	// conventional variant's enlarged private L1s. Small low-associativity
+	// L1 macros pay more periphery per bit than the L1.5's way arrays,
+	// which is part of why the equal-capacity conventional SoC is not
+	// proportionally smaller (§5.4).
+	L1ExtensionAreaPerKB float64
+
+	// GateArea is the placed-and-routed area of one NAND2-equivalent
+	// gate, including routing overhead at achievable density (mm²).
+	GateArea float64
+
+	// FlopGates is the NAND2-equivalent count of one flip-flop.
+	FlopGates float64
+
+	// CoreLogicArea is one in-order RV32 core's logic area, excluding
+	// caches (mm²).
+	CoreLogicArea float64
+
+	// ISAExtensionArea is the per-core cost of the L1.5 ISA support:
+	// Mini-Decoder, the two IPUs and the forwarding channel (mm²,
+	// ≈0.001 in the paper).
+	ISAExtensionArea float64
+
+	// UncoreArea is the L2 SRAM + interconnect + peripherals (mm²).
+	UncoreArea float64
+}
+
+// Synopsys28nm returns the calibrated constants for the paper's 28nm flow.
+func Synopsys28nm() TechParams {
+	return TechParams{
+		SRAMAreaPerKB:        0.005525,
+		L1ExtensionAreaPerKB: 0.005650,
+		GateArea:             1.3506e-6,
+		FlopGates:            6,
+		CoreLogicArea:        0.04455,
+		ISAExtensionArea:     0.001,
+		UncoreArea:           0.461,
+	}
+}
+
+// L15Geometry describes one cluster's L1.5 Cache.
+type L15Geometry struct {
+	Ways      int   // ζ
+	WayBytes  int64 // κ
+	LineBytes int64
+	Cores     int // cores sharing the cache (cluster size)
+	TagBits   int // physical tag width
+	TIDBits   int // task-ID register width
+}
+
+// PhysicalL15 is the configuration the paper laid out: 8 ways × 4 KB per
+// 4-core cluster (32 KB), 64 B lines.
+func PhysicalL15() L15Geometry {
+	return L15Geometry{
+		Ways:      8,
+		WayBytes:  4 * 1024,
+		LineBytes: 64,
+		Cores:     4,
+		TagBits:   20,
+		TIDBits:   16,
+	}
+}
+
+// Validate checks the geometry.
+func (g L15Geometry) Validate() error {
+	switch {
+	case g.Ways <= 0:
+		return fmt.Errorf("area: ways = %d", g.Ways)
+	case g.WayBytes <= 0 || g.LineBytes <= 0 || g.WayBytes%g.LineBytes != 0:
+		return fmt.Errorf("area: way %dB not a multiple of line %dB", g.WayBytes, g.LineBytes)
+	case g.Cores <= 0:
+		return fmt.Errorf("area: cores = %d", g.Cores)
+	case g.TagBits <= 0 || g.TIDBits <= 0:
+		return fmt.Errorf("area: tag/TID bits must be positive")
+	}
+	return nil
+}
+
+// TotalBytes is the cache capacity of the cluster's L1.5.
+func (g L15Geometry) TotalBytes() int64 { return int64(g.Ways) * g.WayBytes }
+
+// LinesPerWay is the number of sets.
+func (g L15Geometry) LinesPerWay() int64 { return g.WayBytes / g.LineBytes }
+
+// lineBits is the stored width of one line: data, tag, valid and dirty.
+func (g L15Geometry) lineBits() float64 {
+	return float64(g.LineBytes*8) + float64(g.TagBits) + 2
+}
+
+// L15Gates itemises the NAND2-equivalent gate counts of the L1.5 control
+// microarchitecture (§3.1-3.2), excluding the SRAM arrays.
+type L15Gates struct {
+	ControlRegisters float64 // TID + OW + GV flops per core
+	MaskLogic        float64 // dual-level OR/AND filtering, read + write paths
+	LineSelectors    float64 // per-way line multiplexing toward the DSs
+	DataSelectors    float64 // per-core latches + hit checkers
+	Protector        float64 // TID XNOR comparison gating the GV registers
+	SDU              float64 // SD registers, comparators, Walloc FSM + bank
+}
+
+// Total sums the gate counts.
+func (g L15Gates) Total() float64 {
+	return g.ControlRegisters + g.MaskLogic + g.LineSelectors +
+		g.DataSelectors + g.Protector + g.SDU
+}
+
+// GateCounts derives the control-logic gate counts from the geometry.
+func GateCounts(g L15Geometry, p TechParams) L15Gates {
+	ways := float64(g.Ways)
+	cores := float64(g.Cores)
+	lineBits := g.lineBits()
+
+	var out L15Gates
+	// One TID register plus OW and GV bitmaps per core (Fig. 4(a)-a).
+	out.ControlRegisters = cores * (float64(g.TIDBits) + 2*ways) * p.FlopGates
+	// Read path: per core, OR of the other cores' GV with the local OW
+	// (upper level) then AND with the index bits (lower level); the write
+	// path needs the NOT-gated GV and an AND per way (Fig. 4(a)-b, 4(b)).
+	out.MaskLogic = cores*ways*(cores-1+1) /* ORs */ +
+		cores*ways /* read ANDs */ +
+		cores*ways*2 /* write NOT+AND */
+	// Line selector: one line-wide multiplexer tree per way, shared
+	// column muxing folded into log2(lines) select stages (Fig. 4(a)-d).
+	sel := math.Log2(float64(g.LinesPerWay()))
+	out.LineSelectors = ways * lineBits * sel * 0.5
+	// Data selector per core: latches buffering the selected line plus a
+	// hit checker (tag XNOR + valid AND) per way (Fig. 4(c)).
+	out.DataSelectors = cores * (lineBits*p.FlopGates + ways*float64(g.TagBits+1))
+	// Protector: pairwise TID XNOR comparison, AND-gated GV (§3.2).
+	out.Protector = cores * cores * float64(g.TIDBits+1)
+	// SDU (Fig. 5): per-core SD registers (S, D counters) and
+	// comparators (subtractor + XOR), plus the Walloc FSM and its
+	// register bank shadowing way ownership.
+	wayIdxBits := math.Max(1, math.Ceil(math.Log2(ways)))
+	coreIdxBits := math.Max(1, math.Ceil(math.Log2(cores)))
+	out.SDU = cores*2*(wayIdxBits+1)*p.FlopGates /* SD registers */ +
+		cores*(8*(wayIdxBits+1)) /* comparators */ +
+		300 /* FSM */ +
+		ways*coreIdxBits*p.FlopGates /* register bank */
+	return out
+}
+
+// Breakdown reports the area of one block or assembly in mm².
+type Breakdown struct {
+	Name     string
+	SRAM     float64
+	Logic    float64
+	Children []Breakdown
+}
+
+// Total returns SRAM + logic + children.
+func (b Breakdown) Total() float64 {
+	t := b.SRAM + b.Logic
+	for _, c := range b.Children {
+		t += c.Total()
+	}
+	return t
+}
+
+// L15Area returns the area of one cluster's L1.5 Cache: SRAM ways plus the
+// control microarchitecture.
+func L15Area(g L15Geometry, p TechParams) (Breakdown, error) {
+	if err := g.Validate(); err != nil {
+		return Breakdown{}, err
+	}
+	gates := GateCounts(g, p)
+	return Breakdown{
+		Name:  "L1.5",
+		SRAM:  float64(g.TotalBytes()) / 1024 * p.SRAMAreaPerKB,
+		Logic: gates.Total() * p.GateArea,
+	}, nil
+}
+
+// SoCConfig describes a full SoC for the overhead comparison.
+type SoCConfig struct {
+	Cores       int
+	ClusterSize int
+
+	// L1BytesPerCore is the baseline private L1 capacity (I$+D$).
+	L1BytesPerCore int64
+
+	// L15 is the per-cluster L1.5 geometry; nil for the conventional
+	// variant.
+	L15 *L15Geometry
+
+	// ExtraL1BytesPerCore is the conventional variant's L1 enlargement
+	// that equalises total capacity.
+	ExtraL1BytesPerCore int64
+}
+
+// Paper16CoreProposed is the §5.4 16-core SoC with the L1.5 Cache.
+func Paper16CoreProposed() SoCConfig {
+	g := PhysicalL15()
+	return SoCConfig{
+		Cores:          16,
+		ClusterSize:    4,
+		L1BytesPerCore: 8 * 1024,
+		L15:            &g,
+	}
+}
+
+// Paper16CoreConventional is the equal-capacity L1-only comparison point.
+func Paper16CoreConventional() SoCConfig {
+	return SoCConfig{
+		Cores:               16,
+		ClusterSize:         4,
+		L1BytesPerCore:      8 * 1024,
+		ExtraL1BytesPerCore: 8 * 1024,
+	}
+}
+
+// SoCArea computes the assembly area of the configured SoC.
+func SoCArea(cfg SoCConfig, p TechParams) (Breakdown, error) {
+	if cfg.Cores <= 0 || cfg.ClusterSize <= 0 || cfg.Cores%cfg.ClusterSize != 0 {
+		return Breakdown{}, fmt.Errorf("area: %d cores not divisible into clusters of %d",
+			cfg.Cores, cfg.ClusterSize)
+	}
+	clusters := cfg.Cores / cfg.ClusterSize
+
+	coreSRAM := float64(cfg.L1BytesPerCore)/1024*p.SRAMAreaPerKB +
+		float64(cfg.ExtraL1BytesPerCore)/1024*p.L1ExtensionAreaPerKB
+	coreLogic := p.CoreLogicArea
+	if cfg.L15 != nil {
+		coreLogic += p.ISAExtensionArea
+	}
+	core := Breakdown{Name: "core", SRAM: coreSRAM, Logic: coreLogic}
+
+	cluster := Breakdown{Name: "cluster"}
+	for i := 0; i < cfg.ClusterSize; i++ {
+		cluster.Children = append(cluster.Children, core)
+	}
+	if cfg.L15 != nil {
+		l15, err := L15Area(*cfg.L15, p)
+		if err != nil {
+			return Breakdown{}, err
+		}
+		cluster.Children = append(cluster.Children, l15)
+	}
+
+	soc := Breakdown{Name: "soc", Logic: p.UncoreArea}
+	for i := 0; i < clusters; i++ {
+		soc.Children = append(soc.Children, cluster)
+	}
+	return soc, nil
+}
+
+// OverheadReport is the §5.4 comparison.
+type OverheadReport struct {
+	Proposed     Breakdown
+	Conventional Breakdown
+}
+
+// CompareOverhead builds the paper's proposed-vs-conventional report for
+// the given technology constants.
+func CompareOverhead(p TechParams) (OverheadReport, error) {
+	prop, err := SoCArea(Paper16CoreProposed(), p)
+	if err != nil {
+		return OverheadReport{}, err
+	}
+	conv, err := SoCArea(Paper16CoreConventional(), p)
+	if err != nil {
+		return OverheadReport{}, err
+	}
+	return OverheadReport{Proposed: prop, Conventional: conv}, nil
+}
+
+// Delta returns the absolute area increase of the proposed SoC (mm²).
+func (r OverheadReport) Delta() float64 {
+	return r.Proposed.Total() - r.Conventional.Total()
+}
+
+// Overhead returns the relative increase over the conventional SoC
+// (0.0588 in the paper).
+func (r OverheadReport) Overhead() float64 {
+	return r.Delta() / r.Conventional.Total()
+}
+
+// ClusterArea returns the area of one cluster of the proposed SoC.
+func (r OverheadReport) ClusterArea() float64 {
+	return r.Proposed.Children[0].Total()
+}
+
+// CoresArea returns the area of the four processors within one cluster.
+func (r OverheadReport) CoresArea() float64 {
+	var t float64
+	for _, c := range r.Proposed.Children[0].Children {
+		if c.Name == "core" {
+			t += c.Total()
+		}
+	}
+	return t
+}
+
+// Format renders the §5.4 report.
+func (r OverheadReport) Format() string {
+	var sb strings.Builder
+	sb.WriteString("§5.4 — hardware overhead (Synopsys 28nm, 16-core SoC @ 400 MHz)\n")
+	fmt.Fprintf(&sb, "SoC with L1.5 Cache:     %.3f mm²\n", r.Proposed.Total())
+	fmt.Fprintf(&sb, "  per cluster:           %.3f mm²\n", r.ClusterArea())
+	fmt.Fprintf(&sb, "  4 processors:          %.3f mm²\n", r.CoresArea())
+	fmt.Fprintf(&sb, "  ISA extension/core:    %.3f mm²\n", Synopsys28nm().ISAExtensionArea)
+	fmt.Fprintf(&sb, "SoC with L1 only:        %.3f mm²\n", r.Conventional.Total())
+	fmt.Fprintf(&sb, "Delta:                   %.3f mm² (%.2f%%)\n", r.Delta(), 100*r.Overhead())
+	return sb.String()
+}

@@ -1,0 +1,145 @@
+package area
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func approx(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %.4f, want %.4f (±%.4f)", name, got, want, tol)
+	}
+}
+
+func TestPaperNumbers(t *testing.T) {
+	r, err := CompareOverhead(Synopsys28nm())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// §5.4's published post-layout figures.
+	approx(t, "proposed SoC", r.Proposed.Total(), 2.757, 0.003)
+	approx(t, "cluster", r.ClusterArea(), 0.574, 0.002)
+	approx(t, "4 processors", r.CoresArea(), 0.359, 0.002)
+	approx(t, "conventional SoC", r.Conventional.Total(), 2.604, 0.003)
+	approx(t, "delta", r.Delta(), 0.153, 0.002)
+	approx(t, "overhead", r.Overhead(), 0.0588, 0.0008)
+}
+
+func TestGeometryValidate(t *testing.T) {
+	bad := []L15Geometry{
+		{Ways: 0, WayBytes: 2048, LineBytes: 64, Cores: 4, TagBits: 20, TIDBits: 16},
+		{Ways: 8, WayBytes: 100, LineBytes: 64, Cores: 4, TagBits: 20, TIDBits: 16},
+		{Ways: 8, WayBytes: 2048, LineBytes: 64, Cores: 0, TagBits: 20, TIDBits: 16},
+		{Ways: 8, WayBytes: 2048, LineBytes: 64, Cores: 4, TagBits: 0, TIDBits: 16},
+	}
+	for i, g := range bad {
+		if g.Validate() == nil {
+			t.Errorf("geometry %d validated: %+v", i, g)
+		}
+	}
+	if err := PhysicalL15().Validate(); err != nil {
+		t.Errorf("reference geometry invalid: %v", err)
+	}
+}
+
+func TestGeometryDerived(t *testing.T) {
+	g := PhysicalL15()
+	if g.TotalBytes() != 32*1024 {
+		t.Errorf("TotalBytes = %d, want 32KB", g.TotalBytes())
+	}
+	if g.LinesPerWay() != 64 {
+		t.Errorf("LinesPerWay = %d, want 64", g.LinesPerWay())
+	}
+}
+
+func TestGateCountsScale(t *testing.T) {
+	p := Synopsys28nm()
+	small := GateCounts(L15Geometry{Ways: 4, WayBytes: 2048, LineBytes: 64,
+		Cores: 2, TagBits: 20, TIDBits: 16}, p)
+	big := GateCounts(L15Geometry{Ways: 16, WayBytes: 2048, LineBytes: 64,
+		Cores: 4, TagBits: 20, TIDBits: 16}, p)
+	if small.Total() >= big.Total() {
+		t.Errorf("gate count should grow with ways and cores: %g vs %g",
+			small.Total(), big.Total())
+	}
+	// Every block must contribute.
+	for name, v := range map[string]float64{
+		"control": big.ControlRegisters, "mask": big.MaskLogic,
+		"ls": big.LineSelectors, "ds": big.DataSelectors,
+		"protector": big.Protector, "sdu": big.SDU,
+	} {
+		if v <= 0 {
+			t.Errorf("%s gate count = %g", name, v)
+		}
+	}
+}
+
+func TestL15AreaErrors(t *testing.T) {
+	if _, err := L15Area(L15Geometry{}, Synopsys28nm()); err == nil {
+		t.Error("invalid geometry accepted")
+	}
+}
+
+func TestSoCAreaErrors(t *testing.T) {
+	cfg := Paper16CoreProposed()
+	cfg.ClusterSize = 5 // 16 % 5 != 0
+	if _, err := SoCArea(cfg, Synopsys28nm()); err == nil {
+		t.Error("non-divisible clustering accepted")
+	}
+	cfg = Paper16CoreProposed()
+	bad := *cfg.L15
+	bad.Ways = -1
+	cfg.L15 = &bad
+	if _, err := SoCArea(cfg, Synopsys28nm()); err == nil {
+		t.Error("bad L1.5 geometry accepted")
+	}
+}
+
+func TestBreakdownTotal(t *testing.T) {
+	b := Breakdown{
+		SRAM: 1, Logic: 2,
+		Children: []Breakdown{{SRAM: 3}, {Logic: 4}},
+	}
+	if b.Total() != 10 {
+		t.Errorf("Total = %g, want 10", b.Total())
+	}
+}
+
+func TestFormat(t *testing.T) {
+	r, err := CompareOverhead(Synopsys28nm())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := r.Format()
+	for _, want := range []string{"2.757", "0.574", "0.359", "2.604", "0.153", "5.8"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// Property: area is monotone in capacity — more ways or bigger ways never
+// shrink the L1.5 block.
+func TestQuickAreaMonotone(t *testing.T) {
+	p := Synopsys28nm()
+	f := func(wr, cr uint8) bool {
+		ways := int(wr%31) + 1
+		cores := int(cr%7) + 1
+		g := L15Geometry{Ways: ways, WayBytes: 2048, LineBytes: 64,
+			Cores: cores, TagBits: 20, TIDBits: 16}
+		bigger := g
+		bigger.Ways = ways + 1
+		a1, err1 := L15Area(g, p)
+		a2, err2 := L15Area(bigger, p)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return a2.Total() > a1.Total()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

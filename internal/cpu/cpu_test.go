@@ -1,0 +1,478 @@
+package cpu
+
+import (
+	"fmt"
+	"testing"
+
+	"l15cache/internal/isa"
+)
+
+// flatMem is a MemSystem over a word map with fixed latencies.
+type flatMem struct {
+	words    map[uint32]uint32
+	data     map[uint32]byte
+	fetchLat int
+	memLat   int
+
+	l15Calls []isa.Op
+	l15Ret   uint32
+}
+
+func newFlatMem(prog []uint32) *flatMem {
+	f := &flatMem{
+		words:    map[uint32]uint32{},
+		data:     map[uint32]byte{},
+		fetchLat: 1,
+		memLat:   1,
+	}
+	for i, w := range prog {
+		f.words[uint32(4*i)] = w
+	}
+	return f
+}
+
+func (f *flatMem) FetchWord(core int, va uint32) (uint32, int, error) {
+	w, ok := f.words[va]
+	if !ok {
+		return 0, 0, fmt.Errorf("no instruction at %#x", va)
+	}
+	return w, f.fetchLat, nil
+}
+
+func (f *flatMem) Load(core int, va uint32, size int) (uint32, int, error) {
+	var v uint32
+	for i := 0; i < size; i++ {
+		v |= uint32(f.data[va+uint32(i)]) << (8 * i)
+	}
+	return v, f.memLat, nil
+}
+
+func (f *flatMem) Store(core int, va uint32, size int, value uint32) (int, error) {
+	for i := 0; i < size; i++ {
+		f.data[va+uint32(i)] = byte(value >> (8 * i))
+	}
+	return f.memLat, nil
+}
+
+func (f *flatMem) L15Op(core int, op isa.Op, operand uint32) (uint32, int, error) {
+	f.l15Calls = append(f.l15Calls, op)
+	return f.l15Ret, 1, nil
+}
+
+func assemble(t *testing.T, src string) []uint32 {
+	t.Helper()
+	words, err := isa.Assemble(src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return words
+}
+
+func run(t *testing.T, src string) (*Core, *flatMem) {
+	t.Helper()
+	f := newFlatMem(assemble(t, src))
+	c, err := New(0, f, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Run(10000, nil); err != nil {
+		t.Fatal(err)
+	}
+	return c, f
+}
+
+func TestArithmetic(t *testing.T) {
+	c, _ := run(t, `
+		li a0, 10
+		li a1, 3
+		add a2, a0, a1
+		sub a3, a0, a1
+		xor a4, a0, a1
+		and a5, a0, a1
+		or a6, a0, a1
+		slli a7, a0, 4
+		srai t0, a3, 1
+		slt t1, a1, a0
+		sltu t2, a0, a1
+		ebreak
+	`)
+	want := map[int]uint32{
+		12: 13, 13: 7, 14: 9, 15: 2, 16: 11, 17: 160, 5: 3, 6: 1, 7: 0,
+	}
+	for reg, v := range want {
+		if c.Regs[reg] != v {
+			t.Errorf("x%d = %d, want %d", reg, c.Regs[reg], v)
+		}
+	}
+	if !c.Halted {
+		t.Error("ebreak should halt")
+	}
+}
+
+func TestX0HardwiredZero(t *testing.T) {
+	c, _ := run(t, `
+		li t0, 42
+		add zero, t0, t0
+		addi x0, x0, 5
+		ebreak
+	`)
+	if c.Regs[0] != 0 {
+		t.Errorf("x0 = %d", c.Regs[0])
+	}
+}
+
+func TestLoadsStores(t *testing.T) {
+	c, f := run(t, `
+		li t0, 0x100
+		li t1, -2
+		sw t1, 0(t0)
+		lw t2, 0(t0)
+		lb t3, 0(t0)
+		lbu t4, 0(t0)
+		lh t5, 0(t0)
+		lhu t6, 0(t0)
+		ebreak
+	`)
+	if got := c.Regs[7]; got != 0xfffffffe {
+		t.Errorf("lw = %#x", got)
+	}
+	if got := c.Regs[28]; got != 0xfffffffe {
+		t.Errorf("lb sign extension = %#x", got)
+	}
+	if got := c.Regs[29]; got != 0xfe {
+		t.Errorf("lbu = %#x", got)
+	}
+	if got := c.Regs[30]; got != 0xfffffffe {
+		t.Errorf("lh = %#x", got)
+	}
+	if got := c.Regs[31]; got != 0xfffe {
+		t.Errorf("lhu = %#x", got)
+	}
+	if f.data[0x100] != 0xfe || f.data[0x103] != 0xff {
+		t.Error("store bytes wrong")
+	}
+}
+
+func TestBranchLoop(t *testing.T) {
+	c, _ := run(t, `
+		li t0, 5
+		li t1, 0
+	loop:
+		add t1, t1, t0
+		addi t0, t0, -1
+		bnez t0, loop
+		ebreak
+	`)
+	if c.Regs[6] != 15 {
+		t.Errorf("sum = %d, want 15", c.Regs[6])
+	}
+	if c.Stats.BranchFlushes != 4 {
+		t.Errorf("branch flushes = %d, want 4 (taken branches only)", c.Stats.BranchFlushes)
+	}
+}
+
+func TestJalLinksAndJalrReturns(t *testing.T) {
+	c, _ := run(t, `
+		li a0, 1
+		jal ra, fn
+		addi a0, a0, 10    # executed after return
+		ebreak
+	fn:
+		addi a0, a0, 100
+		ret
+	`)
+	if c.Regs[10] != 111 {
+		t.Errorf("a0 = %d, want 111", c.Regs[10])
+	}
+}
+
+func TestCycleAccounting(t *testing.T) {
+	// Three dependent ALU instructions: fully pipelined, 1 cycle each.
+	c, _ := run(t, `
+		li t0, 1
+		addi t0, t0, 1
+		addi t0, t0, 1
+		ebreak
+	`)
+	if c.Cycles != 4 {
+		t.Errorf("cycles = %d, want 4", c.Cycles)
+	}
+}
+
+func TestLoadUseHazard(t *testing.T) {
+	// lw followed by a dependent add: +1 stall.
+	withUse, _ := run(t, `
+		li t0, 0x100
+		lw t1, 0(t0)
+		add t2, t1, t1
+		ebreak
+	`)
+	// Same length with an independent instruction in between: no stall.
+	noUse, _ := run(t, `
+		li t0, 0x100
+		lw t1, 0(t0)
+		add t2, t0, t0
+		ebreak
+	`)
+	if withUse.Stats.LoadUseStalls != 1 {
+		t.Errorf("load-use stalls = %d, want 1", withUse.Stats.LoadUseStalls)
+	}
+	if noUse.Stats.LoadUseStalls != 0 {
+		t.Errorf("independent consumer stalled: %d", noUse.Stats.LoadUseStalls)
+	}
+	if withUse.Cycles != noUse.Cycles+1 {
+		t.Errorf("hazard cost: %d vs %d", withUse.Cycles, noUse.Cycles)
+	}
+}
+
+func TestMemoryLatencyCharged(t *testing.T) {
+	f := newFlatMem(assemble(t, `
+		li t0, 0x100
+		lw t1, 0(t0)
+		ebreak
+	`))
+	f.memLat = 21
+	c, _ := New(0, f, 0)
+	c.Run(100, nil)
+	// li(1) + lw(1+20 extra) + ebreak(1) = 23.
+	if c.Cycles != 23 {
+		t.Errorf("cycles = %d, want 23", c.Cycles)
+	}
+	if c.Stats.MemStall != 20 {
+		t.Errorf("mem stalls = %d", c.Stats.MemStall)
+	}
+}
+
+func TestFetchLatencyCharged(t *testing.T) {
+	f := newFlatMem(assemble(t, "nop\nebreak"))
+	f.fetchLat = 3
+	c, _ := New(0, f, 0)
+	c.Run(100, nil)
+	// 2 instructions × (1 + 2 fetch stall) = 6.
+	if c.Cycles != 6 {
+		t.Errorf("cycles = %d, want 6", c.Cycles)
+	}
+}
+
+func TestL15InstructionsDispatch(t *testing.T) {
+	c, f := run(t, `
+		li a0, 4
+		demand a0
+		supply a1
+		li a2, 0x42
+		gv_set a2
+		gv_get a3
+		ip_set a2
+		ebreak
+	`)
+	want := []isa.Op{isa.OpDEMAND, isa.OpSUPPLY, isa.OpGVSET, isa.OpGVGET, isa.OpIPSET}
+	if len(f.l15Calls) != len(want) {
+		t.Fatalf("l15 calls = %v", f.l15Calls)
+	}
+	for i, op := range want {
+		if f.l15Calls[i] != op {
+			t.Errorf("call %d = %v, want %v", i, f.l15Calls[i], op)
+		}
+	}
+	if c.Stats.L15Ops != 5 {
+		t.Errorf("L15Ops = %d", c.Stats.L15Ops)
+	}
+}
+
+func TestSupplyWritesRd(t *testing.T) {
+	f := newFlatMem(assemble(t, `
+		supply a1
+		ebreak
+	`))
+	f.l15Ret = 0x0f
+	c, _ := New(0, f, 0)
+	c.Run(100, nil)
+	if c.Regs[11] != 0x0f {
+		t.Errorf("supply rd = %#x", c.Regs[11])
+	}
+}
+
+func TestDemandPrivileged(t *testing.T) {
+	f := newFlatMem(assemble(t, `
+		li a0, 4
+		demand a0
+		ebreak
+	`))
+	c, _ := New(0, f, 0)
+	c.Priv = PrivUser
+	trap, err := c.Run(100, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trap.Kind != TrapPrivilege {
+		t.Fatalf("trap = %v, want privilege violation", trap.Kind)
+	}
+	if len(f.l15Calls) != 0 {
+		t.Error("privileged demand reached the L1.5 from user mode")
+	}
+}
+
+func TestUserModeMayUseUnprivilegedL15Ops(t *testing.T) {
+	f := newFlatMem(assemble(t, `
+		supply a1
+		gv_get a2
+		ebreak
+	`))
+	c, _ := New(0, f, 0)
+	c.Priv = PrivUser
+	trap, err := c.Run(100, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trap.Kind != TrapEBreak {
+		t.Errorf("trap = %v", trap.Kind)
+	}
+	if len(f.l15Calls) != 2 {
+		t.Errorf("calls = %v", f.l15Calls)
+	}
+}
+
+func TestECallHandler(t *testing.T) {
+	f := newFlatMem(assemble(t, `
+		li a7, 1
+		ecall
+		li a7, 2
+		ecall
+		ebreak
+	`))
+	c, _ := New(0, f, 0)
+	var seen []uint32
+	trap, err := c.Run(100, func(core *Core, tr Trap) bool {
+		seen = append(seen, core.Regs[17])
+		return core.Regs[17] != 2 // second ecall halts
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trap.Kind != TrapECall {
+		t.Errorf("final trap = %v", trap.Kind)
+	}
+	if len(seen) != 2 || seen[0] != 1 || seen[1] != 2 {
+		t.Errorf("ecalls = %v", seen)
+	}
+}
+
+func TestIllegalInstructionTrap(t *testing.T) {
+	f := newFlatMem([]uint32{0xffffffff})
+	c, _ := New(0, f, 0)
+	trap, err := c.Run(10, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trap.Kind != TrapIllegal || !c.Halted {
+		t.Errorf("trap = %v halted=%v", trap.Kind, c.Halted)
+	}
+}
+
+func TestMemFaultTrap(t *testing.T) {
+	f := newFlatMem(assemble(t, "nop"))
+	c, _ := New(0, f, 0)
+	c.Run(5, nil) // runs off the program: fetch fault
+	if !c.Halted {
+		t.Error("fetch fault should halt")
+	}
+}
+
+func TestTrapKindString(t *testing.T) {
+	for kind, want := range map[TrapKind]string{
+		TrapECall: "ecall", TrapEBreak: "ebreak", TrapIllegal: "illegal instruction",
+		TrapPrivilege: "privilege violation", TrapMemFault: "memory fault",
+		TrapNone: "none", TrapKind(9): "trap(9)",
+	} {
+		if kind.String() != want {
+			t.Errorf("String(%d) = %q", int(kind), kind.String())
+		}
+	}
+}
+
+func TestNewNilMem(t *testing.T) {
+	if _, err := New(0, nil, 0); err == nil {
+		t.Error("nil memory system accepted")
+	}
+}
+
+func TestAllBranchKinds(t *testing.T) {
+	// Each branch kind taken and not taken, signed and unsigned corners.
+	c, _ := run(t, `
+		li t0, -1
+		li t1, 1
+		li s0, 0        # result bitmap
+		beq t0, t0, b1
+		j fail
+	b1:	ori s0, s0, 1
+		bne t0, t1, b2
+		j fail
+	b2:	ori s0, s0, 2
+		blt t0, t1, b3  # -1 < 1 signed
+		j fail
+	b3:	ori s0, s0, 4
+		bge t1, t0, b4  # 1 >= -1 signed
+		j fail
+	b4:	ori s0, s0, 8
+		bltu t1, t0, b5 # 1 < 0xffffffff unsigned
+		j fail
+	b5:	ori s0, s0, 16
+		bgeu t0, t1, b6 # 0xffffffff >= 1 unsigned
+		j fail
+	b6:	ori s0, s0, 32
+		# Not-taken paths:
+		beq t0, t1, fail
+		bne t0, t0, fail
+		blt t1, t0, fail
+		bge t0, t1, fail
+		bltu t0, t1, fail
+		bgeu t1, t0, fail
+		ebreak
+	fail:
+		li s0, 0
+		ebreak
+	`)
+	if c.Regs[8] != 63 {
+		t.Errorf("branch bitmap = %#x, want 0x3f", c.Regs[8])
+	}
+}
+
+func TestAllALUOps(t *testing.T) {
+	c, _ := run(t, `
+		li t0, -8
+		li t1, 3
+		slti s0, t0, 0      # 1: -8 < 0
+		sltiu s1, t0, 1     # 0: 0xfffffff8 not < 1
+		xori s2, t1, 1      # 2
+		srli s3, t0, 1      # 0x7ffffffc
+		srl s4, t0, t1      # 0x1fffffff
+		sra s5, t0, t1      # -1
+		sll s6, t1, t1      # 24
+		sltu s7, t1, t0     # 1: 3 < 0xfffffff8
+		slt s8, t0, t1      # 1
+		ebreak
+	`)
+	want := map[int]uint32{
+		8: 1, 9: 0, 18: 2, 19: 0x7ffffffc, 20: 0x1fffffff,
+		21: 0xffffffff, 22: 24, 23: 1, 24: 1,
+	}
+	for reg, v := range want {
+		if c.Regs[reg] != v {
+			t.Errorf("x%d = %#x, want %#x", reg, c.Regs[reg], v)
+		}
+	}
+}
+
+func TestLuiAuipc(t *testing.T) {
+	c, _ := run(t, `
+		lui t0, 0x12345
+		auipc t1, 0
+		ebreak
+	`)
+	if c.Regs[5] != 0x12345000 {
+		t.Errorf("lui = %#x", c.Regs[5])
+	}
+	if c.Regs[6] != 4 { // auipc at pc=4
+		t.Errorf("auipc = %#x, want 4", c.Regs[6])
+	}
+}

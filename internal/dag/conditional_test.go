@@ -1,0 +1,174 @@
+package dag
+
+import "testing"
+
+// condExample builds: src -> branch -> {armA: a1->a2 | armB: b1} -> merge
+// -> sink, plus an unconditional side node s1 between src and sink.
+func condExample(t *testing.T) (*CondTask, map[string]NodeID) {
+	t.Helper()
+	task := New("cond", 100, 100)
+	ids := map[string]NodeID{}
+	add := func(name string, wcet float64) {
+		ids[name] = task.AddNode(name, wcet, 1024)
+	}
+	add("src", 1)
+	add("branch", 2)
+	add("a1", 5)
+	add("a2", 5)
+	add("b1", 3)
+	add("merge", 2)
+	add("s1", 4)
+	add("sink", 1)
+	edges := [][2]string{
+		{"src", "branch"}, {"branch", "a1"}, {"a1", "a2"}, {"a2", "merge"},
+		{"branch", "b1"}, {"b1", "merge"}, {"merge", "sink"},
+		{"src", "s1"}, {"s1", "sink"},
+	}
+	for _, e := range edges {
+		task.MustAddEdge(ids[e[0]], ids[e[1]], 1, 0.5)
+	}
+	ct := NewConditional(task)
+	if err := ct.AddConditional(ids["branch"], ids["merge"],
+		[][]NodeID{{ids["a1"], ids["a2"]}, {ids["b1"]}}); err != nil {
+		t.Fatal(err)
+	}
+	return ct, ids
+}
+
+func TestConditionalScenarios(t *testing.T) {
+	ct, ids := condExample(t)
+	if ct.Scenarios() != 2 {
+		t.Fatalf("scenarios = %d", ct.Scenarios())
+	}
+
+	// Arm A chosen: b1 gone, a1/a2 present.
+	sa, err := ct.Scenario([]int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sa.Nodes) != 7 {
+		t.Errorf("scenario A nodes = %d, want 7", len(sa.Nodes))
+	}
+	if sa.Volume() != 1+2+5+5+2+4+1 {
+		t.Errorf("scenario A volume = %g", sa.Volume())
+	}
+
+	// Arm B chosen: shorter.
+	sb, err := ct.Scenario([]int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sb.Nodes) != 6 {
+		t.Errorf("scenario B nodes = %d, want 6", len(sb.Nodes))
+	}
+	if sb.Volume() != 1+2+3+2+4+1 {
+		t.Errorf("scenario B volume = %g", sb.Volume())
+	}
+	// Both scenarios are valid single-source/sink DAGs (Scenario
+	// validates), and the longer arm dominates the critical path.
+	if sa.CriticalPathLength(RawCost) <= sb.CriticalPathLength(RawCost) {
+		t.Error("arm A should be the longer scenario")
+	}
+	_ = ids
+}
+
+func TestConditionalValidationErrors(t *testing.T) {
+	task := New("bad", 10, 10)
+	src := task.AddNode("src", 1, 0)
+	b := task.AddNode("b", 1, 0)
+	x := task.AddNode("x", 1, 0)
+	y := task.AddNode("y", 1, 0)
+	m := task.AddNode("m", 1, 0)
+	sink := task.AddNode("sink", 1, 0)
+	task.MustAddEdge(src, b, 1, 0.5)
+	task.MustAddEdge(b, x, 1, 0.5)
+	task.MustAddEdge(b, y, 1, 0.5)
+	task.MustAddEdge(x, m, 1, 0.5)
+	task.MustAddEdge(y, m, 1, 0.5)
+	task.MustAddEdge(m, sink, 1, 0.5)
+
+	ct := NewConditional(task)
+	cases := []struct {
+		name  string
+		setup func() error
+	}{
+		{"one arm", func() error {
+			return ct.AddConditional(b, m, [][]NodeID{{x}})
+		}},
+		{"empty arm", func() error {
+			return ct.AddConditional(b, m, [][]NodeID{{x}, {}})
+		}},
+		{"unknown node", func() error {
+			return ct.AddConditional(b, m, [][]NodeID{{x}, {99}})
+		}},
+		{"boundary in arm", func() error {
+			return ct.AddConditional(b, m, [][]NodeID{{x}, {m}})
+		}},
+		{"duplicated across arms", func() error {
+			return ct.AddConditional(b, m, [][]NodeID{{x}, {x}})
+		}},
+		{"outside predecessor", func() error {
+			// sink's pred is m, not b: not an arm.
+			return ct.AddConditional(b, m, [][]NodeID{{x}, {sink}})
+		}},
+	}
+	for _, c := range cases {
+		if err := c.setup(); err == nil {
+			t.Errorf("%s accepted", c.name)
+		}
+	}
+	// A correct conditional still works afterwards.
+	if err := ct.AddConditional(b, m, [][]NodeID{{x}, {y}}); err != nil {
+		t.Fatalf("valid conditional rejected: %v", err)
+	}
+	// Arm nodes cannot join a second conditional.
+	if err := ct.AddConditional(b, m, [][]NodeID{{x}, {y}}); err == nil {
+		t.Error("overlapping conditional accepted")
+	}
+}
+
+func TestScenarioChoiceErrors(t *testing.T) {
+	ct, _ := condExample(t)
+	if _, err := ct.Scenario([]int{}); err == nil {
+		t.Error("wrong choice arity accepted")
+	}
+	if _, err := ct.Scenario([]int{5}); err == nil {
+		t.Error("out-of-range arm accepted")
+	}
+}
+
+func TestEachScenarioEnumerates(t *testing.T) {
+	ct, ids := condExample(t)
+	// Add a second conditional over the side chain: wrap s1 in a
+	// degenerate conditional with two single-node arms by adding another
+	// node first.
+	s2 := ct.Task.AddNode("s2", 6, 1024)
+	ct.Task.MustAddEdge(ids["src"], s2, 1, 0.5)
+	ct.Task.MustAddEdge(s2, ids["sink"], 1, 0.5)
+	if err := ct.AddConditional(ids["src"], ids["sink"],
+		[][]NodeID{{ids["s1"]}, {s2}}); err != nil {
+		t.Fatal(err)
+	}
+	if ct.Scenarios() != 4 {
+		t.Fatalf("scenarios = %d", ct.Scenarios())
+	}
+	var seen [][]int
+	err := ct.EachScenario(func(choice []int, task *Task) error {
+		seen = append(seen, choice)
+		return task.Validate()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 4 {
+		t.Errorf("enumerated %d scenarios", len(seen))
+	}
+	// All distinct.
+	uniq := map[[2]int]bool{}
+	for _, c := range seen {
+		uniq[[2]int{c[0], c[1]}] = true
+	}
+	if len(uniq) != 4 {
+		t.Errorf("duplicate scenarios: %v", seen)
+	}
+}

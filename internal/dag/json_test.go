@@ -1,0 +1,94 @@
+package dag
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	orig := Fig1Example()
+	data, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != orig.Name || back.Period != orig.Period || back.Deadline != orig.Deadline {
+		t.Errorf("header mismatch: %+v", back)
+	}
+	if len(back.Nodes) != len(orig.Nodes) || len(back.Edges) != len(orig.Edges) {
+		t.Fatalf("size mismatch: %d/%d nodes, %d/%d edges",
+			len(back.Nodes), len(orig.Nodes), len(back.Edges), len(orig.Edges))
+	}
+	for i := range orig.Nodes {
+		a, b := orig.Nodes[i], back.Nodes[i]
+		if a.Name != b.Name || a.WCET != b.WCET || a.Data != b.Data {
+			t.Errorf("node %d mismatch: %+v vs %+v", i, a, b)
+		}
+	}
+	for i := range orig.Edges {
+		if orig.Edges[i] != back.Edges[i] {
+			t.Errorf("edge %d mismatch", i)
+		}
+	}
+	// Adjacency is rebuilt.
+	if len(back.Succ(0)) != 3 {
+		t.Errorf("Succ(v1) = %v", back.Succ(0))
+	}
+	if got := back.CriticalPathLength(RawCost); got != orig.CriticalPathLength(RawCost) {
+		t.Errorf("critical path changed: %g", got)
+	}
+}
+
+func TestLoadJSONHandWritten(t *testing.T) {
+	src := `{
+		"name": "pipeline",
+		"period": 100,
+		"deadline": 100,
+		"nodes": [
+			{"name": "a", "wcet": 5, "data": 4096},
+			{"name": "b", "wcet": 3}
+		],
+		"edges": [
+			{"from": 0, "to": 1, "cost": 2, "alpha": 0.5}
+		]
+	}`
+	task, err := LoadJSON([]byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if task.Volume() != 8 || task.Nodes[1].Data != 0 {
+		t.Errorf("parsed wrong: %+v", task.Nodes)
+	}
+}
+
+func TestLoadJSONErrors(t *testing.T) {
+	bad := []string{
+		`{`, // syntax
+		`{"name":"x","period":10,"deadline":10,"nodes":[],"edges":[]}`,                                            // no nodes
+		`{"name":"x","period":10,"deadline":10,"nodes":[{"name":"a","wcet":1}],"edges":[{"from":0,"to":5}]}`,      // bad edge
+		`{"name":"x","period":10,"deadline":20,"nodes":[{"name":"a","wcet":1}],"edges":[]}`,                       // D > T
+		`{"name":"x","period":10,"deadline":10,"nodes":[{"name":"a","wcet":1},{"name":"b","wcet":1}],"edges":[]}`, // two sources
+	}
+	for i, src := range bad {
+		if _, err := LoadJSON([]byte(src)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestJSONSchemaFieldNames(t *testing.T) {
+	data, err := json.Marshal(Fig1Example())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	for _, want := range []string{`"name"`, `"period"`, `"wcet"`, `"alpha"`, `"cost"`} {
+		if !strings.Contains(s, want) {
+			t.Errorf("schema missing %s", want)
+		}
+	}
+}

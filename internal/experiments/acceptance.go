@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"l15cache/internal/analysis"
+	"l15cache/internal/dag"
+	"l15cache/internal/schedsim"
+	"l15cache/internal/workload"
+)
+
+// The acceptance-ratio experiment exercises the §4.2 claim that existing
+// DAG analysis applies to the co-design "with minor modifications for
+// communication cost on edges": for a sweep of task utilisations it
+// reports the fraction of random tasks whose *analytical* makespan bound
+// meets the implicit deadline, with edge costs taken raw (conventional
+// system) or ETM-reduced under Alg. 1's allocation (proposed system). The
+// proposed system's bound accepts strictly more tasks — the analytical
+// counterpart of Fig. 8's empirical success ratios.
+
+// AcceptancePoint is one utilisation value of the sweep.
+type AcceptancePoint struct {
+	Utilization float64
+	// Accepted fraction of tasks whose bound meets the deadline.
+	PropAccepted float64
+	BaseAccepted float64
+	// SimFeasible is the fraction whose *simulated* proposed-system
+	// makespan meets the deadline (the bound is sufficient, so
+	// PropAccepted <= SimFeasible up to sampling noise... in fact always,
+	// per-task: an accepted task is sim-feasible).
+	SimFeasible float64
+}
+
+// AcceptanceConfig configures the experiment.
+type AcceptanceConfig struct {
+	DAGs     int
+	Cores    int
+	Zeta     int
+	WayBytes int64
+	Seed     int64
+	Base     workload.SynthParams
+}
+
+// DefaultAcceptanceConfig mirrors the makespan experiment's platform.
+func DefaultAcceptanceConfig() AcceptanceConfig {
+	return AcceptanceConfig{
+		DAGs:     200,
+		Cores:    8,
+		Zeta:     schedsim.DefaultZeta,
+		WayBytes: schedsim.DefaultWayBytes,
+		Seed:     1,
+		Base:     workload.DefaultSynthParams(),
+	}
+}
+
+// AcceptanceRatio sweeps the task utilisation and returns the per-point
+// acceptance fractions.
+func AcceptanceRatio(cfg AcceptanceConfig, utils []float64) ([]AcceptancePoint, error) {
+	if cfg.DAGs <= 0 || cfg.Cores <= 0 {
+		return nil, fmt.Errorf("experiments: need positive DAGs and Cores")
+	}
+	var out []AcceptancePoint
+	for ui, u := range utils {
+		pt := AcceptancePoint{Utilization: u}
+		for i := 0; i < cfg.DAGs; i++ {
+			r := rand.New(rand.NewSource(cfg.Seed + int64(ui)*1_000_003 + int64(i)*7919))
+			p := cfg.Base
+			p.Utilization = u
+			task, err := workload.Synthetic(r, p)
+			if err != nil {
+				return nil, err
+			}
+
+			// Conventional bound: raw edge costs.
+			okBase, _, err := analysis.Schedulable(task, cfg.Cores, dag.RawCost)
+			if err != nil {
+				return nil, err
+			}
+			if okBase {
+				pt.BaseAccepted++
+			}
+
+			// Proposed bound: Alg. 1 allocation, ETM edge costs.
+			prop, err := schedsim.NewProposed(task.Clone(), cfg.Zeta, cfg.WayBytes)
+			if err != nil {
+				return nil, err
+			}
+			okProp, _, err := analysis.Schedulable(prop.Alloc.Task, cfg.Cores, prop.Alloc.Model.Weight())
+			if err != nil {
+				return nil, err
+			}
+			if okProp {
+				pt.PropAccepted++
+			}
+
+			// Ground truth on the proposed platform.
+			st, err := schedsim.Run(prop.Alloc, prop, schedsim.Options{Cores: cfg.Cores})
+			if err != nil {
+				return nil, err
+			}
+			feasible := st[0].Makespan <= prop.Alloc.Task.Deadline
+			if feasible {
+				pt.SimFeasible++
+			}
+			if okProp && !feasible {
+				return nil, fmt.Errorf("experiments: unsound bound at U=%g seed %d", u, i)
+			}
+		}
+		n := float64(cfg.DAGs)
+		pt.PropAccepted /= n
+		pt.BaseAccepted /= n
+		pt.SimFeasible /= n
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// FormatAcceptance renders the sweep.
+func FormatAcceptance(points []AcceptancePoint) string {
+	var sb strings.Builder
+	sb.WriteString("acceptance ratio — analytical bound meets the deadline (8 cores)\n")
+	fmt.Fprintf(&sb, "%8s%14s%14s%16s\n", "U", "CMP bound", "Prop bound", "Prop simulated")
+	for _, pt := range points {
+		fmt.Fprintf(&sb, "%8.2f%14.3f%14.3f%16.3f\n",
+			pt.Utilization, pt.BaseAccepted, pt.PropAccepted, pt.SimFeasible)
+	}
+	return sb.String()
+}

@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAcceptanceRatio(t *testing.T) {
+	cfg := DefaultAcceptanceConfig()
+	cfg.DAGs = 40
+	points, err := AcceptanceRatio(cfg, []float64{1.0, 2.5, 4.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("points = %d", len(points))
+	}
+	for _, pt := range points {
+		// All fractions in [0,1].
+		for name, v := range map[string]float64{
+			"prop": pt.PropAccepted, "base": pt.BaseAccepted, "sim": pt.SimFeasible,
+		} {
+			if v < 0 || v > 1 {
+				t.Errorf("U=%g: %s = %g", pt.Utilization, name, v)
+			}
+		}
+		// The proposed bound accepts at least as much as the baseline
+		// bound (edge costs only shrink), and never more than the
+		// simulated feasibility (the bound is sufficient).
+		if pt.PropAccepted < pt.BaseAccepted {
+			t.Errorf("U=%g: Prop bound (%g) below base bound (%g)",
+				pt.Utilization, pt.PropAccepted, pt.BaseAccepted)
+		}
+		if pt.PropAccepted > pt.SimFeasible {
+			t.Errorf("U=%g: bound unsound: accepted %g > feasible %g",
+				pt.Utilization, pt.PropAccepted, pt.SimFeasible)
+		}
+	}
+	// Acceptance decreases with utilisation.
+	if points[0].PropAccepted < points[2].PropAccepted {
+		t.Error("acceptance should fall with utilisation")
+	}
+	// At U=1 on 8 cores everything fits; at U=4 nothing passes the bound.
+	if points[0].BaseAccepted != 1 {
+		t.Errorf("U=1 base acceptance = %g, want 1", points[0].BaseAccepted)
+	}
+
+	out := FormatAcceptance(points)
+	for _, want := range []string{"acceptance ratio", "CMP bound", "Prop bound", "simulated"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("format missing %q", want)
+		}
+	}
+}
+
+func TestAcceptanceErrors(t *testing.T) {
+	cfg := DefaultAcceptanceConfig()
+	cfg.DAGs = 0
+	if _, err := AcceptanceRatio(cfg, []float64{1}); err == nil {
+		t.Error("zero DAGs accepted")
+	}
+	cfg = DefaultAcceptanceConfig()
+	cfg.Cores = 0
+	if _, err := AcceptanceRatio(cfg, []float64{1}); err == nil {
+		t.Error("zero cores accepted")
+	}
+}

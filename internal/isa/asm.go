@@ -1,0 +1,452 @@
+package isa
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Assemble translates assembly source into machine words. It supports the
+// instructions of this package, labels ("name:"), "#" and "//" comments,
+// decimal/hex immediates, ABI register names, and the pseudo-instructions
+// nop, mv, li, j, jr, ret, beqz, bnez, and call (alias of jal ra).
+//
+// The base address locates the first instruction for label-relative
+// offsets.
+func Assemble(src string, base uint32) ([]uint32, error) {
+	lines := strings.Split(src, "\n")
+
+	type item struct {
+		lineNo int
+		text   string
+	}
+	var items []item
+	labels := make(map[string]uint32)
+	pc := base
+
+	// First pass: strip comments, collect labels, expand pseudo sizes.
+	for no, raw := range lines {
+		line := raw
+		if i := strings.IndexAny(line, "#"); i >= 0 {
+			line = line[:i]
+		}
+		if i := strings.Index(line, "//"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		for strings.Contains(line, ":") {
+			i := strings.Index(line, ":")
+			label := strings.TrimSpace(line[:i])
+			if label == "" || strings.ContainsAny(label, " \t") {
+				return nil, fmt.Errorf("isa: line %d: bad label %q", no+1, label)
+			}
+			if _, dup := labels[label]; dup {
+				return nil, fmt.Errorf("isa: line %d: duplicate label %q", no+1, label)
+			}
+			labels[label] = pc
+			line = strings.TrimSpace(line[i+1:])
+		}
+		if line == "" {
+			continue
+		}
+		items = append(items, item{lineNo: no + 1, text: line})
+		pc += 4 * uint32(instWords(line))
+	}
+
+	// Second pass: encode.
+	var out []uint32
+	pc = base
+	for _, it := range items {
+		words, err := assembleLine(it.text, pc, labels)
+		if err != nil {
+			return nil, fmt.Errorf("isa: line %d: %w", it.lineNo, err)
+		}
+		out = append(out, words...)
+		pc += 4 * uint32(len(words))
+	}
+	return out, nil
+}
+
+// instWords returns how many machine words a source line expands to (li
+// with a large constant needs lui+addi).
+func instWords(line string) int {
+	op, args := splitOp(line)
+	if op == "li" && len(args) == 2 {
+		if v, err := parseImm(args[1]); err == nil && !fitsI12(v) {
+			return 2
+		}
+	}
+	return 1
+}
+
+func splitOp(line string) (string, []string) {
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return "", nil
+	}
+	op := strings.ToLower(fields[0])
+	rest := strings.Join(fields[1:], " ")
+	if rest == "" {
+		return op, nil
+	}
+	parts := strings.Split(rest, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return op, parts
+}
+
+func fitsI12(v int64) bool { return v >= -2048 && v <= 2047 }
+
+var abiRegs = map[string]int{
+	"zero": 0, "ra": 1, "sp": 2, "gp": 3, "tp": 4,
+	"t0": 5, "t1": 6, "t2": 7,
+	"s0": 8, "fp": 8, "s1": 9,
+	"a0": 10, "a1": 11, "a2": 12, "a3": 13, "a4": 14, "a5": 15, "a6": 16, "a7": 17,
+	"s2": 18, "s3": 19, "s4": 20, "s5": 21, "s6": 22, "s7": 23, "s8": 24, "s9": 25,
+	"s10": 26, "s11": 27,
+	"t3": 28, "t4": 29, "t5": 30, "t6": 31,
+}
+
+func parseReg(s string) (int, error) {
+	s = strings.ToLower(strings.TrimSpace(s))
+	if n, ok := abiRegs[s]; ok {
+		return n, nil
+	}
+	if strings.HasPrefix(s, "x") {
+		if n, err := strconv.Atoi(s[1:]); err == nil && n >= 0 && n <= 31 {
+			return n, nil
+		}
+	}
+	return 0, fmt.Errorf("bad register %q", s)
+}
+
+func parseImm(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	return strconv.ParseInt(s, 0, 64)
+}
+
+// parseMem parses "imm(reg)" operands.
+func parseMem(s string) (int32, int, error) {
+	open := strings.Index(s, "(")
+	close := strings.LastIndex(s, ")")
+	if open < 0 || close <= open {
+		return 0, 0, fmt.Errorf("bad memory operand %q", s)
+	}
+	immStr := strings.TrimSpace(s[:open])
+	imm := int64(0)
+	if immStr != "" {
+		var err error
+		imm, err = parseImm(immStr)
+		if err != nil {
+			return 0, 0, err
+		}
+	}
+	reg, err := parseReg(s[open+1 : close])
+	if err != nil {
+		return 0, 0, err
+	}
+	return int32(imm), reg, nil
+}
+
+// target resolves a branch/jump operand: a label or a numeric offset.
+func target(s string, pc uint32, labels map[string]uint32) (int32, error) {
+	if addr, ok := labels[s]; ok {
+		return int32(addr) - int32(pc), nil
+	}
+	v, err := parseImm(s)
+	if err != nil {
+		return 0, fmt.Errorf("unknown label or offset %q", s)
+	}
+	return int32(v), nil
+}
+
+var rTypeOps = map[string]Op{
+	"add": OpADD, "sub": OpSUB, "sll": OpSLL, "slt": OpSLT, "sltu": OpSLTU,
+	"xor": OpXOR, "srl": OpSRL, "sra": OpSRA, "or": OpOR, "and": OpAND,
+}
+
+var iTypeOps = map[string]Op{
+	"addi": OpADDI, "slti": OpSLTI, "sltiu": OpSLTIU, "xori": OpXORI,
+	"ori": OpORI, "andi": OpANDI, "slli": OpSLLI, "srli": OpSRLI, "srai": OpSRAI,
+}
+
+var branchOps = map[string]Op{
+	"beq": OpBEQ, "bne": OpBNE, "blt": OpBLT, "bge": OpBGE,
+	"bltu": OpBLTU, "bgeu": OpBGEU,
+}
+
+var loadOps = map[string]Op{
+	"lb": OpLB, "lh": OpLH, "lw": OpLW, "lbu": OpLBU, "lhu": OpLHU,
+}
+
+var storeOps = map[string]Op{"sb": OpSB, "sh": OpSH, "sw": OpSW}
+
+func assembleLine(line string, pc uint32, labels map[string]uint32) ([]uint32, error) {
+	op, args := splitOp(line)
+	enc := func(i Inst) ([]uint32, error) {
+		w, err := Encode(i)
+		if err != nil {
+			return nil, err
+		}
+		return []uint32{w}, nil
+	}
+	need := func(n int) error {
+		if len(args) != n {
+			return fmt.Errorf("%s expects %d operands, got %d", op, n, len(args))
+		}
+		return nil
+	}
+
+	switch {
+	case op == ".word":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		v, err := parseImm(args[0])
+		if err != nil {
+			return nil, err
+		}
+		return []uint32{uint32(v)}, nil
+
+	case rTypeOps[op] != OpInvalid:
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		rd, err1 := parseReg(args[0])
+		rs1, err2 := parseReg(args[1])
+		rs2, err3 := parseReg(args[2])
+		if err := firstErr(err1, err2, err3); err != nil {
+			return nil, err
+		}
+		return enc(Inst{Op: rTypeOps[op], Rd: rd, Rs1: rs1, Rs2: rs2})
+
+	case iTypeOps[op] != OpInvalid:
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		rd, err1 := parseReg(args[0])
+		rs1, err2 := parseReg(args[1])
+		imm, err3 := parseImm(args[2])
+		if err := firstErr(err1, err2, err3); err != nil {
+			return nil, err
+		}
+		return enc(Inst{Op: iTypeOps[op], Rd: rd, Rs1: rs1, Imm: int32(imm)})
+
+	case branchOps[op] != OpInvalid:
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		rs1, err1 := parseReg(args[0])
+		rs2, err2 := parseReg(args[1])
+		off, err3 := target(args[2], pc, labels)
+		if err := firstErr(err1, err2, err3); err != nil {
+			return nil, err
+		}
+		return enc(Inst{Op: branchOps[op], Rs1: rs1, Rs2: rs2, Imm: off})
+
+	case loadOps[op] != OpInvalid:
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err1 := parseReg(args[0])
+		imm, rs1, err2 := parseMem(args[1])
+		if err := firstErr(err1, err2); err != nil {
+			return nil, err
+		}
+		return enc(Inst{Op: loadOps[op], Rd: rd, Rs1: rs1, Imm: imm})
+
+	case storeOps[op] != OpInvalid:
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rs2, err1 := parseReg(args[0])
+		imm, rs1, err2 := parseMem(args[1])
+		if err := firstErr(err1, err2); err != nil {
+			return nil, err
+		}
+		return enc(Inst{Op: storeOps[op], Rs1: rs1, Rs2: rs2, Imm: imm})
+	}
+
+	switch op {
+	case "lui", "auipc":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err1 := parseReg(args[0])
+		imm, err2 := parseImm(args[1])
+		if err := firstErr(err1, err2); err != nil {
+			return nil, err
+		}
+		o := OpLUI
+		if op == "auipc" {
+			o = OpAUIPC
+		}
+		return encOne(Inst{Op: o, Rd: rd, Imm: int32(imm)})
+	case "jal", "call":
+		rd := 1 // ra
+		var dest string
+		switch len(args) {
+		case 1:
+			dest = args[0]
+		case 2:
+			var err error
+			rd, err = parseReg(args[0])
+			if err != nil {
+				return nil, err
+			}
+			dest = args[1]
+		default:
+			return nil, fmt.Errorf("jal expects 1 or 2 operands")
+		}
+		off, err := target(dest, pc, labels)
+		if err != nil {
+			return nil, err
+		}
+		return encOne(Inst{Op: OpJAL, Rd: rd, Imm: off})
+	case "jalr":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err1 := parseReg(args[0])
+		imm, rs1, err2 := parseMem(args[1])
+		if err := firstErr(err1, err2); err != nil {
+			return nil, err
+		}
+		return encOne(Inst{Op: OpJALR, Rd: rd, Rs1: rs1, Imm: imm})
+	case "j":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		off, err := target(args[0], pc, labels)
+		if err != nil {
+			return nil, err
+		}
+		return encOne(Inst{Op: OpJAL, Rd: 0, Imm: off})
+	case "jr":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		rs1, err := parseReg(args[0])
+		if err != nil {
+			return nil, err
+		}
+		return encOne(Inst{Op: OpJALR, Rd: 0, Rs1: rs1})
+	case "ret":
+		return encOne(Inst{Op: OpJALR, Rd: 0, Rs1: 1})
+	case "nop":
+		return encOne(Inst{Op: OpADDI})
+	case "mv":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err1 := parseReg(args[0])
+		rs1, err2 := parseReg(args[1])
+		if err := firstErr(err1, err2); err != nil {
+			return nil, err
+		}
+		return encOne(Inst{Op: OpADDI, Rd: rd, Rs1: rs1})
+	case "li":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err1 := parseReg(args[0])
+		v, err2 := parseImm(args[1])
+		if err := firstErr(err1, err2); err != nil {
+			return nil, err
+		}
+		if fitsI12(v) {
+			return encOne(Inst{Op: OpADDI, Rd: rd, Imm: int32(v)})
+		}
+		// lui + addi, compensating for addi's sign extension.
+		w := int32(v)
+		lo := w << 20 >> 20 // low 12 bits, sign extended
+		hi := (w - lo) >> 12
+		w1, err := Encode(Inst{Op: OpLUI, Rd: rd, Imm: hi & 0xfffff})
+		if err != nil {
+			return nil, err
+		}
+		w2, err := Encode(Inst{Op: OpADDI, Rd: rd, Rs1: rd, Imm: lo})
+		if err != nil {
+			return nil, err
+		}
+		return []uint32{w1, w2}, nil
+	case "beqz", "bnez":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rs1, err1 := parseReg(args[0])
+		off, err2 := target(args[1], pc, labels)
+		if err := firstErr(err1, err2); err != nil {
+			return nil, err
+		}
+		o := OpBEQ
+		if op == "bnez" {
+			o = OpBNE
+		}
+		return encOne(Inst{Op: o, Rs1: rs1, Imm: off})
+	case "ecall":
+		return encOne(Inst{Op: OpECALL})
+	case "ebreak":
+		return encOne(Inst{Op: OpEBREAK})
+	case "fence":
+		return encOne(Inst{Op: OpFENCE})
+	case "demand", "gv_set", "ip_set":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		rs1, err := parseReg(args[0])
+		if err != nil {
+			return nil, err
+		}
+		o := map[string]Op{"demand": OpDEMAND, "gv_set": OpGVSET, "ip_set": OpIPSET}[op]
+		return encOne(Inst{Op: o, Rs1: rs1})
+	case "supply", "gv_get":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		rd, err := parseReg(args[0])
+		if err != nil {
+			return nil, err
+		}
+		o := OpSUPPLY
+		if op == "gv_get" {
+			o = OpGVGET
+		}
+		return encOne(Inst{Op: o, Rd: rd})
+	}
+	return nil, fmt.Errorf("unknown instruction %q", op)
+}
+
+func encOne(i Inst) ([]uint32, error) {
+	w, err := Encode(i)
+	if err != nil {
+		return nil, err
+	}
+	return []uint32{w}, nil
+}
+
+func firstErr(errs ...error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Disassemble renders machine words as an address-annotated listing,
+// marking undecodable words as data.
+func Disassemble(words []uint32, base uint32) string {
+	var sb strings.Builder
+	for i, w := range words {
+		addr := base + uint32(4*i)
+		inst, err := Decode(w)
+		if err != nil {
+			fmt.Fprintf(&sb, "%08x:  %08x    .word 0x%08x\n", addr, w, w)
+			continue
+		}
+		fmt.Fprintf(&sb, "%08x:  %08x    %s\n", addr, w, inst)
+	}
+	return sb.String()
+}

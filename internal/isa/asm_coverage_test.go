@@ -1,0 +1,149 @@
+package isa
+
+import "testing"
+
+// TestAssembleEveryMnemonic assembles one instance of every supported
+// mnemonic and checks it decodes back to the expected operation.
+func TestAssembleEveryMnemonic(t *testing.T) {
+	cases := []struct {
+		src  string
+		want Op
+	}{
+		{"add x1, x2, x3", OpADD},
+		{"sub x1, x2, x3", OpSUB},
+		{"sll x1, x2, x3", OpSLL},
+		{"slt x1, x2, x3", OpSLT},
+		{"sltu x1, x2, x3", OpSLTU},
+		{"xor x1, x2, x3", OpXOR},
+		{"srl x1, x2, x3", OpSRL},
+		{"sra x1, x2, x3", OpSRA},
+		{"or x1, x2, x3", OpOR},
+		{"and x1, x2, x3", OpAND},
+		{"addi x1, x2, 5", OpADDI},
+		{"slti x1, x2, 5", OpSLTI},
+		{"sltiu x1, x2, 5", OpSLTIU},
+		{"xori x1, x2, 5", OpXORI},
+		{"ori x1, x2, 5", OpORI},
+		{"andi x1, x2, 5", OpANDI},
+		{"slli x1, x2, 5", OpSLLI},
+		{"srli x1, x2, 5", OpSRLI},
+		{"srai x1, x2, 5", OpSRAI},
+		{"beq x1, x2, 8", OpBEQ},
+		{"bne x1, x2, 8", OpBNE},
+		{"blt x1, x2, 8", OpBLT},
+		{"bge x1, x2, 8", OpBGE},
+		{"bltu x1, x2, 8", OpBLTU},
+		{"bgeu x1, x2, 8", OpBGEU},
+		{"lb x1, 0(x2)", OpLB},
+		{"lh x1, 0(x2)", OpLH},
+		{"lw x1, 0(x2)", OpLW},
+		{"lbu x1, 0(x2)", OpLBU},
+		{"lhu x1, 0(x2)", OpLHU},
+		{"sb x1, 0(x2)", OpSB},
+		{"sh x1, 0(x2)", OpSH},
+		{"sw x1, 0(x2)", OpSW},
+		{"lui x1, 4", OpLUI},
+		{"auipc x1, 4", OpAUIPC},
+		{"jal x1, 8", OpJAL},
+		{"jal 8", OpJAL},
+		{"call 8", OpJAL},
+		{"jalr x1, 4(x2)", OpJALR},
+		{"jr x5", OpJALR},
+		{"ret", OpJALR},
+		{"j 8", OpJAL},
+		{"nop", OpADDI},
+		{"mv x1, x2", OpADDI},
+		{"li x1, 7", OpADDI},
+		{"beqz x1, 8", OpBEQ},
+		{"bnez x1, 8", OpBNE},
+		{"ecall", OpECALL},
+		{"ebreak", OpEBREAK},
+		{"fence", OpFENCE},
+		{"demand x1", OpDEMAND},
+		{"supply x1", OpSUPPLY},
+		{"gv_set x1", OpGVSET},
+		{"gv_get x1", OpGVGET},
+		{"ip_set x1", OpIPSET},
+	}
+	for _, c := range cases {
+		words, err := Assemble(c.src, 0)
+		if err != nil {
+			t.Errorf("Assemble(%q): %v", c.src, err)
+			continue
+		}
+		inst, err := Decode(words[0])
+		if err != nil {
+			t.Errorf("decode %q: %v", c.src, err)
+			continue
+		}
+		if inst.Op != c.want {
+			t.Errorf("%q assembled to %v, want %v", c.src, inst.Op, c.want)
+		}
+	}
+}
+
+// TestAssembleOperandErrors drives every mnemonic family's error paths.
+func TestAssembleOperandErrors(t *testing.T) {
+	bad := []string{
+		"add x1, x2",      // r-type arity
+		"add x1, x2, q9",  // r-type register
+		"addi x1, x2, z",  // i-type immediate
+		"beq x1, x2",      // branch arity
+		"beq q1, x2, 8",   // branch register
+		"lw x1",           // load arity
+		"lw x1, (q2)",     // load register
+		"sw x1",           // store arity
+		"lui x1",          // u-type arity
+		"lui q1, 5",       // u-type register
+		"jal x1, x2, 8",   // jal arity
+		"jal x1, nowhere", // jal label
+		"jalr x1",         // jalr arity
+		"jr",              // jr arity
+		"mv x1",           // mv arity
+		"li x1",           // li arity
+		"li q1, 5",        // li register
+		"beqz x1",         // beqz arity
+		"beqz q1, 8",      // beqz register
+		"demand",          // l15 arity
+		"demand q1",       // l15 register
+		"supply",          // supply arity
+		".word",           // directive arity
+		".word zz",        // directive immediate
+		"beq x1, x2, 3",   // misaligned branch target
+	}
+	for _, src := range bad {
+		if _, err := Assemble(src, 0); err == nil {
+			t.Errorf("Assemble(%q) accepted", src)
+		}
+	}
+}
+
+// TestInstStringAllShapes drives every String() branch.
+func TestInstStringAllShapes(t *testing.T) {
+	insts := []Inst{
+		{Op: OpInvalid},
+		{Op: OpLUI, Rd: 1, Imm: 2},
+		{Op: OpAUIPC, Rd: 1, Imm: 2},
+		{Op: OpJAL, Rd: 1, Imm: 8},
+		{Op: OpJALR, Rd: 1, Rs1: 2, Imm: 4},
+		{Op: OpBEQ, Rs1: 1, Rs2: 2, Imm: 8},
+		{Op: OpLW, Rd: 1, Rs1: 2, Imm: 4},
+		{Op: OpSW, Rs1: 1, Rs2: 2, Imm: 4},
+		{Op: OpFENCE},
+		{Op: OpECALL},
+		{Op: OpEBREAK},
+		{Op: OpDEMAND, Rs1: 1},
+		{Op: OpSUPPLY, Rd: 1},
+		{Op: OpGVSET, Rs1: 1},
+		{Op: OpGVGET, Rd: 1},
+		{Op: OpIPSET, Rs1: 1},
+		{Op: OpADDI, Rd: 1, Rs1: 2, Imm: 3},
+		{Op: OpADD, Rd: 1, Rs1: 2, Rs2: 3},
+		{Op: Op(999)},
+	}
+	for _, inst := range insts {
+		if inst.String() == "" {
+			t.Errorf("empty String for %+v", inst)
+		}
+	}
+}

@@ -1,0 +1,398 @@
+package isa
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTripRepresentative(t *testing.T) {
+	cases := []Inst{
+		{Op: OpLUI, Rd: 5, Imm: 0xfffff},
+		{Op: OpAUIPC, Rd: 1, Imm: 0x12345},
+		{Op: OpJAL, Rd: 1, Imm: -2048},
+		{Op: OpJAL, Rd: 0, Imm: 1048574},
+		{Op: OpJALR, Rd: 1, Rs1: 2, Imm: -4},
+		{Op: OpBEQ, Rs1: 1, Rs2: 2, Imm: -4096},
+		{Op: OpBNE, Rs1: 3, Rs2: 4, Imm: 4094},
+		{Op: OpBLT, Rs1: 5, Rs2: 6, Imm: 8},
+		{Op: OpBGE, Rs1: 7, Rs2: 8, Imm: -8},
+		{Op: OpBLTU, Rs1: 9, Rs2: 10, Imm: 100},
+		{Op: OpBGEU, Rs1: 11, Rs2: 12, Imm: -100},
+		{Op: OpLB, Rd: 1, Rs1: 2, Imm: -1},
+		{Op: OpLH, Rd: 3, Rs1: 4, Imm: 2},
+		{Op: OpLW, Rd: 5, Rs1: 6, Imm: 2047},
+		{Op: OpLBU, Rd: 7, Rs1: 8, Imm: -2048},
+		{Op: OpLHU, Rd: 9, Rs1: 10, Imm: 0},
+		{Op: OpSB, Rs1: 1, Rs2: 2, Imm: -1},
+		{Op: OpSH, Rs1: 3, Rs2: 4, Imm: 1024},
+		{Op: OpSW, Rs1: 5, Rs2: 6, Imm: -2048},
+		{Op: OpADDI, Rd: 1, Rs1: 2, Imm: -5},
+		{Op: OpSLTI, Rd: 3, Rs1: 4, Imm: 5},
+		{Op: OpSLTIU, Rd: 5, Rs1: 6, Imm: 7},
+		{Op: OpXORI, Rd: 7, Rs1: 8, Imm: -1},
+		{Op: OpORI, Rd: 9, Rs1: 10, Imm: 255},
+		{Op: OpANDI, Rd: 11, Rs1: 12, Imm: 15},
+		{Op: OpSLLI, Rd: 1, Rs1: 2, Imm: 31},
+		{Op: OpSRLI, Rd: 3, Rs1: 4, Imm: 1},
+		{Op: OpSRAI, Rd: 5, Rs1: 6, Imm: 16},
+		{Op: OpADD, Rd: 1, Rs1: 2, Rs2: 3},
+		{Op: OpSUB, Rd: 4, Rs1: 5, Rs2: 6},
+		{Op: OpSLL, Rd: 7, Rs1: 8, Rs2: 9},
+		{Op: OpSLT, Rd: 10, Rs1: 11, Rs2: 12},
+		{Op: OpSLTU, Rd: 13, Rs1: 14, Rs2: 15},
+		{Op: OpXOR, Rd: 16, Rs1: 17, Rs2: 18},
+		{Op: OpSRL, Rd: 19, Rs1: 20, Rs2: 21},
+		{Op: OpSRA, Rd: 22, Rs1: 23, Rs2: 24},
+		{Op: OpOR, Rd: 25, Rs1: 26, Rs2: 27},
+		{Op: OpAND, Rd: 28, Rs1: 29, Rs2: 30},
+		{Op: OpFENCE},
+		{Op: OpECALL},
+		{Op: OpEBREAK},
+		{Op: OpDEMAND, Rs1: 10},
+		{Op: OpSUPPLY, Rd: 11},
+		{Op: OpGVSET, Rs1: 12},
+		{Op: OpGVGET, Rd: 13},
+		{Op: OpIPSET, Rs1: 14},
+	}
+	for _, want := range cases {
+		w, err := Encode(want)
+		if err != nil {
+			t.Errorf("Encode(%v): %v", want, err)
+			continue
+		}
+		got, err := Decode(w)
+		if err != nil {
+			t.Errorf("Decode(%v = %#08x): %v", want, w, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("round trip %v -> %#08x -> %v", want, w, got)
+		}
+	}
+}
+
+func TestEncodeErrors(t *testing.T) {
+	bad := []Inst{
+		{Op: OpADDI, Rd: 32},
+		{Op: OpADDI, Rd: 1, Imm: 4096},
+		{Op: OpJAL, Rd: 1, Imm: 3},       // misaligned
+		{Op: OpJAL, Rd: 1, Imm: 1 << 21}, // out of range
+		{Op: OpBEQ, Imm: 1},              // misaligned
+		{Op: OpSLLI, Rd: 1, Imm: 32},     // shift too large
+		{Op: OpInvalid},
+	}
+	for _, i := range bad {
+		if _, err := Encode(i); err == nil {
+			t.Errorf("Encode(%v) accepted", i)
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	bad := []uint32{
+		0x00000000,        // all zeros: no valid opcode
+		0xffffffff,        // all ones
+		0b0001011 | 7<<12, // L1.5 with undefined funct3
+		0x30200073,        // mret — unsupported system op
+	}
+	for _, w := range bad {
+		if _, err := Decode(w); err == nil {
+			t.Errorf("Decode(%#08x) accepted", w)
+		}
+	}
+}
+
+func TestClassifiers(t *testing.T) {
+	if !OpDEMAND.Privileged() {
+		t.Error("demand must be privileged (Table 1)")
+	}
+	for _, o := range []Op{OpSUPPLY, OpGVSET, OpGVGET, OpIPSET} {
+		if o.Privileged() {
+			t.Errorf("%v must be user mode (Table 1)", o)
+		}
+		if !o.IsL15() {
+			t.Errorf("%v must be an L1.5 op", o)
+		}
+	}
+	if OpADD.IsL15() || OpLW.IsL15() {
+		t.Error("base ops misclassified as L1.5")
+	}
+	if !OpLW.IsLoad() || !OpSB.IsStore() || !OpBNE.IsBranch() {
+		t.Error("classification broken")
+	}
+	if OpSW.IsLoad() || OpLW.IsStore() || OpJAL.IsBranch() {
+		t.Error("classification too broad")
+	}
+}
+
+func TestInstString(t *testing.T) {
+	cases := map[string]Inst{
+		"addi x1, x2, -5": {Op: OpADDI, Rd: 1, Rs1: 2, Imm: -5},
+		"lw x5, 8(x2)":    {Op: OpLW, Rd: 5, Rs1: 2, Imm: 8},
+		"sw x6, -4(x2)":   {Op: OpSW, Rs1: 2, Rs2: 6, Imm: -4},
+		"demand x10":      {Op: OpDEMAND, Rs1: 10},
+		"supply x11":      {Op: OpSUPPLY, Rd: 11},
+		"ecall":           {Op: OpECALL},
+	}
+	for want, inst := range cases {
+		if got := inst.String(); got != want {
+			t.Errorf("String = %q, want %q", got, want)
+		}
+	}
+}
+
+// Property: every encodable instruction round-trips.
+func TestQuickRoundTrip(t *testing.T) {
+	ops := []Op{
+		OpLUI, OpAUIPC, OpJAL, OpJALR, OpBEQ, OpBNE, OpBLT, OpBGE,
+		OpLB, OpLW, OpSB, OpSW, OpADDI, OpXORI, OpSLLI, OpSRAI,
+		OpADD, OpSUB, OpAND, OpOR, OpDEMAND, OpSUPPLY, OpGVSET, OpGVGET, OpIPSET,
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		op := ops[r.Intn(len(ops))]
+		inst := Inst{Op: op}
+		switch {
+		case op == OpLUI || op == OpAUIPC:
+			inst.Rd = r.Intn(32)
+			inst.Imm = int32(r.Intn(1 << 20))
+		case op == OpJAL:
+			inst.Rd = r.Intn(32)
+			inst.Imm = int32(r.Intn(1<<20)-1<<19) * 2
+		case op.IsBranch():
+			inst.Rs1, inst.Rs2 = r.Intn(32), r.Intn(32)
+			inst.Imm = int32(r.Intn(1<<12)-1<<11) * 2
+		case op.IsLoad() || op == OpJALR:
+			inst.Rd, inst.Rs1 = r.Intn(32), r.Intn(32)
+			inst.Imm = int32(r.Intn(1<<12) - 1<<11)
+		case op.IsStore():
+			inst.Rs1, inst.Rs2 = r.Intn(32), r.Intn(32)
+			inst.Imm = int32(r.Intn(1<<12) - 1<<11)
+		case op == OpSLLI || op == OpSRAI:
+			inst.Rd, inst.Rs1 = r.Intn(32), r.Intn(32)
+			inst.Imm = int32(r.Intn(32))
+		case op == OpADDI || op == OpXORI:
+			inst.Rd, inst.Rs1 = r.Intn(32), r.Intn(32)
+			inst.Imm = int32(r.Intn(1<<12) - 1<<11)
+		case op == OpDEMAND || op == OpGVSET || op == OpIPSET:
+			inst.Rs1 = r.Intn(32)
+		case op == OpSUPPLY || op == OpGVGET:
+			inst.Rd = r.Intn(32)
+		default:
+			inst.Rd, inst.Rs1, inst.Rs2 = r.Intn(32), r.Intn(32), r.Intn(32)
+		}
+		w, err := Encode(inst)
+		if err != nil {
+			return false
+		}
+		got, err := Decode(w)
+		return err == nil && got == inst
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAssembleBasics(t *testing.T) {
+	src := `
+		# compute 10 + 32 into a0
+		li a0, 10
+		addi a0, a0, 32
+		nop
+		ecall
+	`
+	words, err := Assemble(src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(words) != 4 {
+		t.Fatalf("got %d words", len(words))
+	}
+	first, err := Decode(words[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Op != OpADDI || first.Rd != 10 || first.Imm != 10 {
+		t.Errorf("li expanded to %v", first)
+	}
+}
+
+func TestAssembleLabelsAndBranches(t *testing.T) {
+	src := `
+	start:
+		li t0, 3
+		li t1, 0
+	loop:
+		addi t1, t1, 1
+		addi t0, t0, -1
+		bnez t0, loop
+		j done
+		nop           # skipped
+	done:
+		ecall
+	`
+	words, err := Assemble(src, 0x100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// bnez is word 4 (addresses 0x100,104,108,10c,110): offset back to
+	// loop (0x108) from 0x110 = -8.
+	b, err := Decode(words[4])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Op != OpBNE || b.Imm != -8 {
+		t.Errorf("bnez = %v, want bne offset -8", b)
+	}
+	j, err := Decode(words[5])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Op != OpJAL || j.Rd != 0 || j.Imm != 8 {
+		t.Errorf("j = %v, want jal x0, +8", j)
+	}
+}
+
+func TestAssembleLiLarge(t *testing.T) {
+	words, err := Assemble("li a0, 0x12345678", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(words) != 2 {
+		t.Fatalf("large li must expand to lui+addi, got %d words", len(words))
+	}
+	lui, _ := Decode(words[0])
+	addi, _ := Decode(words[1])
+	if lui.Op != OpLUI || addi.Op != OpADDI {
+		t.Fatalf("expansion = %v, %v", lui, addi)
+	}
+	got := uint32(lui.Imm)<<12 + uint32(addi.Imm)
+	if got != 0x12345678 {
+		t.Errorf("li value = %#x", got)
+	}
+	// Negative low half must still reconstruct.
+	words, err = Assemble("li a0, 0x12345FFF", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lui, _ = Decode(words[0])
+	addi, _ = Decode(words[1])
+	if got := uint32(lui.Imm)<<12 + uint32(addi.Imm); got != 0x12345FFF {
+		t.Errorf("li with negative low = %#x", got)
+	}
+}
+
+func TestAssembleL15Extension(t *testing.T) {
+	src := `
+		li a0, 0x42      # ways 1 and 6, the paper's gv_set example
+		demand a0
+		supply a1
+		gv_set a0
+		gv_get a2
+		ip_set a0
+	`
+	words, err := Assemble(src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantOps := []Op{OpADDI, OpDEMAND, OpSUPPLY, OpGVSET, OpGVGET, OpIPSET}
+	for i, want := range wantOps {
+		inst, err := Decode(words[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if inst.Op != want {
+			t.Errorf("word %d = %v, want %v", i, inst.Op, want)
+		}
+	}
+}
+
+func TestAssembleMemoryOps(t *testing.T) {
+	src := `
+		lw a0, 12(sp)
+		sw a0, -8(s0)
+		lbu t0, (a1)
+	`
+	words, err := Assemble(src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lw, _ := Decode(words[0])
+	if lw.Op != OpLW || lw.Rd != 10 || lw.Rs1 != 2 || lw.Imm != 12 {
+		t.Errorf("lw = %v", lw)
+	}
+	sw, _ := Decode(words[1])
+	if sw.Op != OpSW || sw.Rs2 != 10 || sw.Rs1 != 8 || sw.Imm != -8 {
+		t.Errorf("sw = %v", sw)
+	}
+	lbu, _ := Decode(words[2])
+	if lbu.Op != OpLBU || lbu.Imm != 0 || lbu.Rs1 != 11 {
+		t.Errorf("lbu = %v", lbu)
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	bad := []string{
+		"frobnicate x1",
+		"addi x1, x2",     // missing operand
+		"addi x99, x2, 1", // bad register
+		"lw a0, 4[sp]",    // bad memory syntax
+		"beq a0, a1, nowhere",
+		"dup: nop\ndup: nop", // duplicate label
+		": nop",              // empty label
+	}
+	for _, src := range bad {
+		if _, err := Assemble(src, 0); err == nil {
+			t.Errorf("Assemble(%q) accepted", src)
+		}
+	}
+}
+
+func TestAssembleWordDirective(t *testing.T) {
+	words, err := Assemble(".word 0xdeadbeef", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(words) != 1 || words[0] != 0xdeadbeef {
+		t.Errorf("words = %#x", words)
+	}
+}
+
+func TestAssembleCommentsOnly(t *testing.T) {
+	words, err := Assemble("# nothing\n// here\n", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(words) != 0 {
+		t.Errorf("got %d words from comments", len(words))
+	}
+}
+
+func TestDisassemblyMentionsMnemonic(t *testing.T) {
+	for op, name := range map[Op]string{OpDEMAND: "demand", OpGVSET: "gv_set"} {
+		inst := Inst{Op: op, Rs1: 3}
+		if !strings.Contains(inst.String(), name) {
+			t.Errorf("String(%v) = %q", op, inst.String())
+		}
+	}
+}
+
+func TestDisassemble(t *testing.T) {
+	words, err := Assemble("li a0, 1\ndemand a0\nebreak", 0x1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Disassemble(words, 0x1000)
+	for _, want := range []string{"00001000:", "addi x10, x0, 1", "demand x10", "ebreak"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("listing missing %q:\n%s", want, out)
+		}
+	}
+	// Data words render as .word.
+	out = Disassemble([]uint32{0xffffffff}, 0)
+	if !strings.Contains(out, ".word 0xffffffff") {
+		t.Errorf("data word listing: %s", out)
+	}
+}

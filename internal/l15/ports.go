@@ -1,0 +1,107 @@
+package l15
+
+import (
+	"fmt"
+	"sort"
+
+	"l15cache/internal/mem"
+)
+
+// §3.3: supporting instruction-level parallelism. A superscalar OoO core
+// can dispatch several memory requests in one cycle; the L1.5 then needs
+// (i) additional address/data ports interfacing the head entries of the
+// Load and Store Queues, and (ii) a buffer in front of the mask logic that
+// temporarily stores and prioritises the in-flight requests.
+//
+// Ported models exactly that: up to Ports requests enter the mask logic per
+// cycle; excess requests wait in a bounded buffer and are replayed oldest-
+// first (loads before stores at equal age, the usual LSQ priority), each
+// charged its queueing delay on top of the underlying access latency.
+
+// Request is one LSQ head entry presented to the L1.5 in a cycle.
+type Request struct {
+	Core  int
+	VA    uint32
+	PA    uint32
+	Store bool
+	// Age orders requests of the same cycle (0 = oldest). The buffer
+	// prioritises older entries; ties dispatch loads first.
+	Age int
+}
+
+// PortedResult is the outcome of one buffered request.
+type PortedResult struct {
+	AccessResult
+	// QueueCycles is the time the request waited for a free port.
+	QueueCycles int
+}
+
+// Ported wraps an L15 with the §3.3 port/buffer front end.
+type Ported struct {
+	l15   *L15
+	ports int
+	depth int
+}
+
+// NewPorted builds the front end with the given port count and buffer
+// depth (both ≥ 1; depth bounds how many requests one cycle may carry).
+func NewPorted(l *L15, ports, depth int) (*Ported, error) {
+	if l == nil {
+		return nil, fmt.Errorf("l15: nil cache")
+	}
+	if ports < 1 {
+		return nil, fmt.Errorf("l15: ports = %d", ports)
+	}
+	if depth < ports {
+		return nil, fmt.Errorf("l15: buffer depth %d below port count %d", depth, ports)
+	}
+	return &Ported{l15: l, ports: ports, depth: depth}, nil
+}
+
+// Cycle dispatches one cycle's worth of simultaneous requests. Requests
+// beyond the buffer depth are rejected with an error (the LSQ must stall).
+// The returned slice is index-aligned with the input.
+func (p *Ported) Cycle(reqs []Request) ([]PortedResult, error) {
+	if len(reqs) > p.depth {
+		return nil, fmt.Errorf("l15: %d requests exceed buffer depth %d", len(reqs), p.depth)
+	}
+	// Prioritise: oldest first; loads before stores at equal age; then
+	// core index for determinism.
+	order := make([]int, len(reqs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ra, rb := reqs[order[a]], reqs[order[b]]
+		if ra.Age != rb.Age {
+			return ra.Age < rb.Age
+		}
+		if ra.Store != rb.Store {
+			return !ra.Store // loads first
+		}
+		return ra.Core < rb.Core
+	})
+
+	out := make([]PortedResult, len(reqs))
+	for rank, idx := range order {
+		req := reqs[idx]
+		wait := rank / p.ports // full port groups ahead of us
+		var res AccessResult
+		var err error
+		if req.Store {
+			res, err = p.l15.Store(req.Core, req.VA, mem.PhysAddr(req.PA))
+		} else {
+			res, err = p.l15.Load(req.Core, req.VA, mem.PhysAddr(req.PA))
+		}
+		if err != nil {
+			return nil, err
+		}
+		res.Latency += wait
+		out[idx] = PortedResult{AccessResult: res, QueueCycles: wait}
+	}
+	return out, nil
+}
+
+// Ports and Depth expose the configuration.
+func (p *Ported) Ports() int { return p.ports }
+func (p *Ported) Depth() int { return p.depth }

@@ -1,0 +1,160 @@
+package l15
+
+import (
+	"testing"
+	"testing/quick"
+
+	"l15cache/internal/bitmap"
+)
+
+func newPorted(t *testing.T, ports, depth int) (*Ported, *L15) {
+	t.Helper()
+	l2 := &fakeL2{latency: 20}
+	l, err := New(DefaultConfig(), l2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPorted(l, ports, depth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, l
+}
+
+func TestNewPortedErrors(t *testing.T) {
+	l2 := &fakeL2{latency: 20}
+	l, _ := New(DefaultConfig(), l2)
+	if _, err := NewPorted(nil, 1, 1); err == nil {
+		t.Error("nil cache accepted")
+	}
+	if _, err := NewPorted(l, 0, 4); err == nil {
+		t.Error("zero ports accepted")
+	}
+	if _, err := NewPorted(l, 4, 2); err == nil {
+		t.Error("depth below ports accepted")
+	}
+}
+
+func TestCycleSingleRequestNoQueue(t *testing.T) {
+	p, l := newPorted(t, 2, 8)
+	l.Demand(0, 2)
+	settle(l)
+	l.IPSet(0, bitmap.FirstN(16))
+
+	res, err := p.Cycle([]Request{{Core: 0, VA: 0x1000, PA: 0x1000, Store: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].QueueCycles != 0 {
+		t.Errorf("lone request queued %d cycles", res[0].QueueCycles)
+	}
+}
+
+func TestCycleQueueing(t *testing.T) {
+	p, l := newPorted(t, 2, 8)
+	l.Demand(0, 4)
+	settle(l)
+	l.IPSet(0, bitmap.FirstN(16))
+
+	// Six same-age requests through two ports: queue delays 0,0,1,1,2,2.
+	var reqs []Request
+	for i := 0; i < 6; i++ {
+		reqs = append(reqs, Request{Core: 0, VA: uint32(0x1000 + 64*i), PA: uint32(0x1000 + 64*i)})
+	}
+	res, err := p.Cycle(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[int]int{}
+	for _, r := range res {
+		counts[r.QueueCycles]++
+	}
+	if counts[0] != 2 || counts[1] != 2 || counts[2] != 2 {
+		t.Errorf("queue distribution = %v", counts)
+	}
+}
+
+func TestCyclePrioritisesOldestThenLoads(t *testing.T) {
+	p, l := newPorted(t, 1, 8)
+	l.Demand(0, 4)
+	settle(l)
+	l.IPSet(0, bitmap.FirstN(16))
+
+	reqs := []Request{
+		{Core: 0, VA: 0x1000, PA: 0x1000, Store: true, Age: 1},
+		{Core: 0, VA: 0x2000, PA: 0x2000, Store: false, Age: 1},
+		{Core: 0, VA: 0x3000, PA: 0x3000, Store: true, Age: 0},
+	}
+	res, err := p.Cycle(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Oldest (idx 2) first; then the load (idx 1); then the store (idx 0).
+	if res[2].QueueCycles != 0 {
+		t.Errorf("oldest queued %d", res[2].QueueCycles)
+	}
+	if res[1].QueueCycles != 1 {
+		t.Errorf("load queued %d, want 1", res[1].QueueCycles)
+	}
+	if res[0].QueueCycles != 2 {
+		t.Errorf("store queued %d, want 2", res[0].QueueCycles)
+	}
+}
+
+func TestCycleDepthLimit(t *testing.T) {
+	p, _ := newPorted(t, 1, 2)
+	reqs := []Request{{}, {}, {}}
+	if _, err := p.Cycle(reqs); err == nil {
+		t.Error("overflowing cycle accepted")
+	}
+}
+
+func TestPortedAccessors(t *testing.T) {
+	p, _ := newPorted(t, 2, 4)
+	if p.Ports() != 2 || p.Depth() != 4 {
+		t.Errorf("accessors: %d/%d", p.Ports(), p.Depth())
+	}
+}
+
+// Property: total latency is the underlying access latency plus the queue
+// wait, and wait never exceeds ⌈n/ports⌉−1.
+func TestQuickPortedLatency(t *testing.T) {
+	f := func(nr, pr uint8) bool {
+		ports := int(pr%4) + 1
+		n := int(nr%8) + 1
+		l2 := &fakeL2{latency: 20}
+		l, err := New(DefaultConfig(), l2)
+		if err != nil {
+			return false
+		}
+		l.Demand(0, 8)
+		for i := 0; i < 100; i++ {
+			l.Tick()
+		}
+		p, err := NewPorted(l, ports, 8)
+		if err != nil {
+			return false
+		}
+		var reqs []Request
+		for i := 0; i < n; i++ {
+			reqs = append(reqs, Request{Core: 0, VA: uint32(64 * i), PA: uint32(64 * i)})
+		}
+		res, err := p.Cycle(reqs)
+		if err != nil {
+			return false
+		}
+		maxWait := (n + ports - 1) / ports
+		for _, r := range res {
+			if r.QueueCycles < 0 || r.QueueCycles >= maxWait {
+				return false
+			}
+			if r.Latency < l.Config().HitLat {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,125 @@
+// Package monitor implements the cycle-accurate monitor of §5.3: attached
+// to a simulated SoC, it traces the cores and the L1.5 Caches, recording
+// (i) the utilisation of the L1.5 ways and (ii) the configuration latencies
+// of the Supply-Demand Units. The paper used the same instrument to produce
+// Fig. 8(c).
+package monitor
+
+import (
+	"fmt"
+	"strings"
+
+	"l15cache/internal/soc"
+)
+
+// Sample is one observation of the system.
+type Sample struct {
+	Cycle     uint64 // global cycle (max core clock at the sample)
+	OwnedWays int    // ways with an owner, across all clusters
+	TotalWays int
+}
+
+// Monitor collects samples and SDU configuration events from an SoC.
+type Monitor struct {
+	s        *soc.SoC
+	interval uint64
+	lastAt   uint64
+
+	Samples []Sample
+}
+
+// Attach hooks the monitor into the SoC's observer slot, sampling every
+// interval global cycles (0 samples after every instruction).
+func Attach(s *soc.SoC, interval uint64) (*Monitor, error) {
+	if s == nil {
+		return nil, fmt.Errorf("monitor: nil SoC")
+	}
+	m := &Monitor{s: s, interval: interval}
+	s.Observer = func(sys *soc.SoC) { m.observe(sys) }
+	return m, nil
+}
+
+// Detach removes the monitor from the SoC.
+func (m *Monitor) Detach() { m.s.Observer = nil }
+
+func (m *Monitor) observe(sys *soc.SoC) {
+	var now uint64
+	for _, c := range sys.Cores {
+		if c.Cycles > now {
+			now = c.Cycles
+		}
+	}
+	if m.interval > 0 && now < m.lastAt+m.interval {
+		return
+	}
+	m.lastAt = now
+	owned, total := 0, 0
+	for _, cl := range sys.Clusters {
+		owned += cl.L15.OwnedWays()
+		total += cl.L15.Config().Ways
+	}
+	m.Samples = append(m.Samples, Sample{Cycle: now, OwnedWays: owned, TotalWays: total})
+}
+
+// Utilization returns the mean fraction of owned ways across the samples.
+func (m *Monitor) Utilization() float64 {
+	if len(m.Samples) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, s := range m.Samples {
+		if s.TotalWays > 0 {
+			sum += float64(s.OwnedWays) / float64(s.TotalWays)
+		}
+	}
+	return sum / float64(len(m.Samples))
+}
+
+// ConfigLatencies returns every way-reconfiguration latency observable so
+// far: for each cluster, the per-demand tick counts derived from its event
+// stream (one event per way moved).
+func (m *Monitor) ConfigLatencies() []uint64 {
+	var out []uint64
+	for _, cl := range m.s.Clusters {
+		// Group consecutive events per (core); the span from a
+		// demand's first to last event is its configuration latency.
+		events := cl.L15.Events
+		var start uint64
+		lastCore := -1
+		var last uint64
+		for _, ev := range events {
+			if ev.Core != lastCore {
+				if lastCore >= 0 {
+					out = append(out, last-start+1)
+				}
+				lastCore = ev.Core
+				start = ev.Tick
+			}
+			last = ev.Tick
+		}
+		if lastCore >= 0 {
+			out = append(out, last-start+1)
+		}
+	}
+	return out
+}
+
+// Report renders a short human-readable summary.
+func (m *Monitor) Report() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "monitor: %d samples, mean L1.5 way utilisation %.1f%%\n",
+		len(m.Samples), 100*m.Utilization())
+	lats := m.ConfigLatencies()
+	if len(lats) > 0 {
+		var max, sum uint64
+		for _, l := range lats {
+			sum += l
+			if l > max {
+				max = l
+			}
+		}
+		fmt.Fprintf(&sb, "monitor: %d reconfigurations, mean latency %.1f cycles, max %d\n",
+			len(lats), float64(sum)/float64(len(lats)), max)
+	}
+	return sb.String()
+}

@@ -1,0 +1,122 @@
+package monitor
+
+import (
+	"strings"
+	"testing"
+
+	"l15cache/internal/soc"
+)
+
+func newSoC(t *testing.T) *soc.SoC {
+	t.Helper()
+	s, err := soc.New(soc.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestAttachErrors(t *testing.T) {
+	if _, err := Attach(nil, 0); err == nil {
+		t.Error("nil SoC accepted")
+	}
+}
+
+func TestMonitorSamplesDuringRun(t *testing.T) {
+	s := newSoC(t)
+	m, err := Attach(s, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := `
+		li a0, 4
+		demand a0
+	wait:
+		supply a1
+		beqz a1, wait
+		li t0, 100
+	loop:
+		addi t0, t0, -1
+		bnez t0, loop
+		ebreak
+	`
+	if _, err := s.LoadProgram(0x1000, prog); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetPageTable(0, s.IdentityPageTable(1)); err != nil {
+		t.Fatal(err)
+	}
+	s.StartCore(0, 0x1000, 0x8000)
+	for i := 1; i < len(s.Cores); i++ {
+		s.Cores[i].Halted = true
+	}
+	if _, err := s.Run(100000, nil); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Samples) == 0 {
+		t.Fatal("no samples collected")
+	}
+	// The program ends holding 4 of 32 ways (two clusters × 16).
+	last := m.Samples[len(m.Samples)-1]
+	if last.OwnedWays != 4 || last.TotalWays != 32 {
+		t.Errorf("last sample = %+v", last)
+	}
+	if u := m.Utilization(); u <= 0 || u > 4.0/32 {
+		t.Errorf("utilisation = %g", u)
+	}
+	lats := m.ConfigLatencies()
+	if len(lats) == 0 {
+		t.Error("no configuration latencies recorded")
+	}
+	rep := m.Report()
+	for _, want := range []string{"samples", "utilisation", "reconfigurations"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q:\n%s", want, rep)
+		}
+	}
+}
+
+func TestSamplingInterval(t *testing.T) {
+	s := newSoC(t)
+	dense, err := Attach(s, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := "li t0, 50\nloop: addi t0, t0, -1\nbnez t0, loop\nebreak"
+	if _, err := s.LoadProgram(0x1000, prog); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetPageTable(0, s.IdentityPageTable(1)); err != nil {
+		t.Fatal(err)
+	}
+	s.StartCore(0, 0x1000, 0x8000)
+	for i := 1; i < len(s.Cores); i++ {
+		s.Cores[i].Halted = true
+	}
+	s.Run(100000, nil)
+	denseCount := len(dense.Samples)
+	dense.Detach()
+
+	// Re-run with a coarse interval: strictly fewer samples.
+	s2 := newSoC(t)
+	coarse, _ := Attach(s2, 50)
+	s2.LoadProgram(0x1000, prog)
+	s2.SetPageTable(0, s2.IdentityPageTable(1))
+	s2.StartCore(0, 0x1000, 0x8000)
+	for i := 1; i < len(s2.Cores); i++ {
+		s2.Cores[i].Halted = true
+	}
+	s2.Run(100000, nil)
+	if len(coarse.Samples) >= denseCount {
+		t.Errorf("coarse sampling (%d) not sparser than dense (%d)",
+			len(coarse.Samples), denseCount)
+	}
+}
+
+func TestUtilizationEmpty(t *testing.T) {
+	s := newSoC(t)
+	m, _ := Attach(s, 0)
+	if m.Utilization() != 0 {
+		t.Error("empty monitor should report 0")
+	}
+}

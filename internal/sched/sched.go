@@ -1,0 +1,225 @@
+// Package sched implements the paper's DAG scheduling with the L1.5 Cache
+// (Algorithm 1) together with the baseline priority-assignment policies the
+// evaluation compares against.
+//
+// Algorithm 1 walks the DAG wave by wave from the source. At the start of
+// each wave the local way groups allocated to the previous wave turn global
+// (their dependent data becomes readable by every successor) and the way
+// groups that were already global are freed. Within a wave, nodes are
+// examined in decreasing λ_j (length of the longest path through the node,
+// recomputed by dynamic programming with ETM-reduced edge costs after every
+// wave) and receive
+//
+//	F(v_j, Ω, ζ) = min(⌈δ_j/κ⌉, ζ − Σ_{ω∈Ω} ω.size)
+//
+// local ways plus the next lower priority level. The result is a complete
+// L1.5 configuration and priority map for the task.
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"l15cache/internal/dag"
+	"l15cache/internal/etm"
+)
+
+// WayGroup is ω_x of Alg. 1: a group of L1.5 ways bound to a node.
+type WayGroup struct {
+	Size   int        // ω_x.size: number of ways in the group
+	Global bool       // ω_x.type: local (false) or global (true)
+	Owner  dag.NodeID // ω_x.owner
+}
+
+// Result is the output of a scheduling policy: an L1.5 configuration and a
+// priority for every node. Priorities are also written into the task's
+// nodes (higher value dispatches first).
+type Result struct {
+	Task     *dag.Task
+	Zeta     int   // ζ: total L1.5 ways available to the task
+	WayBytes int64 // κ: capacity of one way
+
+	// LocalWays[v] is the number of local L1.5 ways Alg. 1 granted v to
+	// hold its dependent data. Nodes absent from the map received none.
+	LocalWays map[dag.NodeID]int
+
+	// Waves records the examination fronts, source first. Wave k+1 holds
+	// nodes whose predecessors were all examined by wave k.
+	Waves [][]dag.NodeID
+
+	// Model is the ETM view of the task under LocalWays; its Weight() is
+	// the edge-cost function the simulator uses for the proposed system.
+	Model *etm.Model
+}
+
+// EdgeCost returns the communication cost of edge e under this result's way
+// allocation (the full μ for policies that allocate no ways).
+func (r *Result) EdgeCost(e dag.Edge) float64 { return r.Model.EdgeCost(e) }
+
+// PriorityOrder returns the node IDs from highest to lowest priority.
+func (r *Result) PriorityOrder() []dag.NodeID {
+	ids := make([]dag.NodeID, len(r.Task.Nodes))
+	for i := range ids {
+		ids[i] = dag.NodeID(i)
+	}
+	sort.SliceStable(ids, func(a, b int) bool {
+		return r.Task.Node(ids[a]).Priority > r.Task.Node(ids[b]).Priority
+	})
+	return ids
+}
+
+// L15Schedule runs Algorithm 1 on the task with an L1.5 Cache of zeta ways
+// of wayBytes capacity each. It validates the task, then returns the way
+// allocation and writes node priorities.
+func L15Schedule(t *dag.Task, zeta int, wayBytes int64) (*Result, error) {
+	if zeta < 0 {
+		return nil, fmt.Errorf("sched: negative way count %d", zeta)
+	}
+	if wayBytes <= 0 {
+		return nil, fmt.Errorf("sched: non-positive way capacity %d", wayBytes)
+	}
+	return waveSchedule(t, zeta, wayBytes, true)
+}
+
+// LongestPathFirst assigns priorities with the identical wave traversal and
+// longest-path-first rule but no L1.5 ways — the intra-task priority
+// assignment of He et al. [8] that the baseline systems use. Edge costs stay
+// at their raw μ.
+func LongestPathFirst(t *dag.Task) (*Result, error) {
+	return waveSchedule(t, 0, etm.DefaultWayBytes, false)
+}
+
+// waveSchedule is the common skeleton of Alg. 1. When allocate is false the
+// way-management lines (5-8, 14-16) are skipped, leaving the pure
+// longest-path-first priority assignment.
+func waveSchedule(t *dag.Task, zeta int, wayBytes int64, allocate bool) (*Result, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Task:      t,
+		Zeta:      zeta,
+		WayBytes:  wayBytes,
+		LocalWays: make(map[dag.NodeID]int),
+		Model:     etm.NewModel(t, wayBytes),
+	}
+
+	examined := make([]bool, len(t.Nodes))
+	var omega []WayGroup // Ω
+	pri := len(t.Nodes)  // pri = |V_i|
+	lambda := t.LongestThrough(dag.RawCost)
+
+	q := []dag.NodeID{t.Source()} // Q = {v_src}
+	for len(q) > 0 {
+		if allocate {
+			// Lines 3-10: previous wave's local groups become
+			// global (handing the data to the successors); stale
+			// global groups free their ways.
+			next := omega[:0]
+			for _, w := range omega {
+				if !w.Global {
+					w.Global = true
+					if sucs := t.Succ(w.Owner); len(sucs) > 0 {
+						w.Owner = sucs[0]
+					}
+					next = append(next, w)
+				}
+			}
+			omega = next
+		}
+
+		// Lines 11-19: examine the wave, longest path first.
+		wave := append([]dag.NodeID(nil), q...)
+		sort.SliceStable(wave, func(a, b int) bool {
+			if lambda[wave[a]] != lambda[wave[b]] {
+				return lambda[wave[a]] > lambda[wave[b]]
+			}
+			return wave[a] < wave[b] // deterministic tie-break
+		})
+		for _, vj := range wave {
+			// Local ways hold dependent data for suc(v_j); a node
+			// with no successors needs none (Fig. 6: the sink only
+			// reads global ways).
+			if allocate && len(t.Succ(vj)) > 0 {
+				if used := groupsSize(omega); used < zeta {
+					size := fWays(t.Node(vj), res.Model, omega, zeta)
+					if size > 0 {
+						omega = append(omega, WayGroup{Size: size, Owner: vj})
+						res.LocalWays[vj] = size
+						res.Model.Ways[vj] = size
+					}
+				}
+			}
+			t.Node(vj).Priority = pri
+			pri--
+			examined[vj] = true
+		}
+		res.Waves = append(res.Waves, wave)
+
+		// Line 20: refresh λ_j under the new allocation.
+		lambda = t.LongestThrough(res.Model.Weight())
+
+		// Line 21: Q := unexamined nodes whose predecessors are all
+		// examined.
+		q = q[:0]
+		for id := range t.Nodes {
+			v := dag.NodeID(id)
+			if examined[v] {
+				continue
+			}
+			ready := true
+			for _, p := range t.Pred(v) {
+				if !examined[p] {
+					ready = false
+					break
+				}
+			}
+			if ready {
+				q = append(q, v)
+			}
+		}
+	}
+	return res, nil
+}
+
+// fWays is F(v_j, Ω, ζ) = min(⌈δ_j/κ⌉, ζ − ΣΩ).
+func fWays(v *dag.Node, m *etm.Model, omega []WayGroup, zeta int) int {
+	need := etm.WaysNeeded(v.Data, m.WayBytes)
+	free := zeta - groupsSize(omega)
+	if need < free {
+		return need
+	}
+	return free
+}
+
+func groupsSize(omega []WayGroup) int {
+	var s int
+	for _, w := range omega {
+		s += w.Size
+	}
+	return s
+}
+
+// TopologicalPriority assigns priorities by plain topological order
+// (earlier nodes higher), the naive baseline that ignores path lengths
+// entirely. It allocates no L1.5 ways.
+func TopologicalPriority(t *dag.Task) (*Result, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	order, err := t.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	pri := len(t.Nodes)
+	for _, id := range order {
+		t.Node(id).Priority = pri
+		pri--
+	}
+	return &Result{
+		Task:      t,
+		WayBytes:  etm.DefaultWayBytes,
+		LocalWays: map[dag.NodeID]int{},
+		Model:     etm.NewModel(t, etm.DefaultWayBytes),
+	}, nil
+}

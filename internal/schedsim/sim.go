@@ -1,0 +1,236 @@
+package schedsim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+
+	"l15cache/internal/dag"
+	"l15cache/internal/sched"
+)
+
+// Options configure a simulation run.
+type Options struct {
+	// Cores is m, the number of identical cores (default 8).
+	Cores int
+
+	// Instances is the number of consecutive task instances to simulate.
+	// The first instance starts with cold caches; later instances may
+	// run warm on conventional platforms. Default 1.
+	Instances int
+
+	// OnDispatch, when non-nil, observes every node placement of every
+	// instance: the core, the node, and the span's fetch/execute
+	// boundaries. The trace package builds Gantt charts and CSV exports
+	// from it.
+	OnDispatch func(instance, core int, v dag.NodeID, start, fetchEnd, end float64)
+}
+
+func (o *Options) fill() {
+	if o.Cores == 0 {
+		o.Cores = 8
+	}
+	if o.Instances == 0 {
+		o.Instances = 1
+	}
+}
+
+// InstanceStats reports one simulated task instance.
+type InstanceStats struct {
+	Makespan float64 // sink completion time
+	Comm     float64 // total time cores spent fetching dependent data
+	Exec     float64 // total time cores spent computing
+}
+
+// completion is a node-finish event.
+type completion struct {
+	at   float64
+	node dag.NodeID
+}
+
+type completionHeap []completion
+
+func (h completionHeap) Len() int { return len(h) }
+func (h completionHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].node < h[j].node
+}
+func (h completionHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *completionHeap) Push(x any)   { *h = append(*h, x.(completion)) }
+func (h *completionHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+// Run simulates opt.Instances consecutive instances of the scheduled task on
+// the platform and returns per-instance statistics. The scheduler is
+// non-preemptive fixed-priority and work-conserving: whenever a core is idle
+// and a node is ready, the highest-priority ready node is dispatched
+// immediately. The consumer core pays each incoming edge's communication
+// cost (fetch phase) before the node's computation begins.
+func Run(alloc *sched.Result, plat Platform, opt Options) ([]InstanceStats, error) {
+	opt.fill()
+	if opt.Cores < 1 {
+		return nil, fmt.Errorf("schedsim: need at least one core, got %d", opt.Cores)
+	}
+	if err := alloc.Task.Validate(); err != nil {
+		return nil, err
+	}
+	stats := make([]InstanceStats, 0, opt.Instances)
+	var prevCore []int
+	for i := 0; i < opt.Instances; i++ {
+		var observe dispatchFunc
+		if opt.OnDispatch != nil {
+			inst := i
+			observe = func(core int, v dag.NodeID, start, fetchEnd, end float64) {
+				opt.OnDispatch(inst, core, v, start, fetchEnd, end)
+			}
+		}
+		s, cores := runInstance(alloc, plat, opt.Cores, i == 0, prevCore, observe)
+		stats = append(stats, s)
+		prevCore = cores
+	}
+	return stats, nil
+}
+
+// dispatchFunc observes one node placement.
+type dispatchFunc func(core int, v dag.NodeID, start, fetchEnd, end float64)
+
+// runInstance simulates one release of the task. cold marks the very first
+// instance (no platform cache state); prevCore carries the previous
+// instance's placement for warm-up and affinity decisions (nil when cold).
+func runInstance(alloc *sched.Result, plat Platform, m int, cold bool, prevCore []int, observe dispatchFunc) (InstanceStats, []int) {
+	t := alloc.Task
+	n := len(t.Nodes)
+
+	coreOf := make([]int, n)
+	for i := range coreOf {
+		coreOf[i] = -1
+	}
+	finished := make([]bool, n)
+	indeg := make([]int, n)
+	for id := range t.Nodes {
+		indeg[id] = len(t.Pred(dag.NodeID(id)))
+	}
+
+	freeAt := make([]float64, m)
+	var ready []dag.NodeID
+	ready = append(ready, t.Source())
+
+	var events completionHeap
+	var stats InstanceStats
+	now := 0.0
+	done := 0
+
+	popReady := func() dag.NodeID {
+		best := 0
+		for i := 1; i < len(ready); i++ {
+			pi, pb := t.Node(ready[i]).Priority, t.Node(ready[best]).Priority
+			if pi > pb || (pi == pb && ready[i] < ready[best]) {
+				best = i
+			}
+		}
+		v := ready[best]
+		ready = append(ready[:best], ready[best+1:]...)
+		return v
+	}
+
+	idleCores := func() []int {
+		var idle []int
+		for c := 0; c < m; c++ {
+			if freeAt[c] <= now {
+				idle = append(idle, c)
+			}
+		}
+		return idle
+	}
+
+	for done < n {
+		// Dispatch while an idle core and a ready node exist
+		// (work-conserving).
+		for {
+			idle := idleCores()
+			if len(idle) == 0 || len(ready) == 0 {
+				break
+			}
+			v := popReady()
+			c := idle[0]
+			if plat.Affinity() && prevCore != nil {
+				if pc := prevCore[v]; pc >= 0 {
+					for _, ic := range idle {
+						if ic == pc {
+							c = pc
+							break
+						}
+					}
+				}
+			}
+			busy := 0
+			for c2 := 0; c2 < m; c2++ {
+				if c2 != c && freeAt[c2] > now {
+					busy++
+				}
+			}
+			busyFrac := 0.0
+			if m > 1 {
+				busyFrac = float64(busy) / float64(m-1)
+			}
+			warm := !cold && prevCore != nil && prevCore[v] == c
+
+			var fetch float64
+			for _, p := range t.Pred(v) {
+				e, _ := t.Edge(p, v)
+				fetch += plat.CommCost(e, t.Node(p), coreOf[p] == c, busyFrac)
+			}
+			exec := plat.ExecTime(t.Node(v), warm, busyFrac)
+
+			coreOf[v] = c
+			finish := now + fetch + exec
+			freeAt[c] = finish
+			stats.Comm += fetch
+			stats.Exec += exec
+			if observe != nil {
+				observe(c, v, now, now+fetch, finish)
+			}
+			heap.Push(&events, completion{at: finish, node: v})
+		}
+
+		if events.Len() == 0 {
+			// No running node but undone work: the graph must be
+			// disconnected or cyclic — Validate precludes both.
+			panic("schedsim: deadlock with " + fmt.Sprint(n-done) + " nodes pending")
+		}
+
+		// Advance to the next completion; release successors.
+		ev := heap.Pop(&events).(completion)
+		now = math.Max(now, ev.at)
+		finished[ev.node] = true
+		done++
+		for _, s := range t.Succ(ev.node) {
+			indeg[s]--
+			if indeg[s] == 0 {
+				ready = append(ready, s)
+			}
+		}
+		if ev.at > stats.Makespan {
+			stats.Makespan = ev.at
+		}
+	}
+	return stats, coreOf
+}
+
+// Makespans extracts the makespan series from instance stats.
+func Makespans(stats []InstanceStats) []float64 {
+	ms := make([]float64, len(stats))
+	for i, s := range stats {
+		ms[i] = s.Makespan
+	}
+	return ms
+}
+
+// SortedCopy returns the makespans in ascending order (for percentiles).
+func SortedCopy(xs []float64) []float64 {
+	c := append([]float64(nil), xs...)
+	sort.Float64s(c)
+	return c
+}

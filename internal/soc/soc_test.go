@@ -1,0 +1,501 @@
+package soc
+
+import (
+	"testing"
+
+	"l15cache/internal/cpu"
+)
+
+func newSoC(t *testing.T) *SoC {
+	t.Helper()
+	s, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewErrors(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Clusters = 0
+	if _, err := New(cfg); err == nil {
+		t.Error("zero clusters accepted")
+	}
+	cfg = DefaultConfig()
+	cfg.L2Ways = 3
+	if _, err := New(cfg); err == nil {
+		t.Error("bad L2 accepted")
+	}
+	cfg = DefaultConfig()
+	cfg.MemBytes = 5
+	if _, err := New(cfg); err == nil {
+		t.Error("bad memory size accepted")
+	}
+}
+
+func TestTopology(t *testing.T) {
+	s := newSoC(t)
+	if len(s.Cores) != 8 || len(s.Clusters) != 2 {
+		t.Fatalf("topology: %d cores, %d clusters", len(s.Cores), len(s.Clusters))
+	}
+	if s.ClusterOf(0) != s.Clusters[0] || s.ClusterOf(7) != s.Clusters[1] {
+		t.Error("cluster mapping broken")
+	}
+}
+
+// runProgram loads src at 0x1000, binds an identity page table and runs
+// core 0 until it halts.
+func runProgram(t *testing.T, s *SoC, src string) *cpu.Core {
+	t.Helper()
+	if _, err := s.LoadProgram(0x1000, src); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetPageTable(0, s.IdentityPageTable(1)); err != nil {
+		t.Fatal(err)
+	}
+	s.StartCore(0, 0x1000, 0x8000)
+	for i := 1; i < len(s.Cores); i++ {
+		s.Cores[i].Halted = true
+	}
+	if _, err := s.Run(100000, nil); err != nil {
+		t.Fatal(err)
+	}
+	return s.Cores[0]
+}
+
+func TestBareMetalProgram(t *testing.T) {
+	s := newSoC(t)
+	c := runProgram(t, s, `
+		li t0, 0x4000
+		li t1, 7
+		sw t1, 0(t0)
+		lw t2, 0(t0)
+		add t2, t2, t2
+		ebreak
+	`)
+	if c.Regs[7] != 14 {
+		t.Errorf("t2 = %d, want 14", c.Regs[7])
+	}
+	if !c.Halted {
+		t.Error("core did not halt")
+	}
+}
+
+func TestCacheWarmupReducesLatency(t *testing.T) {
+	s := newSoC(t)
+	// Two identical loops over a small buffer: the second pass must be
+	// much faster thanks to the L1 D$.
+	c := runProgram(t, s, `
+		li s0, 0x4000
+		li s1, 0          # cold cycles
+		li s2, 0          # pass counter
+	pass:
+		li t0, 0
+		li t1, 1024
+	loop:
+		add t2, s0, t0
+		lw t3, 0(t2)
+		addi t0, t0, 64
+		bne t0, t1, loop
+		addi s2, s2, 1
+		li t4, 2
+		bne s2, t4, pass
+		ebreak
+	`)
+	l1d := s.ports[0].l1d
+	if l1d.Stats.Hits == 0 {
+		t.Error("second pass should hit the L1 D$")
+	}
+	if l1d.Stats.Misses == 0 {
+		t.Error("first pass should miss")
+	}
+	_ = c
+}
+
+func TestDemandSupplyOnSoC(t *testing.T) {
+	s := newSoC(t)
+	c := runProgram(t, s, `
+		li a0, 4
+		demand a0
+		# Poll supply until the SDU has served the demand (4 ways =>
+		# popcount comparison is overkill; wait for nonzero and settle).
+	wait:
+		supply a1
+		beqz a1, wait
+		nop
+		nop
+		nop
+		supply a1
+		ebreak
+	`)
+	// a1 holds a bitmap with (up to) 4 ways.
+	bm := c.Regs[11]
+	if bm == 0 {
+		t.Fatal("supply returned empty bitmap")
+	}
+	ways := 0
+	for i := 0; i < 32; i++ {
+		if bm&(1<<i) != 0 {
+			ways++
+		}
+	}
+	if ways > 4 {
+		t.Errorf("got %d ways, demanded 4", ways)
+	}
+}
+
+func TestDemandUserModeTraps(t *testing.T) {
+	s := newSoC(t)
+	if _, err := s.LoadProgram(0x1000, "li a0, 2\ndemand a0\nebreak"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetPageTable(0, s.IdentityPageTable(1)); err != nil {
+		t.Fatal(err)
+	}
+	s.StartCore(0, 0x1000, 0x8000)
+	s.Cores[0].Priv = cpu.PrivUser
+	for i := 1; i < len(s.Cores); i++ {
+		s.Cores[i].Halted = true
+	}
+	trap, err := s.Run(1000, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trap.Kind != cpu.TrapPrivilege {
+		t.Errorf("trap = %v, want privilege violation", trap.Kind)
+	}
+}
+
+// TestProducerConsumerSharing runs the paper's programming model (§4.3) on
+// two cores of one cluster: the producer demands ways, sets them inclusive,
+// writes the dependent data and publishes it with gv_set; the consumer then
+// reads the data through the L1.5 instead of the L2.
+func TestProducerConsumerSharing(t *testing.T) {
+	s := newSoC(t)
+
+	producer := `
+		li a0, 4
+		demand a0          # kernel: apply 4 ways
+	waitw:
+		supply a1
+		beqz a1, waitw
+		ip_set a1          # owned ways inclusive: stores fill the L1.5
+		# write 16 words of dependent data at 0x4000
+		li t0, 0x4000
+		li t1, 16
+		li t2, 100
+	wloop:
+		sw t2, 0(t0)
+		addi t0, t0, 4
+		addi t2, t2, 1
+		addi t1, t1, -1
+		bnez t1, wloop
+		gv_set a1          # publish: ways become globally visible
+		# raise the flag at 0x7000 (uncached-by-L1.5 plain store)
+		li t0, 0x7000
+		li t1, 1
+		sw t1, 0(t0)
+		ebreak
+	`
+	consumer := `
+		li t0, 0x7000
+	spin:
+		lw t1, 0(t0)
+		beqz t1, spin
+		# sum the 16 words at 0x4000
+		li t0, 0x4000
+		li t1, 16
+		li a0, 0
+	rloop:
+		lw t2, 0(t0)
+		add a0, a0, t2
+		addi t0, t0, 4
+		addi t1, t1, -1
+		bnez t1, rloop
+		ebreak
+	`
+	if _, err := s.LoadProgram(0x1000, producer); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.LoadProgram(0x2000, consumer); err != nil {
+		t.Fatal(err)
+	}
+	pt := s.IdentityPageTable(42)
+	if err := s.SetPageTable(0, pt); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetPageTable(1, pt); err != nil {
+		t.Fatal(err)
+	}
+	s.StartCore(0, 0x1000, 0x8000)
+	s.StartCore(1, 0x2000, 0x9000)
+	for i := 2; i < len(s.Cores); i++ {
+		s.Cores[i].Halted = true
+	}
+	if _, err := s.Run(1_000_000, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Cores[1].Halted {
+		t.Fatal("consumer never finished")
+	}
+	// Σ (100..115) = 1720.
+	if got := s.Cores[1].Regs[10]; got != 1720 {
+		t.Errorf("consumer sum = %d, want 1720", got)
+	}
+	// The consumer must have been served from the producer's global ways.
+	if s.Clusters[0].L15.Stats[1].GlobalHits == 0 {
+		t.Error("no global hits: dependent data did not flow through the L1.5")
+	}
+}
+
+// TestCrossApplicationProtection repeats the flow with different TIDs: the
+// protector must block the sharing (no global hits), though memory
+// correctness is preserved by the write-through hierarchy.
+func TestCrossApplicationProtection(t *testing.T) {
+	s := newSoC(t)
+	producer := `
+		li a0, 4
+		demand a0
+	waitw:
+		supply a1
+		beqz a1, waitw
+		ip_set a1
+		li t0, 0x4000
+		li t1, 100
+		sw t1, 0(t0)
+		gv_set a1
+		li t0, 0x7000
+		li t1, 1
+		sw t1, 0(t0)
+		ebreak
+	`
+	consumer := `
+		li t0, 0x7000
+	spin:
+		lw t1, 0(t0)
+		beqz t1, spin
+		li t0, 0x4000
+		lw a0, 0(t0)
+		ebreak
+	`
+	if _, err := s.LoadProgram(0x1000, producer); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.LoadProgram(0x2000, consumer); err != nil {
+		t.Fatal(err)
+	}
+	// Different applications: different TIDs (both identity-mapped so the
+	// flag protocol still works).
+	if err := s.SetPageTable(0, s.IdentityPageTable(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetPageTable(1, s.IdentityPageTable(2)); err != nil {
+		t.Fatal(err)
+	}
+	s.StartCore(0, 0x1000, 0x8000)
+	s.StartCore(1, 0x2000, 0x9000)
+	for i := 2; i < len(s.Cores); i++ {
+		s.Cores[i].Halted = true
+	}
+	if _, err := s.Run(1_000_000, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Cores[1].Regs[10]; got != 100 {
+		t.Errorf("consumer read %d, want 100 (memory stays authoritative)", got)
+	}
+	if s.Clusters[0].L15.Stats[1].GlobalHits != 0 {
+		t.Error("protector failed: cross-TID global hit")
+	}
+}
+
+func TestEcallHandlerOnSoC(t *testing.T) {
+	s := newSoC(t)
+	if _, err := s.LoadProgram(0x1000, "li a7, 9\necall\nebreak"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetPageTable(0, s.IdentityPageTable(1)); err != nil {
+		t.Fatal(err)
+	}
+	s.StartCore(0, 0x1000, 0x8000)
+	for i := 1; i < len(s.Cores); i++ {
+		s.Cores[i].Halted = true
+	}
+	var got uint32
+	if _, err := s.Run(1000, func(c *cpu.Core, tr cpu.Trap) bool {
+		got = c.Regs[17]
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got != 9 {
+		t.Errorf("ecall a7 = %d", got)
+	}
+}
+
+func TestSettleSDU(t *testing.T) {
+	s := newSoC(t)
+	cl := s.Clusters[0].L15
+	cl.Demand(0, 3)
+	s.SettleSDU(10)
+	w, _ := cl.Supply(0)
+	if w.Count() != 3 {
+		t.Errorf("ways = %d after settle", w.Count())
+	}
+}
+
+func TestDualIssueSoCFasterAndEquivalent(t *testing.T) {
+	prog := `
+		li s0, 0x4000
+		li s1, 0
+		li t0, 64
+	loop:
+		sw t0, 0(s0)
+		lw t1, 0(s0)
+		add s1, s1, t1
+		addi s0, s0, 4
+		addi t0, t0, -1
+		bnez t0, loop
+		ebreak
+	`
+	runCfg := func(cfg Config) *SoC {
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.LoadProgram(0x1000, prog); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.SetPageTable(0, s.IdentityPageTable(1)); err != nil {
+			t.Fatal(err)
+		}
+		s.StartCore(0, 0x1000, 0x8000)
+		for i := 1; i < len(s.Cores); i++ {
+			s.Cores[i].Halted = true
+		}
+		if _, err := s.Run(1_000_000, nil); err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	narrow := runCfg(DefaultConfig())
+	wideCfg := DefaultConfig()
+	wideCfg.IssueWidth = 2
+	wideCfg.MemPorts = 2
+	wide := runCfg(wideCfg)
+
+	if wide.Cores[0].Regs[9] != narrow.Cores[0].Regs[9] {
+		t.Errorf("architectural state differs: %d vs %d",
+			wide.Cores[0].Regs[9], narrow.Cores[0].Regs[9])
+	}
+	if wide.Cores[0].Cycles >= narrow.Cores[0].Cycles {
+		t.Errorf("dual-issue SoC not faster: %d vs %d cycles",
+			wide.Cores[0].Cycles, narrow.Cores[0].Cycles)
+	}
+	if wide.Cores[0].Stats.DualIssued == 0 {
+		t.Error("no dual-issue groups retired")
+	}
+}
+
+func TestUART(t *testing.T) {
+	s := newSoC(t)
+	// Print "OK\n" through the console.
+	runProgram(t, s, `
+		li t0, 0x00ff0000
+		li t1, 79          # 'O'
+		sb t1, 0(t0)
+		li t1, 75          # 'K'
+		sb t1, 0(t0)
+		li t1, 10
+		sb t1, 0(t0)
+		ebreak
+	`)
+	if got := string(s.UART); got != "OK\n" {
+		t.Errorf("UART = %q, want \"OK\\n\"", got)
+	}
+	// The console is not memory: nothing lands at the address.
+	w, err := s.Mem.ReadWord(0x00ff0000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != 0 {
+		t.Errorf("UART writes leaked to memory: %#x", w)
+	}
+}
+
+func TestUARTDisabled(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.UARTAddr = 0
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runProgram(t, s, `
+		li t0, 0x00ff0000
+		li t1, 65
+		sb t1, 0(t0)
+		ebreak
+	`)
+	if len(s.UART) != 0 {
+		t.Error("disabled UART captured output")
+	}
+	// With the device disabled the store is an ordinary memory write.
+	b, err := s.Mem.LoadByte(0x00ff0000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b != 65 {
+		t.Errorf("memory byte = %d", b)
+	}
+}
+
+func TestByteHalfwordAccessOnSoC(t *testing.T) {
+	s := newSoC(t)
+	c := runProgram(t, s, `
+		li t0, 0x4000
+		li t1, -2
+		sh t1, 0(t0)
+		sb t1, 4(t0)
+		lh t2, 0(t0)
+		lhu t3, 0(t0)
+		lb t4, 4(t0)
+		lbu t5, 4(t0)
+		ebreak
+	`)
+	if c.Regs[7] != 0xfffffffe || c.Regs[28] != 0xfffe {
+		t.Errorf("halfword: %#x %#x", c.Regs[7], c.Regs[28])
+	}
+	if c.Regs[29] != 0xfffffffe || c.Regs[30] != 0xfe {
+		t.Errorf("byte: %#x %#x", c.Regs[29], c.Regs[30])
+	}
+}
+
+func TestGVRoundTripOnSoC(t *testing.T) {
+	s := newSoC(t)
+	c := runProgram(t, s, `
+		li a0, 3
+		demand a0
+	wait:
+		supply a1
+		beqz a1, wait
+		gv_set a1
+		gv_get a2
+		ip_set a1
+		ebreak
+	`)
+	if c.Regs[12] == 0 || c.Regs[12] != c.Regs[11] {
+		t.Errorf("gv_get = %#x, want supply bitmap %#x", c.Regs[12], c.Regs[11])
+	}
+}
+
+func TestLoadProgramErrors(t *testing.T) {
+	s := newSoC(t)
+	if _, err := s.LoadProgram(0x1000, "frobnicate"); err == nil {
+		t.Error("bad assembly accepted")
+	}
+	if _, err := s.LoadProgram(0xffffff0, "nop\nnop\nnop\nnop\nnop"); err == nil {
+		t.Error("overflowing program accepted")
+	}
+	if err := s.SetPageTable(99, s.IdentityPageTable(1)); err == nil {
+		t.Error("bad core accepted")
+	}
+}

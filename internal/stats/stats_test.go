@@ -1,0 +1,108 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanMaxMinSum(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5}
+	if got := Mean(xs); got != 2.8 {
+		t.Errorf("Mean = %g", got)
+	}
+	if got := Max(xs); got != 5 {
+		t.Errorf("Max = %g", got)
+	}
+	if got := Min(xs); got != 1 {
+		t.Errorf("Min = %g", got)
+	}
+	if got := Sum(xs); got != 14 {
+		t.Errorf("Sum = %g", got)
+	}
+	if Mean(nil) != 0 || Max(nil) != 0 || Min(nil) != 0 || Sum(nil) != 0 {
+		t.Error("empty slices should yield 0")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	a := []float64{1, 2}
+	b := []float64{4, 3}
+	out, max := Normalize(a, b)
+	if max != 4 {
+		t.Fatalf("normaliser = %g, want 4", max)
+	}
+	if out[0][0] != 0.25 || out[1][0] != 1 {
+		t.Errorf("normalised = %v", out)
+	}
+	// All-zero input returns unchanged values.
+	z, max := Normalize([]float64{0, 0})
+	if max != 0 || z[0][0] != 0 {
+		t.Errorf("zero series: %v, %g", z, max)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{10, 20, 30, 40, 50}
+	cases := []struct{ p, want float64 }{
+		{0, 10}, {100, 50}, {50, 30}, {25, 20}, {-5, 10}, {110, 50},
+		{12.5, 15},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Percentile(%g) = %g, want %g", c.p, got, c.want)
+		}
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Error("empty percentile should be 0")
+	}
+	// Percentile must not mutate its input.
+	ys := []float64{3, 1, 2}
+	Percentile(ys, 50)
+	if ys[0] != 3 || ys[1] != 1 || ys[2] != 2 {
+		t.Errorf("input mutated: %v", ys)
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if got := StdDev([]float64{2, 2, 2}); got != 0 {
+		t.Errorf("StdDev of constant = %g", got)
+	}
+	if got := StdDev([]float64{1, 3}); got != 1 {
+		t.Errorf("StdDev = %g, want 1", got)
+	}
+	if StdDev(nil) != 0 {
+		t.Error("empty StdDev should be 0")
+	}
+}
+
+// Property: Min <= Mean <= Max, and Normalize bounds everything in [0,1]
+// for non-negative input.
+func TestQuickStats(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				continue
+			}
+			// Bound magnitudes so the sum cannot overflow.
+			xs = append(xs, math.Mod(math.Abs(x), 1e12))
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		if Min(xs) > Mean(xs)+1e-9 || Mean(xs) > Max(xs)+1e-9 {
+			return false
+		}
+		out, _ := Normalize(xs)
+		for _, v := range out[0] {
+			if v < 0 || v > 1+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

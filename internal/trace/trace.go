@@ -1,0 +1,169 @@
+// Package trace records the per-core execution timeline of a simulated DAG
+// schedule and renders it as an ASCII Gantt chart or CSV — the inspection
+// tool for understanding where a makespan comes from (fetch phases, idle
+// gaps, priority decisions).
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"l15cache/internal/dag"
+	"l15cache/internal/sched"
+	"l15cache/internal/schedsim"
+)
+
+// Span is one node execution: [Start, FetchEnd) is the communication fetch
+// phase, [FetchEnd, End) the computation.
+type Span struct {
+	Instance int
+	Core     int
+	Node     dag.NodeID
+	Start    float64
+	FetchEnd float64
+	End      float64
+}
+
+// Timeline collects the spans of a simulation run.
+type Timeline struct {
+	Task  *dag.Task
+	Cores int
+	Spans []Span
+}
+
+// New returns an empty timeline for the task on the given core count.
+func New(task *dag.Task, cores int) *Timeline {
+	return &Timeline{Task: task, Cores: cores}
+}
+
+// Recorder returns the schedsim.Options.OnDispatch hook that fills the
+// timeline.
+func (tl *Timeline) Recorder() func(instance, core int, v dag.NodeID, start, fetchEnd, end float64) {
+	return func(instance, core int, v dag.NodeID, start, fetchEnd, end float64) {
+		tl.Spans = append(tl.Spans, Span{
+			Instance: instance, Core: core, Node: v,
+			Start: start, FetchEnd: fetchEnd, End: end,
+		})
+	}
+}
+
+// Makespan returns the latest end time of the selected instance.
+func (tl *Timeline) Makespan(instance int) float64 {
+	var m float64
+	for _, s := range tl.Spans {
+		if s.Instance == instance && s.End > m {
+			m = s.End
+		}
+	}
+	return m
+}
+
+// Utilization returns the busy fraction of the cores over the selected
+// instance's makespan.
+func (tl *Timeline) Utilization(instance int) float64 {
+	ms := tl.Makespan(instance)
+	if ms <= 0 || tl.Cores == 0 {
+		return 0
+	}
+	var busy float64
+	for _, s := range tl.Spans {
+		if s.Instance == instance {
+			busy += s.End - s.Start
+		}
+	}
+	return busy / (ms * float64(tl.Cores))
+}
+
+// Gantt renders the selected instance as an ASCII chart of the given width
+// (columns). Fetch phases render as '.', computation as the node's last
+// name character (or '#'), idle as ' '.
+func (tl *Timeline) Gantt(instance, width int) string {
+	if width < 10 {
+		width = 10
+	}
+	ms := tl.Makespan(instance)
+	if ms <= 0 {
+		return "(empty timeline)\n"
+	}
+	scale := float64(width) / ms
+
+	rows := make([][]byte, tl.Cores)
+	for c := range rows {
+		rows[c] = []byte(strings.Repeat(" ", width))
+	}
+	spans := make([]Span, 0, len(tl.Spans))
+	for _, s := range tl.Spans {
+		if s.Instance == instance {
+			spans = append(spans, s)
+		}
+	}
+	sort.Slice(spans, func(i, j int) bool { return spans[i].Start < spans[j].Start })
+
+	for _, s := range spans {
+		if s.Core < 0 || s.Core >= tl.Cores {
+			continue
+		}
+		mark := byte('#')
+		if tl.Task != nil && int(s.Node) < len(tl.Task.Nodes) {
+			name := tl.Task.Node(s.Node).Name
+			if len(name) > 0 {
+				mark = name[len(name)-1]
+			}
+		}
+		from := int(s.Start * scale)
+		mid := int(s.FetchEnd * scale)
+		to := int(s.End * scale)
+		if to >= width {
+			to = width - 1
+		}
+		for x := from; x <= to && x < width; x++ {
+			if x < mid {
+				rows[s.Core][x] = '.'
+			} else {
+				rows[s.Core][x] = mark
+			}
+		}
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "instance %d: makespan %.2f, core utilisation %.0f%%\n",
+		instance, ms, 100*tl.Utilization(instance))
+	for c, row := range rows {
+		fmt.Fprintf(&sb, "core %2d |%s|\n", c, string(row))
+	}
+	fmt.Fprintf(&sb, "        0%s%.4g\n", strings.Repeat(" ", width-1), ms)
+	sb.WriteString("        ('.' fetch phase, letters/# computation)\n")
+	return sb.String()
+}
+
+// CSV renders every span as comma-separated rows with a header.
+func (tl *Timeline) CSV() string {
+	var sb strings.Builder
+	sb.WriteString("instance,core,node,name,start,fetch_end,end\n")
+	for _, s := range tl.Spans {
+		name := ""
+		if tl.Task != nil && int(s.Node) < len(tl.Task.Nodes) {
+			name = tl.Task.Node(s.Node).Name
+		}
+		fmt.Fprintf(&sb, "%d,%d,%d,%s,%.6g,%.6g,%.6g\n",
+			s.Instance, s.Core, s.Node, name, s.Start, s.FetchEnd, s.End)
+	}
+	return sb.String()
+}
+
+// Record is a convenience wrapper: it simulates the schedule on the
+// platform with tracing enabled and returns the timeline together with the
+// per-instance statistics.
+func Record(alloc *sched.Result, plat schedsim.Platform, opt schedsim.Options) (*Timeline, []schedsim.InstanceStats, error) {
+	if opt.Cores == 0 {
+		opt.Cores = 8
+	}
+	tl := New(alloc.Task, opt.Cores)
+	opt.OnDispatch = tl.Recorder()
+	stats, err := schedsim.Run(alloc, plat, opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	return tl, stats, nil
+}

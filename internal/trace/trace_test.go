@@ -1,0 +1,132 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"l15cache/internal/dag"
+	"l15cache/internal/sched"
+	"l15cache/internal/schedsim"
+)
+
+func record(t *testing.T) (*Timeline, []schedsim.InstanceStats) {
+	t.Helper()
+	task := dag.Fig1Example()
+	prop, err := schedsim.NewProposed(task, 16, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl, stats, err := Record(prop.Alloc, prop, schedsim.Options{Cores: 4, Instances: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tl, stats
+}
+
+func TestRecordCapturesAllNodes(t *testing.T) {
+	tl, stats := record(t)
+	// 7 nodes × 2 instances.
+	if len(tl.Spans) != 14 {
+		t.Fatalf("spans = %d, want 14", len(tl.Spans))
+	}
+	// The timeline's makespan matches the simulator's.
+	for inst := 0; inst < 2; inst++ {
+		if got, want := tl.Makespan(inst), stats[inst].Makespan; got != want {
+			t.Errorf("instance %d makespan = %g, want %g", inst, got, want)
+		}
+	}
+}
+
+func TestSpanInvariants(t *testing.T) {
+	tl, _ := record(t)
+	for _, s := range tl.Spans {
+		if !(s.Start <= s.FetchEnd && s.FetchEnd <= s.End) {
+			t.Errorf("span phases out of order: %+v", s)
+		}
+		if s.Core < 0 || s.Core >= tl.Cores {
+			t.Errorf("span on core %d", s.Core)
+		}
+	}
+	// No two spans overlap on the same core within an instance
+	// (non-preemptive execution).
+	for i, a := range tl.Spans {
+		for _, b := range tl.Spans[i+1:] {
+			if a.Instance != b.Instance || a.Core != b.Core {
+				continue
+			}
+			if a.Start < b.End && b.Start < a.End {
+				t.Errorf("overlap on core %d: %+v and %+v", a.Core, a, b)
+			}
+		}
+	}
+}
+
+func TestUtilizationRange(t *testing.T) {
+	tl, _ := record(t)
+	u := tl.Utilization(0)
+	if u <= 0 || u > 1 {
+		t.Errorf("utilisation = %g", u)
+	}
+}
+
+func TestGanttRendering(t *testing.T) {
+	tl, _ := record(t)
+	g := tl.Gantt(0, 60)
+	if !strings.Contains(g, "core  0") || !strings.Contains(g, "makespan") {
+		t.Errorf("gantt missing structure:\n%s", g)
+	}
+	// Every core row is present.
+	if strings.Count(g, "\ncore ") != 4 {
+		t.Errorf("gantt rows:\n%s", g)
+	}
+	// Fetch markers appear (edges of Fig. 1 have non-zero costs).
+	if !strings.Contains(g, ".") {
+		t.Error("no fetch phases rendered")
+	}
+	// An empty instance renders gracefully.
+	if got := tl.Gantt(9, 40); !strings.Contains(got, "empty") {
+		t.Errorf("empty instance: %q", got)
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tl, _ := record(t)
+	csv := tl.CSV()
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != 15 { // header + 14 spans
+		t.Fatalf("csv lines = %d", len(lines))
+	}
+	if lines[0] != "instance,core,node,name,start,fetch_end,end" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.Contains(csv, "v1") {
+		t.Error("node names missing from CSV")
+	}
+}
+
+func TestRecorderStandalone(t *testing.T) {
+	task := dag.Chain("c", 3, 2, 3, 0.5, 1024)
+	alloc, err := sched.LongestPathFirst(task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl := New(task, 2)
+	opt := schedsim.Options{Cores: 2, OnDispatch: tl.Recorder()}
+	if _, err := schedsim.Run(alloc, rawPlat{}, opt); err != nil {
+		t.Fatal(err)
+	}
+	if len(tl.Spans) != 3 {
+		t.Errorf("spans = %d", len(tl.Spans))
+	}
+}
+
+type rawPlat struct{}
+
+func (rawPlat) Name() string { return "raw" }
+func (rawPlat) ExecTime(v *dag.Node, warm bool, busyFrac float64) float64 {
+	return v.WCET
+}
+func (rawPlat) CommCost(e dag.Edge, producer *dag.Node, sameCore bool, busyFrac float64) float64 {
+	return e.Cost
+}
+func (rawPlat) Affinity() bool { return false }

@@ -1,0 +1,83 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"l15cache/internal/dag"
+)
+
+func TestSyntheticConditional(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	p := DefaultCondParams()
+	ct, err := SyntheticConditional(r, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ct.Conds) == 0 {
+		t.Fatal("no conditionals inserted")
+	}
+	if got, want := ct.Scenarios(), pow(p.Arms, len(ct.Conds)); got != want {
+		t.Errorf("scenarios = %d, want %d", got, want)
+	}
+	// Every scenario is a valid task strictly smaller than the full graph.
+	full := len(ct.Nodes)
+	err = ct.EachScenario(func(choice []int, st *dag.Task) error {
+		if err := st.Validate(); err != nil {
+			t.Errorf("scenario %v invalid: %v", choice, err)
+		}
+		if len(st.Nodes) >= full {
+			t.Errorf("scenario %v did not drop any arm", choice)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func pow(b, e int) int {
+	out := 1
+	for i := 0; i < e; i++ {
+		out *= b
+	}
+	return out
+}
+
+func TestSyntheticConditionalErrors(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	p := DefaultCondParams()
+	p.Arms = 1
+	if _, err := SyntheticConditional(r, p); err == nil {
+		t.Error("single-arm conditional accepted")
+	}
+	p = DefaultCondParams()
+	p.ArmLen = 0
+	if _, err := SyntheticConditional(r, p); err == nil {
+		t.Error("zero-length arm accepted")
+	}
+}
+
+// Property: generation is deterministic and every scenario of every seed
+// validates.
+func TestQuickSyntheticConditional(t *testing.T) {
+	f := func(seed int64) bool {
+		p := DefaultCondParams()
+		ct, err := SyntheticConditional(rand.New(rand.NewSource(seed)), p)
+		if err != nil {
+			return false
+		}
+		ok := true
+		err = ct.EachScenario(func(choice []int, st *dag.Task) error {
+			if st.Validate() != nil {
+				ok = false
+			}
+			return nil
+		})
+		return err == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,130 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"l15cache/internal/dag"
+)
+
+// UUniFast splits a total utilisation across n tasks with the classic
+// UUniFast algorithm (Bini & Buttazzo), the standard generator for
+// schedulability experiments. Every share is strictly positive.
+func UUniFast(r *rand.Rand, n int, total float64) []float64 {
+	if n <= 0 {
+		return nil
+	}
+	us := make([]float64, n)
+	sum := total
+	for i := 0; i < n-1; i++ {
+		next := sum * math.Pow(r.Float64(), 1/float64(n-i-1))
+		us[i] = sum - next
+		sum = next
+	}
+	us[n-1] = sum
+	return us
+}
+
+// TaskSetParams configure a case-study task set.
+type TaskSetParams struct {
+	// TargetUtilization is the sum of U_i across the set (the x-axis of
+	// Fig. 8(a,b), 40%–90% of the core count).
+	TargetUtilization float64
+
+	// Tasks is the number of DAG tasks (one PARSEC-like kernel each).
+	Tasks int
+
+	// MinPeriod and MaxPeriod bound the random task periods.
+	MinPeriod, MaxPeriod float64
+
+	// CaseStudy configures the per-kernel structure.
+	CaseStudy CaseStudyParams
+}
+
+// DefaultTaskSetParams returns a configuration matching §5.2: random periods
+// with implicit deadlines and kernels drawn from the PARSEC list.
+func DefaultTaskSetParams() TaskSetParams {
+	return TaskSetParams{
+		TargetUtilization: 0.6,
+		Tasks:             6,
+		MinPeriod:         100,
+		MaxPeriod:         1000,
+		CaseStudy:         DefaultCaseStudyParams(),
+	}
+}
+
+// TaskSet generates a periodic DAG task set with total utilisation
+// TargetUtilization: kernels are drawn round-robin from the PARSEC list,
+// per-task utilisations from UUniFast, periods uniformly from the period
+// range, and each task's node WCETs are rescaled so W_i = U_i × T_i.
+func TaskSet(r *rand.Rand, p TaskSetParams) ([]*dag.Task, error) {
+	if p.Tasks <= 0 {
+		return nil, fmt.Errorf("workload: task count %d", p.Tasks)
+	}
+	if p.TargetUtilization <= 0 {
+		return nil, fmt.Errorf("workload: target utilisation %g", p.TargetUtilization)
+	}
+	if p.MinPeriod <= 0 || p.MaxPeriod < p.MinPeriod {
+		return nil, fmt.Errorf("workload: bad period range [%g,%g]", p.MinPeriod, p.MaxPeriod)
+	}
+	utils := UUniFast(r, p.Tasks, p.TargetUtilization)
+	kernels := Kernels()
+	tasks := make([]*dag.Task, 0, p.Tasks)
+	for i := 0; i < p.Tasks; i++ {
+		k := kernels[i%len(kernels)]
+		t, err := ParsecTask(r, k, p.CaseStudy)
+		if err != nil {
+			return nil, err
+		}
+		t.Name = fmt.Sprintf("%s#%d", k, i)
+		t.Period = p.MinPeriod + r.Float64()*(p.MaxPeriod-p.MinPeriod)
+		t.Deadline = t.Period
+		// Rescale so the task's total demand (computation plus
+		// communication) matches U_i × T_i: in the case study the
+		// dependent-data transfers compete for the same cores as the
+		// computation, so budgeting only W_i would overload every
+		// system long before the nominal 100%.
+		wantW := utils[i] * t.Period
+		var curComm float64
+		for _, e := range t.Edges {
+			curComm += e.Cost
+		}
+		curW := t.Volume() + curComm
+		if curW <= 0 {
+			return nil, fmt.Errorf("workload: kernel %s has zero volume", k)
+		}
+		f := wantW / curW
+		for _, n := range t.Nodes {
+			n.WCET *= f
+		}
+		for j := range t.Edges {
+			t.Edges[j].Cost *= f
+		}
+		tasks = append(tasks, t)
+	}
+	return tasks, nil
+}
+
+// TotalUtilization sums W_i/T_i (computation only) over the tasks.
+func TotalUtilization(tasks []*dag.Task) float64 {
+	var u float64
+	for _, t := range tasks {
+		u += t.Utilization()
+	}
+	return u
+}
+
+// TotalLoad sums (W_i + Σμ_i)/T_i over the tasks — the demand TaskSet
+// budgets against its target utilisation.
+func TotalLoad(tasks []*dag.Task) float64 {
+	var u float64
+	for _, t := range tasks {
+		var comm float64
+		for _, e := range t.Edges {
+			comm += e.Cost
+		}
+		u += (t.Volume() + comm) / t.Period
+	}
+	return u
+}
