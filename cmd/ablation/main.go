@@ -14,6 +14,7 @@ import (
 	"log"
 
 	"l15cache/internal/experiments"
+	"l15cache/internal/metrics"
 )
 
 func main() {
@@ -24,6 +25,8 @@ func main() {
 	trials := flag.Int("trials", 20, "trials per point (delay)")
 	seed := flag.Int64("seed", 1, "base RNG seed")
 	which := flag.String("which", "all", "zeta, kappa, prio, delay, etm or all")
+	metricsOut := flag.String("metrics", "", "write a metrics-registry JSON snapshot to this file")
+	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON file (chrome://tracing)")
 	flag.Parse()
 
 	cfg := experiments.DefaultMakespanConfig()
@@ -75,5 +78,8 @@ func main() {
 	}
 	if !ran {
 		log.Fatalf("unknown ablation %q", *which)
+	}
+	if err := metrics.WriteFiles(*metricsOut, *traceOut); err != nil {
+		log.Fatal(err)
 	}
 }

@@ -15,6 +15,7 @@ import (
 	"log"
 
 	"l15cache/internal/experiments"
+	"l15cache/internal/metrics"
 )
 
 func main() {
@@ -25,6 +26,8 @@ func main() {
 	cores := flag.Int("cores", 8, "core count m")
 	seed := flag.Int64("seed", 1, "base RNG seed")
 	csv := flag.Bool("csv", false, "emit CSV instead of the formatted table")
+	metricsOut := flag.String("metrics", "", "write a metrics-registry JSON snapshot to this file")
+	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON file (chrome://tracing)")
 	flag.Parse()
 
 	cfg := experiments.DefaultAcceptanceConfig()
@@ -41,5 +44,8 @@ func main() {
 		fmt.Print(experiments.AcceptanceCSV(points))
 	} else {
 		fmt.Print(experiments.FormatAcceptance(points))
+	}
+	if err := metrics.WriteFiles(*metricsOut, *traceOut); err != nil {
+		log.Fatal(err)
 	}
 }

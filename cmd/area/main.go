@@ -11,12 +11,16 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log"
 
 	"l15cache/internal/area"
+	"l15cache/internal/metrics"
 )
 
 func main() {
 	gates := flag.Bool("gates", false, "also print the L1.5 gate-count breakdown")
+	metricsOut := flag.String("metrics", "", "write a metrics-registry JSON snapshot to this file")
+	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON file (chrome://tracing)")
 	flag.Parse()
 
 	p := area.Synopsys28nm()
@@ -37,5 +41,9 @@ func main() {
 		fmt.Printf("  protector:         %8.0f\n", g.Protector)
 		fmt.Printf("  SDU:               %8.0f\n", g.SDU)
 		fmt.Printf("  total:             %8.0f\n", g.Total())
+	}
+
+	if err := metrics.WriteFiles(*metricsOut, *traceOut); err != nil {
+		log.Fatal(err)
 	}
 }

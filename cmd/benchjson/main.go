@@ -1,0 +1,198 @@
+// Command benchjson converts `go test -bench` text output into a stable
+// JSON document, and compares two such documents with a relative tolerance.
+// It is the benchmark-regression gate of the CI pipeline:
+//
+//	go test -bench=. -benchtime=1x -run='^$' . | tee bench.txt
+//	benchjson -in bench.txt -out BENCH_ci.json
+//	benchjson -compare BENCH_baseline.json -against BENCH_ci.json -tolerance 0.2
+//
+// -compare exits 0 and only warns on deviations beyond the tolerance unless
+// -strict is given, so a first landing (or a noisy runner) does not block
+// the pipeline while still surfacing drift in the job log.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line: the name with the "Benchmark" prefix and
+// "-P" GOMAXPROCS suffix stripped, the iteration count, and every reported
+// value keyed by its unit (ns/op, B/op, allocs/op, custom units).
+type Result struct {
+	Name   string             `json:"name"`
+	Iters  int64              `json:"iters"`
+	Values map[string]float64 `json:"values"`
+}
+
+// Doc is the serialised benchmark set.
+type Doc struct {
+	Results []Result `json:"results"`
+}
+
+func parse(r io.Reader) (Doc, error) {
+	var doc Doc
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// BenchmarkName-8  10  123 ns/op  456 B/op  7 allocs/op
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		name := strings.TrimPrefix(fields[0], "Benchmark")
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		res := Result{Name: name, Iters: iters, Values: map[string]float64{}}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			res.Values[fields[i+1]] = v
+		}
+		doc.Results = append(doc.Results, res)
+	}
+	if err := sc.Err(); err != nil {
+		return doc, err
+	}
+	sort.Slice(doc.Results, func(i, j int) bool { return doc.Results[i].Name < doc.Results[j].Name })
+	return doc, nil
+}
+
+func load(path string) (Doc, error) {
+	var doc Doc
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return doc, err
+	}
+	err = json.Unmarshal(data, &doc)
+	return doc, err
+}
+
+func index(d Doc) map[string]Result {
+	m := make(map[string]Result, len(d.Results))
+	for _, r := range d.Results {
+		m[r.Name] = r
+	}
+	return m
+}
+
+// compare reports ns/op deviations beyond tol; it returns the number of
+// regressions (slower than baseline by more than tol).
+func compare(baseline, current Doc, tol float64) int {
+	base := index(baseline)
+	regressions := 0
+	for _, cur := range current.Results {
+		ref, ok := base[cur.Name]
+		if !ok {
+			fmt.Printf("NEW      %-28s %12.0f ns/op (no baseline)\n", cur.Name, cur.Values["ns/op"])
+			continue
+		}
+		b, c := ref.Values["ns/op"], cur.Values["ns/op"]
+		if b <= 0 {
+			continue
+		}
+		delta := (c - b) / b
+		switch {
+		case delta > tol:
+			regressions++
+			fmt.Printf("SLOWER   %-28s %12.0f -> %12.0f ns/op (%+.1f%%, tolerance %.0f%%)\n",
+				cur.Name, b, c, 100*delta, 100*tol)
+		case delta < -tol:
+			fmt.Printf("FASTER   %-28s %12.0f -> %12.0f ns/op (%+.1f%%)\n", cur.Name, b, c, 100*delta)
+		default:
+			fmt.Printf("OK       %-28s %12.0f -> %12.0f ns/op (%+.1f%%)\n", cur.Name, b, c, 100*delta)
+		}
+	}
+	for _, ref := range baseline.Results {
+		if _, ok := index(current)[ref.Name]; !ok {
+			fmt.Printf("MISSING  %-28s (in baseline, not in current run)\n", ref.Name)
+		}
+	}
+	return regressions
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchjson: ")
+
+	in := flag.String("in", "", "go test -bench output to parse ('-' or empty for stdin)")
+	out := flag.String("out", "", "write parsed results as JSON to this file ('-' for stdout)")
+	baselinePath := flag.String("compare", "", "baseline JSON to compare -against")
+	againstPath := flag.String("against", "", "current-run JSON for -compare")
+	tol := flag.Float64("tolerance", 0.20, "relative ns/op tolerance for -compare")
+	strict := flag.Bool("strict", false, "exit 1 when -compare finds regressions beyond the tolerance")
+	flag.Parse()
+
+	if *baselinePath != "" {
+		if *againstPath == "" {
+			log.Fatal("-compare requires -against")
+		}
+		baseline, err := load(*baselinePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		current, err := load(*againstPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		n := compare(baseline, current, *tol)
+		if n > 0 {
+			fmt.Printf("%d benchmark(s) slower than baseline beyond ±%.0f%%\n", n, 100**tol)
+			if *strict {
+				os.Exit(1)
+			}
+			fmt.Println("(warn-only: run with -strict to fail the build)")
+		}
+		return
+	}
+
+	var src io.Reader = os.Stdin
+	if *in != "" && *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		src = f
+	}
+	doc, err := parse(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(doc.Results) == 0 {
+		log.Fatal("no benchmark lines found in input")
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	data = append(data, '\n')
+	if *out == "" || *out == "-" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %s (%d benchmarks)", *out, len(doc.Results))
+}

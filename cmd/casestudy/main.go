@@ -13,6 +13,7 @@ import (
 	"log"
 
 	"l15cache/internal/experiments"
+	"l15cache/internal/metrics"
 )
 
 func main() {
@@ -25,6 +26,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "base RNG seed")
 	csv := flag.Bool("csv", false, "emit CSV instead of the formatted table")
 	partitioned := flag.Bool("partitioned", false, "partition tasks to clusters instead of global scheduling")
+	metricsOut := flag.String("metrics", "", "write a metrics-registry JSON snapshot to this file")
+	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON file (chrome://tracing)")
 	flag.Parse()
 
 	cfg := experiments.DefaultCaseStudyConfig(*cores)
@@ -44,5 +47,8 @@ func main() {
 		fmt.Print(res.CSV())
 	} else {
 		fmt.Print(res.Format())
+	}
+	if err := metrics.WriteFiles(*metricsOut, *traceOut); err != nil {
+		log.Fatal(err)
 	}
 }

@@ -16,6 +16,7 @@ import (
 	"os"
 
 	"l15cache/internal/dag"
+	"l15cache/internal/metrics"
 	"l15cache/internal/sched"
 	"l15cache/internal/schedsim"
 	"l15cache/internal/trace"
@@ -37,7 +38,14 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit the task as JSON instead of the summary")
 	load := flag.String("load", "", "load a task from a JSON file instead of generating one")
 	zeta := flag.Int("zeta", 16, "L1.5 ways ζ for -schedule")
+	metricsOut := flag.String("metrics", "", "write a metrics-registry JSON snapshot to this file")
+	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON file (chrome://tracing)")
 	flag.Parse()
+	defer func() {
+		if err := metrics.WriteFiles(*metricsOut, *traceOut); err != nil {
+			log.Fatal(err)
+		}
+	}()
 
 	params := workload.DefaultSynthParams()
 	params.Utilization = *u

@@ -7,15 +7,27 @@
 // Usage:
 //
 //	l15sim [-program file.s]... [-max N] [-stats]
+//	       [-metrics out.json] [-trace out.json]
+//	       [-pprof addr] [-cpuprofile out.pb.gz] [-memprofile out.pb.gz]
+//
+// -metrics serialises the metrics registry (L1/L1.5/L2/TLB counters, SDU
+// latency histograms) as JSON; -trace writes a Chrome trace_event file for
+// chrome://tracing. -pprof serves net/http/pprof on the given address for
+// live profiling, and -cpuprofile/-memprofile write offline profiles.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"l15cache/internal/isa"
+	"l15cache/internal/metrics"
 	"l15cache/internal/soc"
 )
 
@@ -27,48 +39,6 @@ func (p *programList) Set(v string) error {
 	return nil
 }
 
-const demoProducer = `
-	# §4.3 programming model, producer side.
-	li a0, 4
-	demand a0          # kernel: apply 4 L1.5 ways
-wait:
-	supply a1
-	beqz a1, wait
-	ip_set a1          # inclusive: stores fill the L1.5
-	li t0, 0x4000      # write 64 words of dependent data
-	li t1, 64
-	li t2, 1
-wloop:
-	sw t2, 0(t0)
-	addi t0, t0, 4
-	addi t2, t2, 1
-	addi t1, t1, -1
-	bnez t1, wloop
-	gv_set a1          # publish to the cluster
-	li t0, 0x7000      # raise the ready flag
-	li t1, 1
-	sw t1, 0(t0)
-	ebreak
-`
-
-const demoConsumer = `
-	# §4.3 programming model, consumer side.
-	li t0, 0x7000
-spin:
-	lw t1, 0(t0)
-	beqz t1, spin
-	li t0, 0x4000      # sum the dependent data
-	li t1, 64
-	li a0, 0
-rloop:
-	lw t2, 0(t0)
-	add a0, a0, t2
-	addi t0, t0, 4
-	addi t1, t1, -1
-	bnez t1, rloop
-	ebreak
-`
-
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("l15sim: ")
@@ -79,9 +49,34 @@ func main() {
 	stats := flag.Bool("stats", false, "print cache and pipeline statistics")
 	width := flag.Int("width", 1, "core issue width (2 enables the §3.3 dual-issue front end)")
 	list := flag.Bool("list", false, "print the disassembly of each program before running")
+	metricsOut := flag.String("metrics", "", "write a metrics-registry JSON snapshot to this file")
+	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON file (chrome://tracing)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.Parse()
 
-	sources := []string{demoProducer, demoConsumer}
+	if *pprofAddr != "" {
+		go func() {
+			log.Printf("pprof listening on http://%s/debug/pprof/", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("pprof server: %v", err)
+			}
+		}()
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	sources := []string{soc.DemoProducer, soc.DemoConsumer}
 	names := []string{"demo-producer", "demo-consumer"}
 	if len(programs) > 0 {
 		sources = nil
@@ -105,6 +100,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	s.Instrument(metrics.Default, metrics.Trace)
 	if len(sources) > len(s.Cores) {
 		log.Fatalf("%d programs for %d cores", len(sources), len(s.Cores))
 	}
@@ -167,5 +163,20 @@ func main() {
 			}
 		}
 		fmt.Printf("L2: hits %d, misses %d\n", s.L2.Stats.Hits, s.L2.Stats.Misses)
+	}
+
+	if err := metrics.WriteFiles(*metricsOut, *traceOut); err != nil {
+		log.Fatal(err)
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			log.Fatal(err)
+		}
 	}
 }

@@ -17,6 +17,7 @@ import (
 	"log"
 
 	"l15cache/internal/experiments"
+	"l15cache/internal/metrics"
 )
 
 func main() {
@@ -29,6 +30,8 @@ func main() {
 	cores := flag.Int("cores", 8, "number of cores m")
 	seed := flag.Int64("seed", 1, "base RNG seed")
 	csv := flag.Bool("csv", false, "emit CSV instead of the formatted tables")
+	metricsOut := flag.String("metrics", "", "write a metrics-registry JSON snapshot to this file")
+	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON file (chrome://tracing)")
 	flag.Parse()
 
 	cfg := experiments.DefaultMakespanConfig()
@@ -73,5 +76,8 @@ func main() {
 	}
 	if !ran {
 		log.Fatalf("unknown sweep %q (want u, p, cpr or all)", *sweep)
+	}
+	if err := metrics.WriteFiles(*metricsOut, *traceOut); err != nil {
+		log.Fatal(err)
 	}
 }

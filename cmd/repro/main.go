@@ -5,10 +5,14 @@
 //
 // Usage:
 //
-//	repro [-quick] [-o report.md] [-seed S]
+//	repro [-quick] [-o report.md] [-seed S] [-metrics m.json] [-trace t.json]
 //
 // -quick runs reduced sample sizes (~30 s); the default runs the paper's
 // full sizes (500 DAGs × 10 instances, 200 trials — several minutes).
+// -metrics serialises the unified metrics registry (scheduler wave counts,
+// rtsim counters, and the cycle-accurate smoke run's L1/L1.5/L2 hit+miss
+// counters and SDU latency histograms) as stable JSON — the artifact the CI
+// smoke job archives. -trace writes a Chrome trace_event file.
 package main
 
 import (
@@ -20,9 +24,65 @@ import (
 
 	"l15cache/internal/area"
 	"l15cache/internal/experiments"
+	"l15cache/internal/metrics"
+	"l15cache/internal/monitor"
 	"l15cache/internal/rtsim"
+	"l15cache/internal/soc"
 	"l15cache/internal/workload"
 )
+
+// socSmoke runs the §4.3 producer/consumer demo plus an L1-overflowing
+// sweep on the cycle-approximate SoC with the monitor attached, feeding the
+// default metrics registry and tracer. This is what puts real L1/L1.5/L2
+// hit+miss counters and an SDU reassignment-latency histogram into the
+// -metrics snapshot.
+func socSmoke() (string, error) {
+	s, err := soc.New(soc.DefaultConfig())
+	if err != nil {
+		return "", err
+	}
+	s.Instrument(metrics.Default, metrics.Trace)
+	mon, err := monitor.Attach(s, 64)
+	if err != nil {
+		return "", err
+	}
+	mon.Tracer = metrics.Trace
+	mon.PublishMetrics(metrics.Default)
+
+	pt := s.IdentityPageTable(1)
+	base := uint32(0x1000)
+	for core, src := range []string{soc.DemoProducer, soc.DemoConsumer, soc.DemoSweeper} {
+		n, err := s.LoadProgram(base, src)
+		if err != nil {
+			return "", err
+		}
+		if err := s.SetPageTable(core, pt); err != nil {
+			return "", err
+		}
+		s.StartCore(core, base, 0x8000+uint32(core)*0x1000)
+		base += uint32(4*n) + 0x100
+	}
+	for core := 3; core < len(s.Cores); core++ {
+		s.Cores[core].Halted = true
+	}
+	if _, err := s.Run(1_000_000, nil); err != nil {
+		return "", err
+	}
+	s.SettleSDU(64)
+
+	var sb strings.Builder
+	sb.WriteString(mon.Report())
+	cl := s.Clusters[0].L15
+	var hits, misses, global uint64
+	for _, st := range cl.Stats {
+		hits += st.Hits
+		misses += st.Misses
+		global += st.GlobalHits
+	}
+	fmt.Fprintf(&sb, "cluster 0 L1.5: hits %d (global %d), misses %d\n", hits, global, misses)
+	fmt.Fprintf(&sb, "L2: hits %d, misses %d\n", s.L2.Stats.Hits, s.L2.Stats.Misses)
+	return sb.String(), nil
+}
 
 func main() {
 	log.SetFlags(0)
@@ -31,6 +91,8 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced sample sizes (~30s instead of minutes)")
 	out := flag.String("o", "repro_report.md", "output report path ('-' for stdout)")
 	seed := flag.Int64("seed", 1, "base RNG seed")
+	metricsOut := flag.String("metrics", "", "write a metrics-registry JSON snapshot to this file")
+	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON file (chrome://tracing)")
 	flag.Parse()
 
 	var sb strings.Builder
@@ -161,6 +223,36 @@ func main() {
 	section("§4.2 — analytical acceptance ratio")
 	sb.WriteString(experiments.FormatAcceptance(pts))
 	endSection()
+
+	// Cycle-accurate smoke: the SoC + monitor run that grounds the metrics
+	// snapshot in real cache counters.
+	step("cycle-accurate smoke (SoC + monitor)")
+	smoke, err := socSmoke()
+	if err != nil {
+		log.Fatal(err)
+	}
+	section("Cycle-accurate smoke — SoC hierarchy and SDU")
+	sb.WriteString(smoke)
+	endSection()
+
+	// Embed the unified metrics snapshot in the report.
+	snap, err := metrics.Default.Snapshot().JSON()
+	if err != nil {
+		log.Fatal(err)
+	}
+	sb.WriteString("\n## Metrics snapshot\n\n```json\n")
+	sb.Write(snap)
+	sb.WriteString("\n```\n")
+
+	if err := metrics.WriteFiles(*metricsOut, *traceOut); err != nil {
+		log.Fatal(err)
+	}
+	if *metricsOut != "" {
+		log.Printf("wrote %s", *metricsOut)
+	}
+	if *traceOut != "" {
+		log.Printf("wrote %s", *traceOut)
+	}
 
 	if *out == "-" {
 		fmt.Print(sb.String())

@@ -14,6 +14,7 @@ import (
 	"log"
 
 	"l15cache/internal/experiments"
+	"l15cache/internal/metrics"
 	"l15cache/internal/rtsim"
 	"l15cache/internal/workload"
 )
@@ -25,6 +26,8 @@ func main() {
 	trials := flag.Int("trials", 50, "trials per configuration")
 	seed := flag.Int64("seed", 1, "base RNG seed")
 	csv := flag.Bool("csv", false, "emit CSV instead of the formatted table")
+	metricsOut := flag.String("metrics", "", "write a metrics-registry JSON snapshot to this file")
+	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON file (chrome://tracing)")
 	flag.Parse()
 
 	cfg := experiments.SideEffectsConfig{
@@ -41,5 +44,8 @@ func main() {
 		fmt.Print(experiments.SideEffectsCSV(pts))
 	} else {
 		fmt.Print(experiments.FormatSideEffects(pts))
+	}
+	if err := metrics.WriteFiles(*metricsOut, *traceOut); err != nil {
+		log.Fatal(err)
 	}
 }

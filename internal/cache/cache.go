@@ -11,6 +11,7 @@ import (
 	"math/bits"
 
 	"l15cache/internal/bitmap"
+	"l15cache/internal/metrics"
 )
 
 // Stats counts cache events.
@@ -249,6 +250,23 @@ func (c *Cache) InvalidateWay(w int) int {
 		}
 	}
 	return n
+}
+
+// PublishMetrics registers the cache's counters with the registry under the
+// given prefix (e.g. "soc.l2" -> "soc.l2.hits"). The Stats block stays the
+// live store — it is copied into the registry only when a snapshot is
+// taken, so the single-threaded access hot path pays no atomic traffic. The
+// Stats field remains the compatibility accessor for existing callers.
+func (c *Cache) PublishMetrics(r *metrics.Registry, prefix string) {
+	if r == nil {
+		return
+	}
+	r.RegisterCollector(func(r *metrics.Registry) {
+		r.Counter(prefix + ".hits").Store(c.Stats.Hits)
+		r.Counter(prefix + ".misses").Store(c.Stats.Misses)
+		r.Counter(prefix + ".evictions").Store(c.Stats.Evictions)
+		r.Counter(prefix + ".writebacks").Store(c.Stats.Writebacks)
+	})
 }
 
 // InvalidateAll clears the whole cache.

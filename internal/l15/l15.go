@@ -27,6 +27,7 @@ import (
 	"l15cache/internal/bitmap"
 	"l15cache/internal/cache"
 	"l15cache/internal/mem"
+	"l15cache/internal/metrics"
 )
 
 // Config is the cluster's L1.5 geometry and timing.
@@ -105,6 +106,49 @@ type L15 struct {
 	// WritebackLines counts dirty lines drained to the next level by
 	// evictions and way revocations (write-back mode only).
 	WritebackLines uint64
+
+	// Observability hookups (nil until Instrument): the SDU reassignment
+	// latency histogram and the event tracer.
+	mSDULat   *metrics.Histogram
+	tracer    *metrics.Tracer
+	traceName string
+}
+
+// SDULatencyBuckets are the default histogram bounds (in SDU cycles) for
+// the way-reconfiguration latency of §5.3.
+var SDULatencyBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
+
+// Instrument publishes the cluster's counters to the registry under prefix
+// (e.g. "soc.cluster0.l15") and routes Walloc way reassignments to the
+// tracer. Per-core hit/miss/global-hit counters, the rollups, the tag
+// store's counters and the owned-way gauge are collected lazily at snapshot
+// time; the SDU configuration-latency histogram is observed live as demands
+// are satisfied. Either argument may be nil.
+func (l *L15) Instrument(r *metrics.Registry, tr *metrics.Tracer, prefix string) {
+	l.tracer = tr
+	l.traceName = prefix
+	if r == nil {
+		return
+	}
+	l.mSDULat = r.Histogram(prefix+".sdu_config_latency_cycles", SDULatencyBuckets)
+	l.store.PublishMetrics(r, prefix+".store")
+	r.RegisterCollector(func(r *metrics.Registry) {
+		var hits, misses, global uint64
+		for core, st := range l.Stats {
+			r.Counter(fmt.Sprintf("%s.core%d.hits", prefix, core)).Store(st.Hits)
+			r.Counter(fmt.Sprintf("%s.core%d.misses", prefix, core)).Store(st.Misses)
+			r.Counter(fmt.Sprintf("%s.core%d.global_hits", prefix, core)).Store(st.GlobalHits)
+			hits += st.Hits
+			misses += st.Misses
+			global += st.GlobalHits
+		}
+		r.Counter(prefix + ".hits").Store(hits)
+		r.Counter(prefix + ".misses").Store(misses)
+		r.Counter(prefix + ".global_hits").Store(global)
+		r.Counter(prefix + ".writeback_lines").Store(l.WritebackLines)
+		r.Counter(prefix + ".config_events").Store(uint64(len(l.Events)))
+		r.Gauge(prefix + ".owned_ways").Set(float64(l.OwnedWays()))
+	})
 }
 
 // New builds the cluster cache. The way count must be a power of two (the
@@ -258,6 +302,7 @@ func (l *L15) Tick() {
 			l.assignWay(core, w)
 			if l.ow[core].Count() == l.demand[core] {
 				l.satisfiedTick[core] = l.ticks
+				l.observeConfigLatency(core)
 			}
 			return
 		case have > want:
@@ -265,6 +310,7 @@ func (l *L15) Tick() {
 			l.revokeWay(core, w)
 			if l.ow[core].Count() == l.demand[core] {
 				l.satisfiedTick[core] = l.ticks
+				l.observeConfigLatency(core)
 			}
 			return
 		}
@@ -283,10 +329,21 @@ func (l *L15) freeWay() int {
 	return -1
 }
 
+// observeConfigLatency feeds the just-satisfied demand's latency into the
+// SDU histogram (no-op until Instrument).
+func (l *L15) observeConfigLatency(core int) {
+	if l.mSDULat != nil {
+		l.mSDULat.Observe(float64(l.satisfiedTick[core] - l.demandTick[core]))
+	}
+	l.tracer.Emit(l.ticks, l.traceName, "demand.satisfied",
+		map[string]any{"core": core, "ways": l.demand[core]})
+}
+
 func (l *L15) assignWay(core, w int) {
 	l.wayOwner[w] = core
 	l.ow[core] = l.ow[core].Set(w)
 	l.Events = append(l.Events, ConfigEvent{Tick: l.ticks, Core: core, Way: w, Assigned: true})
+	l.tracer.Emit(l.ticks, l.traceName, "way.assign", map[string]any{"core": core, "way": w})
 }
 
 func (l *L15) revokeWay(core, w int) {
@@ -303,6 +360,8 @@ func (l *L15) revokeWay(core, w int) {
 	l.ow[core] = l.ow[core].Clear(w)
 	l.gv[core] = l.gv[core].Clear(w)
 	l.Events = append(l.Events, ConfigEvent{Tick: l.ticks, Core: core, Way: w, Assigned: false})
+	l.tracer.Emit(l.ticks, l.traceName, "way.revoke",
+		map[string]any{"core": core, "way": w, "dirty": dirty})
 }
 
 // readMask is the upper-level filter of the read path: the core's own ways

@@ -1,0 +1,175 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"sync"
+	"testing"
+)
+
+func readJSON(path string, v any) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(data, v)
+}
+
+// TestCounterConcurrent hammers one counter from many goroutines; run under
+// -race this also proves the handle is safe to share.
+func TestCounterConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	const workers, per = 16, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Load(); got != workers*per {
+		t.Fatalf("counter = %d, want %d", got, workers*per)
+	}
+	if again := r.Counter("c"); again != c {
+		t.Fatal("Counter did not return the same handle on second lookup")
+	}
+}
+
+func TestGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("g")
+	g.Set(1.5)
+	if got := g.Load(); got != 1.5 {
+		t.Fatalf("gauge = %v, want 1.5", got)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				g.Add(0.5)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := g.Load(); got != 1.5+8*100*0.5 {
+		t.Fatalf("gauge after concurrent Add = %v, want %v", got, 1.5+8*100*0.5)
+	}
+}
+
+// TestHistogramBucketEdges pins the bucket semantics: bucket i counts
+// v <= bounds[i], the final implicit bucket counts overflow.
+func TestHistogramBucketEdges(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	for _, v := range []float64{0, 1, 1.5, 2, 2.5, 4, 5, 100} {
+		h.Observe(v)
+	}
+	s := h.snapshot()
+	// <=1: {0, 1}; <=2: {1.5, 2}; <=4: {2.5, 4}; >4: {5, 100}.
+	want := []uint64{2, 2, 2, 2}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (counts %v)", i, s.Counts[i], w, s.Counts)
+		}
+	}
+	if s.Count != 8 {
+		t.Fatalf("count = %d, want 8", s.Count)
+	}
+	if s.Sum != 116 {
+		t.Fatalf("sum = %v, want 116", s.Sum)
+	}
+	if s.Max != 100 {
+		t.Fatalf("max = %v, want 100", s.Max)
+	}
+	if s.Mean != 116.0/8 {
+		t.Fatalf("mean = %v, want %v", s.Mean, 116.0/8)
+	}
+}
+
+func TestHistogramUnsortedBoundsAndReuse(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", []float64{4, 1, 2})
+	got := h.Bounds()
+	want := []float64{1, 2, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("bounds = %v, want %v", got, want)
+		}
+	}
+	// Second lookup with different bounds returns the existing histogram.
+	if again := r.Histogram("h", []float64{99}); again != h {
+		t.Fatal("Histogram did not return the same handle on second lookup")
+	}
+}
+
+// TestSnapshotDeterministic asserts two registries with identical contents
+// serialise to byte-identical JSON regardless of insertion order.
+func TestSnapshotDeterministic(t *testing.T) {
+	build := func(names []string) *Registry {
+		r := NewRegistry()
+		for _, n := range names {
+			r.Counter("count." + n).Add(7)
+			r.Gauge("gauge." + n).Set(3.25)
+			r.Histogram("hist."+n, []float64{1, 2}).Observe(1)
+		}
+		return r
+	}
+	a := build([]string{"alpha", "beta", "gamma"})
+	b := build([]string{"gamma", "alpha", "beta"})
+	ja, err := a.Snapshot().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	jb, err := b.Snapshot().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ja, jb) {
+		t.Fatalf("snapshots differ:\n%s\n---\n%s", ja, jb)
+	}
+}
+
+func TestCollectorRunsAtSnapshot(t *testing.T) {
+	r := NewRegistry()
+	calls := 0
+	stats := struct{ hits uint64 }{}
+	r.RegisterCollector(func(r *Registry) {
+		calls++
+		r.Counter("comp.hits").Store(stats.hits)
+	})
+	stats.hits = 41
+	s := r.Snapshot()
+	if calls != 1 {
+		t.Fatalf("collector calls = %d, want 1", calls)
+	}
+	if s.Counters["comp.hits"] != 41 {
+		t.Fatalf("comp.hits = %d, want 41", s.Counters["comp.hits"])
+	}
+	stats.hits = 42
+	if s2 := r.Snapshot(); s2.Counters["comp.hits"] != 42 {
+		t.Fatalf("comp.hits after update = %d, want 42", s2.Counters["comp.hits"])
+	}
+}
+
+func TestWriteFile(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x").Inc()
+	path := t.TempDir() + "/m.json"
+	if err := r.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := readJSON(path, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters["x"] != 1 {
+		t.Fatalf("round-tripped x = %d, want 1", snap.Counters["x"])
+	}
+}

@@ -1,0 +1,158 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// Event is one traced occurrence inside the simulated system: a Walloc way
+// reassignment, a monitor sample, a scheduler dispatch. Cycle is the
+// component's notion of time (SDU ticks, core cycles or simulated task time
+// scaled by the caller).
+type Event struct {
+	Cycle     uint64
+	Component string
+	Name      string
+	Args      map[string]any
+}
+
+// DefaultTraceCap is the ring capacity of the Default tracer.
+const DefaultTraceCap = 1 << 16
+
+// Tracer is a fixed-capacity ring buffer of events. When full, the oldest
+// events are overwritten and counted as dropped. A nil *Tracer is a valid
+// no-op sink, so components can hold one unconditionally.
+type Tracer struct {
+	mu      sync.Mutex
+	buf     []Event
+	next    int
+	wrapped bool
+	dropped uint64
+}
+
+// Trace is the process-wide tracer the cmd/ tools serialise with -trace.
+var Trace = NewTracer(DefaultTraceCap)
+
+// NewTracer returns a tracer holding up to capacity events (minimum 1).
+func NewTracer(capacity int) *Tracer {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Tracer{buf: make([]Event, 0, capacity)}
+}
+
+// Emit records one event. Safe for concurrent use and on a nil tracer.
+func (t *Tracer) Emit(cycle uint64, component, name string, args map[string]any) {
+	if t == nil {
+		return
+	}
+	ev := Event{Cycle: cycle, Component: component, Name: name, Args: args}
+	t.mu.Lock()
+	if len(t.buf) < cap(t.buf) {
+		t.buf = append(t.buf, ev)
+	} else {
+		t.buf[t.next] = ev
+		t.next = (t.next + 1) % cap(t.buf)
+		t.wrapped = true
+		t.dropped++
+	}
+	t.mu.Unlock()
+}
+
+// Events returns the retained events, oldest first.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, 0, len(t.buf))
+	if t.wrapped {
+		out = append(out, t.buf[t.next:]...)
+		out = append(out, t.buf[:t.next]...)
+	} else {
+		out = append(out, t.buf...)
+	}
+	return out
+}
+
+// Dropped returns how many events were overwritten.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Len returns the number of retained events.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.buf)
+}
+
+// chromeEvent is one record of the Chrome trace_event format ("JSON array
+// format"), viewable in chrome://tracing or https://ui.perfetto.dev.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat"`
+	Phase string         `json:"ph"`
+	TS    uint64         `json:"ts"` // simulated cycles, displayed as µs
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// ChromeJSON renders the retained events as a Chrome trace_event array.
+// Each distinct component becomes one "thread" row, named via metadata
+// events, so chrome://tracing shows per-component swimlanes.
+func (t *Tracer) ChromeJSON() ([]byte, error) {
+	events := t.Events()
+	tids := map[string]int{}
+	var out []chromeEvent
+	for _, ev := range events {
+		tid, ok := tids[ev.Component]
+		if !ok {
+			tid = len(tids)
+			tids[ev.Component] = tid
+			out = append(out, chromeEvent{
+				Name:  "thread_name",
+				Phase: "M",
+				PID:   0,
+				TID:   tid,
+				Args:  map[string]any{"name": ev.Component},
+			})
+		}
+		out = append(out, chromeEvent{
+			Name:  ev.Name,
+			Cat:   ev.Component,
+			Phase: "i",
+			TS:    ev.Cycle,
+			PID:   0,
+			TID:   tid,
+			Scope: "t",
+			Args:  ev.Args,
+		})
+	}
+	if out == nil {
+		out = []chromeEvent{}
+	}
+	return json.MarshalIndent(out, "", " ")
+}
+
+// WriteChrome writes the Chrome trace_event JSON to path.
+func (t *Tracer) WriteChrome(path string) error {
+	data, err := t.ChromeJSON()
+	if err != nil {
+		return fmt.Errorf("metrics: trace: %w", err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,113 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestTracerNilSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Emit(1, "x", "y", nil) // must not panic
+	if tr.Len() != 0 || tr.Dropped() != 0 || tr.Events() != nil {
+		t.Fatal("nil tracer must be an empty no-op sink")
+	}
+}
+
+func TestTracerRingWrap(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 10; i++ {
+		tr.Emit(uint64(i), "c", fmt.Sprintf("e%d", i), nil)
+	}
+	if got := tr.Len(); got != 4 {
+		t.Fatalf("len = %d, want 4", got)
+	}
+	if got := tr.Dropped(); got != 6 {
+		t.Fatalf("dropped = %d, want 6", got)
+	}
+	evs := tr.Events()
+	for i, ev := range evs {
+		if want := uint64(6 + i); ev.Cycle != want {
+			t.Fatalf("event %d cycle = %d, want %d (oldest-first after wrap)", i, ev.Cycle, want)
+		}
+	}
+}
+
+func TestTracerConcurrentEmit(t *testing.T) {
+	tr := NewTracer(128)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				tr.Emit(uint64(i), fmt.Sprintf("w%d", w), "tick", nil)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := tr.Len() + int(tr.Dropped()); got != 800 {
+		t.Fatalf("retained+dropped = %d, want 800", got)
+	}
+}
+
+// TestChromeJSON checks the export is a valid trace_event array with one
+// thread-name metadata record per component and instant events carrying the
+// simulated cycle as ts.
+func TestChromeJSON(t *testing.T) {
+	tr := NewTracer(16)
+	tr.Emit(10, "l15.0", "way.assign", map[string]any{"way": 3})
+	tr.Emit(20, "monitor", "sample", nil)
+	tr.Emit(30, "l15.0", "way.revoke", nil)
+
+	data, err := tr.ChromeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var raw []map[string]any
+	if err := json.Unmarshal(data, &raw); err != nil {
+		t.Fatalf("not valid JSON array: %v\n%s", err, data)
+	}
+	meta, instants := 0, 0
+	for _, ev := range raw {
+		switch ev["ph"] {
+		case "M":
+			meta++
+		case "i":
+			instants++
+		}
+	}
+	if meta != 2 {
+		t.Fatalf("thread_name metadata events = %d, want 2 (one per component)", meta)
+	}
+	if instants != 3 {
+		t.Fatalf("instant events = %d, want 3", instants)
+	}
+
+	// Empty tracer must still serialise as a (possibly empty) array.
+	empty, err := NewTracer(1).ChromeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var arr []any
+	if err := json.Unmarshal(empty, &arr); err != nil || len(arr) != 0 {
+		t.Fatalf("empty tracer export = %s (err %v), want []", empty, err)
+	}
+}
+
+func TestWriteChrome(t *testing.T) {
+	tr := NewTracer(8)
+	tr.Emit(5, "c", "e", nil)
+	path := t.TempDir() + "/t.json"
+	if err := tr.WriteChrome(path); err != nil {
+		t.Fatal(err)
+	}
+	var arr []map[string]any
+	if err := readJSON(path, &arr); err != nil {
+		t.Fatal(err)
+	}
+	if len(arr) != 2 { // metadata + instant
+		t.Fatalf("exported %d events, want 2", len(arr))
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"strings"
 
+	"l15cache/internal/metrics"
 	"l15cache/internal/soc"
 )
 
@@ -24,6 +25,9 @@ type Monitor struct {
 	s        *soc.SoC
 	interval uint64
 	lastAt   uint64
+
+	// Tracer, when non-nil, receives one "sample" event per observation.
+	Tracer *metrics.Tracer
 
 	Samples []Sample
 }
@@ -59,6 +63,32 @@ func (m *Monitor) observe(sys *soc.SoC) {
 		total += cl.L15.Config().Ways
 	}
 	m.Samples = append(m.Samples, Sample{Cycle: now, OwnedWays: owned, TotalWays: total})
+	m.Tracer.Emit(now, "monitor", "sample",
+		map[string]any{"owned_ways": owned, "total_ways": total})
+}
+
+// PublishMetrics registers the monitor's aggregates with the registry:
+// monitor.samples, monitor.way_utilization, monitor.reconfigurations and
+// monitor.mean_config_latency_cycles, all collected at snapshot time.
+func (m *Monitor) PublishMetrics(r *metrics.Registry) {
+	if r == nil {
+		return
+	}
+	r.RegisterCollector(func(r *metrics.Registry) {
+		r.Counter("monitor.samples").Store(uint64(len(m.Samples)))
+		r.Gauge("monitor.way_utilization").Set(m.Utilization())
+		lats := m.ConfigLatencies()
+		r.Counter("monitor.reconfigurations").Store(uint64(len(lats)))
+		var sum uint64
+		for _, l := range lats {
+			sum += l
+		}
+		mean := 0.0
+		if len(lats) > 0 {
+			mean = float64(sum) / float64(len(lats))
+		}
+		r.Gauge("monitor.mean_config_latency_cycles").Set(mean)
+	})
 }
 
 // Utilization returns the mean fraction of owned ways across the samples.

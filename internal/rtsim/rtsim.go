@@ -23,8 +23,22 @@ import (
 
 	"l15cache/internal/dag"
 	"l15cache/internal/etm"
+	"l15cache/internal/metrics"
 	"l15cache/internal/sched"
 	"l15cache/internal/schedsim"
+)
+
+// Real-time simulator counters on the default registry (atomic; the case
+// study fans trials out over goroutines). The granted-ways histogram
+// records how many L1.5 ways the Walloc actually handed each dispatched
+// node of the proposed system.
+var (
+	mTrials      = metrics.Default.Counter("rtsim.trials")
+	mJobs        = metrics.Default.Counter("rtsim.jobs_released")
+	mMisses      = metrics.Default.Counter("rtsim.deadline_misses")
+	mNodes       = metrics.Default.Counter("rtsim.nodes_dispatched")
+	mGrantedWays = metrics.Default.Histogram("rtsim.granted_ways",
+		[]float64{0, 1, 2, 4, 8, 16, 32})
 )
 
 // Kind selects the simulated system.
@@ -323,6 +337,9 @@ func Run(tasks []*dag.Task, kind Kind, cfg Config) (Metrics, error) {
 
 	s.run()
 	s.metrics.System = kind
+	mTrials.Inc()
+	mJobs.Add(uint64(s.metrics.Jobs))
+	mMisses.Add(uint64(s.metrics.Misses))
 	return s.metrics, nil
 }
 
@@ -629,6 +646,7 @@ func (s *sim) place(rn readyNode, idle []int) {
 		}
 		j.granted[v] = grant
 		j.cluster[v] = cl
+		mGrantedWays.Observe(float64(grant))
 
 		// SDU: one way at a time, FIFO per cluster. The node starts
 		// executing immediately (the configuration happens during the
@@ -664,6 +682,7 @@ func (s *sim) place(rn readyNode, idle []int) {
 
 	j.coreOf[v] = c
 	s.prevCore[j.taskIdx][v] = c
+	mNodes.Inc()
 	dur := fetch + exec
 	if misconf > dur {
 		misconf = dur

@@ -22,6 +22,17 @@ import (
 
 	"l15cache/internal/dag"
 	"l15cache/internal/etm"
+	"l15cache/internal/metrics"
+)
+
+// Scheduler counters on the default registry. Atomic increments, so the
+// experiment harnesses may schedule from many goroutines concurrently.
+var (
+	mSchedules = metrics.Default.Counter("sched.schedules")
+	mWaves     = metrics.Default.Counter("sched.waves")
+	mNodes     = metrics.Default.Counter("sched.nodes_examined")
+	mWayGrants = metrics.Default.Counter("sched.way_grants")
+	mLambda    = metrics.Default.Counter("sched.lambda_recomputes")
 )
 
 // WayGroup is ω_x of Alg. 1: a group of L1.5 ways bound to a node.
@@ -104,6 +115,7 @@ func waveSchedule(t *dag.Task, zeta int, wayBytes int64, allocate bool) (*Result
 		Model:     etm.NewModel(t, wayBytes),
 	}
 
+	mSchedules.Inc()
 	examined := make([]bool, len(t.Nodes))
 	var omega []WayGroup // Ω
 	pri := len(t.Nodes)  // pri = |V_i|
@@ -147,6 +159,7 @@ func waveSchedule(t *dag.Task, zeta int, wayBytes int64, allocate bool) (*Result
 						omega = append(omega, WayGroup{Size: size, Owner: vj})
 						res.LocalWays[vj] = size
 						res.Model.Ways[vj] = size
+						mWayGrants.Add(uint64(size))
 					}
 				}
 			}
@@ -155,9 +168,12 @@ func waveSchedule(t *dag.Task, zeta int, wayBytes int64, allocate bool) (*Result
 			examined[vj] = true
 		}
 		res.Waves = append(res.Waves, wave)
+		mWaves.Inc()
+		mNodes.Add(uint64(len(wave)))
 
 		// Line 20: refresh λ_j under the new allocation.
 		lambda = t.LongestThrough(res.Model.Weight())
+		mLambda.Inc()
 
 		// Line 21: Q := unexamined nodes whose predecessors are all
 		// examined.

@@ -7,7 +7,15 @@ import (
 	"sort"
 
 	"l15cache/internal/dag"
+	"l15cache/internal/metrics"
 	"l15cache/internal/sched"
+)
+
+// Simulator counters on the default registry (atomic; the experiment
+// harnesses run many simulations concurrently).
+var (
+	mInstances  = metrics.Default.Counter("schedsim.instances")
+	mDispatches = metrics.Default.Counter("schedsim.dispatches")
 )
 
 // Options configure a simulation run.
@@ -100,6 +108,7 @@ type dispatchFunc func(core int, v dag.NodeID, start, fetchEnd, end float64)
 // instance (no platform cache state); prevCore carries the previous
 // instance's placement for warm-up and affinity decisions (nil when cold).
 func runInstance(alloc *sched.Result, plat Platform, m int, cold bool, prevCore []int, observe dispatchFunc) (InstanceStats, []int) {
+	mInstances.Inc()
 	t := alloc.Task
 	n := len(t.Nodes)
 
@@ -187,6 +196,7 @@ func runInstance(alloc *sched.Result, plat Platform, m int, cold bool, prevCore 
 			coreOf[v] = c
 			finish := now + fetch + exec
 			freeAt[c] = finish
+			mDispatches.Inc()
 			stats.Comm += fetch
 			stats.Exec += exec
 			if observe != nil {

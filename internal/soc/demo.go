@@ -1,0 +1,75 @@
+package soc
+
+// Built-in demo programs for the §4.3 programming model, shared by
+// cmd/l15sim and the cmd/repro cycle-accurate smoke run. The producer and
+// consumer exercise the L1.5 sharing path (demand/supply/ip_set/gv_set,
+// global-way hits); the sweeper streams an 8 KB array twice, overflowing
+// the 4 KB L1 D$ so the second pass hits in the shared L2 — together they
+// touch every level of the modelled hierarchy.
+
+// DemoProducer writes 64 words of dependent data into its owned, inclusive
+// L1.5 ways and publishes them to the cluster.
+const DemoProducer = `
+	# §4.3 programming model, producer side.
+	li a0, 4
+	demand a0          # kernel: apply 4 L1.5 ways
+wait:
+	supply a1
+	beqz a1, wait
+	ip_set a1          # inclusive: stores fill the L1.5
+	li t0, 0x4000      # write 64 words of dependent data
+	li t1, 64
+	li t2, 1
+wloop:
+	sw t2, 0(t0)
+	addi t0, t0, 4
+	addi t2, t2, 1
+	addi t1, t1, -1
+	bnez t1, wloop
+	gv_set a1          # publish to the cluster
+	li t0, 0x7000      # raise the ready flag
+	li t1, 1
+	sw t1, 0(t0)
+	ebreak
+`
+
+// DemoConsumer spins on the ready flag, then sums the dependent data out of
+// the producer's global ways.
+const DemoConsumer = `
+	# §4.3 programming model, consumer side.
+	li t0, 0x7000
+spin:
+	lw t1, 0(t0)
+	beqz t1, spin
+	li t0, 0x4000      # sum the dependent data
+	li t1, 64
+	li a0, 0
+rloop:
+	lw t2, 0(t0)
+	add a0, a0, t2
+	addi t0, t0, 4
+	addi t1, t1, -1
+	bnez t1, rloop
+	ebreak
+`
+
+// DemoSweeper streams an 8 KB region twice. The first pass misses
+// everywhere and fills the L2; the working set exceeds the 4 KB private L1
+// D$, so the second pass misses the L1 again and hits in the L2 — the
+// access pattern that makes every hierarchy level's hit AND miss counters
+// nonzero.
+const DemoSweeper = `
+	# Stream 8 KB twice: L1-capacity misses, L2 hits on the second pass.
+	li t3, 2           # passes
+pass:
+	li t0, 0x10000
+	li t1, 2048        # words
+sweep:
+	lw t2, 0(t0)
+	addi t0, t0, 4
+	addi t1, t1, -1
+	bnez t1, sweep
+	addi t3, t3, -1
+	bnez t3, pass
+	ebreak
+`

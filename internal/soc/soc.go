@@ -16,6 +16,7 @@ import (
 	"l15cache/internal/isa"
 	"l15cache/internal/l15"
 	"l15cache/internal/mem"
+	"l15cache/internal/metrics"
 	"l15cache/internal/tlb"
 )
 
@@ -161,6 +162,49 @@ func New(cfg Config) (*SoC, error) {
 		s.Cores = append(s.Cores, core)
 	}
 	return s, nil
+}
+
+// Instrument publishes the whole SoC to the observability layer: per-core
+// L1 I$/D$ and TLB counters, per-cluster L1.5 counters with SDU latency
+// histograms (see l15.Instrument), the shared L2, and aggregate rollups
+// (soc.l1.*, soc.tlb.*, per-cluster soc.clusterN.l15.*, soc.instret,
+// soc.cycles). Either argument may be nil; instrumentation is lazy, so the
+// simulation hot path is unaffected until a snapshot is taken.
+func (s *SoC) Instrument(reg *metrics.Registry, tr *metrics.Tracer) {
+	for _, cl := range s.Clusters {
+		cl.L15.Instrument(reg, tr, fmt.Sprintf("soc.cluster%d.l15", cl.ID))
+	}
+	if reg == nil {
+		return
+	}
+	for i, p := range s.ports {
+		p.l1i.PublishMetrics(reg, fmt.Sprintf("soc.core%02d.l1i", i))
+		p.l1d.PublishMetrics(reg, fmt.Sprintf("soc.core%02d.l1d", i))
+		p.tlb.PublishMetrics(reg, fmt.Sprintf("soc.core%02d.tlb", i))
+	}
+	s.L2.PublishMetrics(reg, "soc.l2")
+	reg.RegisterCollector(func(r *metrics.Registry) {
+		var l1Hits, l1Misses, tlbHits, tlbMisses uint64
+		for _, p := range s.ports {
+			l1Hits += p.l1i.Stats.Hits + p.l1d.Stats.Hits
+			l1Misses += p.l1i.Stats.Misses + p.l1d.Stats.Misses
+			tlbHits += p.tlb.Hits
+			tlbMisses += p.tlb.Misses
+		}
+		r.Counter("soc.l1.hits").Store(l1Hits)
+		r.Counter("soc.l1.misses").Store(l1Misses)
+		r.Counter("soc.tlb.hits").Store(tlbHits)
+		r.Counter("soc.tlb.misses").Store(tlbMisses)
+		var instret, cycles uint64
+		for _, c := range s.Cores {
+			instret += c.Stats.Instret
+			if c.Cycles > cycles {
+				cycles = c.Cycles
+			}
+		}
+		r.Counter("soc.instret").Store(instret)
+		r.Counter("soc.cycles").Store(cycles)
+	})
 }
 
 // ClusterOf returns the cluster containing the core.

@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"l15cache/internal/mem"
+	"l15cache/internal/metrics"
 )
 
 // PageBits is log2 of the page size (4 KB pages).
@@ -110,6 +111,19 @@ func (t *TLB) TID() uint16 {
 		return 0
 	}
 	return t.pt.TID
+}
+
+// PublishMetrics registers the TLB's hit/miss counters with the registry
+// under the given prefix; the Hits/Misses fields stay the live store and
+// are copied in at snapshot time.
+func (t *TLB) PublishMetrics(r *metrics.Registry, prefix string) {
+	if r == nil {
+		return
+	}
+	r.RegisterCollector(func(r *metrics.Registry) {
+		r.Counter(prefix + ".hits").Store(t.Hits)
+		r.Counter(prefix + ".misses").Store(t.Misses)
+	})
 }
 
 // Translate returns the physical address for va and the translation
