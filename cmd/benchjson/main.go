@@ -8,7 +8,10 @@
 //
 // -compare exits 0 and only warns on deviations beyond the tolerance unless
 // -strict is given, so a first landing (or a noisy runner) does not block
-// the pipeline while still surfacing drift in the job log.
+// the pipeline while still surfacing drift in the job log. On GitHub
+// Actions runners (or with -github) each regression additionally emits a
+// `::warning` workflow command, so the drift shows up as an annotation in
+// the PR checks UI even though the job stays green.
 package main
 
 import (
@@ -97,14 +100,17 @@ func index(d Doc) map[string]Result {
 }
 
 // compare reports ns/op deviations beyond tol; it returns the number of
-// regressions (slower than baseline by more than tol).
-func compare(baseline, current Doc, tol float64) int {
+// regressions (slower than baseline by more than tol). With annotate it
+// additionally emits one GitHub Actions ::warning workflow command per
+// regression, which the Actions runner surfaces in the PR checks UI even
+// when the job itself stays green (the warn-only gate).
+func compare(w io.Writer, baseline, current Doc, tol float64, annotate bool) int {
 	base := index(baseline)
 	regressions := 0
 	for _, cur := range current.Results {
 		ref, ok := base[cur.Name]
 		if !ok {
-			fmt.Printf("NEW      %-28s %12.0f ns/op (no baseline)\n", cur.Name, cur.Values["ns/op"])
+			fmt.Fprintf(w, "NEW      %-28s %12.0f ns/op (no baseline)\n", cur.Name, cur.Values["ns/op"])
 			continue
 		}
 		b, c := ref.Values["ns/op"], cur.Values["ns/op"]
@@ -115,17 +121,21 @@ func compare(baseline, current Doc, tol float64) int {
 		switch {
 		case delta > tol:
 			regressions++
-			fmt.Printf("SLOWER   %-28s %12.0f -> %12.0f ns/op (%+.1f%%, tolerance %.0f%%)\n",
+			fmt.Fprintf(w, "SLOWER   %-28s %12.0f -> %12.0f ns/op (%+.1f%%, tolerance %.0f%%)\n",
 				cur.Name, b, c, 100*delta, 100*tol)
+			if annotate {
+				fmt.Fprintf(w, "::warning title=Benchmark regression: %s::%s slowed %.0f -> %.0f ns/op (%+.1f%%, tolerance %.0f%%) against BENCH_baseline.json\n",
+					cur.Name, cur.Name, b, c, 100*delta, 100*tol)
+			}
 		case delta < -tol:
-			fmt.Printf("FASTER   %-28s %12.0f -> %12.0f ns/op (%+.1f%%)\n", cur.Name, b, c, 100*delta)
+			fmt.Fprintf(w, "FASTER   %-28s %12.0f -> %12.0f ns/op (%+.1f%%)\n", cur.Name, b, c, 100*delta)
 		default:
-			fmt.Printf("OK       %-28s %12.0f -> %12.0f ns/op (%+.1f%%)\n", cur.Name, b, c, 100*delta)
+			fmt.Fprintf(w, "OK       %-28s %12.0f -> %12.0f ns/op (%+.1f%%)\n", cur.Name, b, c, 100*delta)
 		}
 	}
 	for _, ref := range baseline.Results {
 		if _, ok := index(current)[ref.Name]; !ok {
-			fmt.Printf("MISSING  %-28s (in baseline, not in current run)\n", ref.Name)
+			fmt.Fprintf(w, "MISSING  %-28s (in baseline, not in current run)\n", ref.Name)
 		}
 	}
 	return regressions
@@ -141,6 +151,8 @@ func main() {
 	againstPath := flag.String("against", "", "current-run JSON for -compare")
 	tol := flag.Float64("tolerance", 0.20, "relative ns/op tolerance for -compare")
 	strict := flag.Bool("strict", false, "exit 1 when -compare finds regressions beyond the tolerance")
+	annotate := flag.Bool("github", os.Getenv("GITHUB_ACTIONS") == "true",
+		"emit a GitHub Actions ::warning annotation per regression (auto-enabled on Actions runners)")
 	flag.Parse()
 
 	if *baselinePath != "" {
@@ -155,7 +167,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		n := compare(baseline, current, *tol)
+		n := compare(os.Stdout, baseline, current, *tol, *annotate)
 		if n > 0 {
 			fmt.Printf("%d benchmark(s) slower than baseline beyond ±%.0f%%\n", n, 100**tol)
 			if *strict {
@@ -188,7 +200,9 @@ func main() {
 	}
 	data = append(data, '\n')
 	if *out == "" || *out == "-" {
-		os.Stdout.Write(data)
+		if _, err := os.Stdout.Write(data); err != nil {
+			log.Fatal(err)
+		}
 		return
 	}
 	if err := os.WriteFile(*out, data, 0o644); err != nil {

@@ -1,0 +1,60 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func doc(pairs map[string]float64) Doc {
+	var d Doc
+	for name, ns := range pairs {
+		d.Results = append(d.Results, Result{Name: name, Iters: 1, Values: map[string]float64{"ns/op": ns}})
+	}
+	return d
+}
+
+func TestParseStripsPrefixAndProcs(t *testing.T) {
+	in := "BenchmarkSoCRun-8  10  123.4 ns/op  56 B/op  7 allocs/op\nnot a bench line\n"
+	d, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Results) != 1 || d.Results[0].Name != "SoCRun" {
+		t.Fatalf("parse = %+v", d.Results)
+	}
+	if d.Results[0].Values["ns/op"] != 123.4 || d.Results[0].Values["allocs/op"] != 7 {
+		t.Fatalf("values = %v", d.Results[0].Values)
+	}
+}
+
+func TestCompareCountsRegressions(t *testing.T) {
+	base := doc(map[string]float64{"Fast": 100, "Slow": 100, "Gone": 50})
+	cur := doc(map[string]float64{"Fast": 105, "Slow": 140, "New": 10})
+	var sb strings.Builder
+	n := compare(&sb, base, cur, 0.20, false)
+	if n != 1 {
+		t.Fatalf("regressions = %d, want 1", n)
+	}
+	out := sb.String()
+	for _, want := range []string{"SLOWER   Slow", "OK       Fast", "NEW      New", "MISSING  Gone"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "::warning") {
+		t.Errorf("annotations emitted without -github:\n%s", out)
+	}
+}
+
+func TestCompareEmitsGitHubAnnotations(t *testing.T) {
+	base := doc(map[string]float64{"Slow": 100})
+	cur := doc(map[string]float64{"Slow": 150})
+	var sb strings.Builder
+	if n := compare(&sb, base, cur, 0.20, true); n != 1 {
+		t.Fatalf("regressions = %d, want 1", n)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "::warning title=Benchmark regression: Slow::Slow slowed 100 -> 150 ns/op (+50.0%") {
+		t.Errorf("missing ::warning annotation:\n%s", out)
+	}
+}

@@ -1,0 +1,124 @@
+package lint
+
+// This file is the suite's stand-in for golang.org/x/tools/go/analysis/
+// analysistest (unavailable offline): testdata packages annotate the lines
+// they expect findings on with
+//
+//	// want "regexp"
+//
+// comments (several per line allowed), and runAnalyzerTest checks the
+// analyzer's diagnostics against them both ways — every expectation must
+// be matched by a diagnostic and every diagnostic by an expectation. A
+// trailing want applies to its own line; a want alone on a line applies to
+// the line above it (needed when the flagged line's trailing comment is
+// already a //lint:ignore directive under test).
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// expectation is one `// want "re"` annotation.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+var wantRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// parseExpectations extracts want annotations from the loaded package's
+// comments.
+func parseExpectations(t *testing.T, pkg *Package) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	lines := map[string][]string{} // file -> source lines, for standalone detection
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				matches := wantRE.FindAllStringSubmatch(rest, -1)
+				if len(matches) == 0 {
+					t.Fatalf("%s: malformed want comment %q", pos, c.Text)
+				}
+				line := pos.Line
+				if standaloneComment(t, lines, pos.Filename, pos.Line, pos.Column) {
+					line--
+				}
+				for _, m := range matches {
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("%s: bad want regexp: %v", pos, err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: line, re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// standaloneComment reports whether only whitespace precedes the comment
+// starting at (line, col) in file.
+func standaloneComment(t *testing.T, cache map[string][]string, file string, line, col int) bool {
+	t.Helper()
+	src, ok := cache[file]
+	if !ok {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatalf("reading %s: %v", file, err)
+		}
+		src = strings.Split(string(data), "\n")
+		cache[file] = src
+	}
+	if line-1 >= len(src) {
+		return false
+	}
+	return strings.TrimSpace(src[line-1][:col-1]) == ""
+}
+
+// runAnalyzerTest loads testdata/src/<dir>, runs the analyzer through the
+// full pipeline (including //lint:ignore suppression) and diffs the
+// diagnostics against the want annotations.
+func runAnalyzerTest(t *testing.T, a *Analyzer, dir string) {
+	t.Helper()
+	pkg, err := LoadDir(filepath.Join("testdata", "src", dir))
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	diags, err := Run(pkg, []*Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+	}
+	wants := parseExpectations(t, pkg)
+
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if w.hit || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}

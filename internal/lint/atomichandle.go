@@ -1,0 +1,123 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AtomicHandle extends the race detector to paths tests never execute: if
+// any code in a package accesses a struct field through sync/atomic
+// (atomic.AddUint64(&s.n, 1), atomic.LoadUint64(&s.n)...), then every
+// other access to that field must also be atomic. A single plain read or
+// write tears the protocol — the race detector only catches it if a test
+// happens to drive both paths concurrently, which the metrics fan-out
+// harnesses often don't.
+var AtomicHandle = &Analyzer{
+	Name: "atomichandle",
+	Doc:  "detects mixed atomic/plain access to the same struct field: once a field is touched via sync/atomic anywhere in the package, plain accesses to it are flagged",
+	Run:  runAtomicHandle,
+}
+
+// atomicOps are the sync/atomic package-level accessors (by prefix).
+var atomicOpPrefixes = []string{"Add", "Load", "Store", "Swap", "CompareAndSwap", "And", "Or"}
+
+func isAtomicOp(fn *types.Func) bool {
+	if fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return false
+	}
+	for _, p := range atomicOpPrefixes {
+		if strings.HasPrefix(fn.Name(), p) {
+			return true
+		}
+	}
+	return false
+}
+
+func runAtomicHandle(pass *Pass) error {
+	atomicFields := map[*types.Var]bool{}      // fields accessed via sync/atomic
+	sanctioned := map[*ast.SelectorExpr]bool{} // the &-operands of those calls
+
+	// Pass 1: collect fields whose address feeds a sync/atomic call.
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass, call)
+			if fn == nil || !isAtomicOp(fn) {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := arg.(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				sel, ok := un.X.(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if field := fieldOf(pass, sel); field != nil {
+					atomicFields[field] = true
+					sanctioned[sel] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return nil
+	}
+
+	// Pass 2: every other access to those fields must be atomic.
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || sanctioned[sel] {
+				return true
+			}
+			field := fieldOf(pass, sel)
+			if field == nil || !atomicFields[field] {
+				return true
+			}
+			pass.Reportf(sel.Sel.Pos(),
+				"field %s is accessed with sync/atomic elsewhere in this package; this plain access races with it — use the matching atomic.%s call",
+				field.Name(), suggestedAtomicOp(field))
+			return true
+		})
+	}
+	return nil
+}
+
+// fieldOf resolves sel to the struct field it selects, or nil.
+func fieldOf(pass *Pass, sel *ast.SelectorExpr) *types.Var {
+	selection, ok := pass.TypesInfo.Selections[sel]
+	if !ok || selection.Kind() != types.FieldVal {
+		return nil
+	}
+	v, _ := selection.Obj().(*types.Var)
+	return v
+}
+
+// suggestedAtomicOp names the Load/Store family matching the field's type,
+// purely to make the message actionable.
+func suggestedAtomicOp(field *types.Var) string {
+	if b, ok := field.Type().Underlying().(*types.Basic); ok {
+		switch b.Kind() {
+		case types.Uint64:
+			return "LoadUint64/StoreUint64"
+		case types.Int64:
+			return "LoadInt64/StoreInt64"
+		case types.Uint32:
+			return "LoadUint32/StoreUint32"
+		case types.Int32:
+			return "LoadInt32/StoreInt32"
+		}
+	}
+	return "Load/Store"
+}

@@ -1,0 +1,19 @@
+// Package fixture exists for the lint suite's own tests: it declares
+// exported mask-register fields so the bitmask analyzer's testdata can
+// exercise the cross-package-write rule against a real second package.
+package fixture
+
+import "l15cache/internal/bitmap"
+
+// Regs models a component that (unwisely) exposes its mask registers —
+// the anti-pattern whose *writes* the bitmask analyzer polices.
+type Regs struct {
+	OW bitmap.Bitmap
+	GV []bitmap.Bitmap
+}
+
+// SetOW is the sanctioned write path: the owning package enforces the ζ
+// bound itself.
+func (r *Regs) SetOW(b bitmap.Bitmap, ways int) {
+	r.OW = b.Intersect(bitmap.FirstN(ways))
+}

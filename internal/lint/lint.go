@@ -1,0 +1,230 @@
+// Package lint is the repository's custom static-analysis suite: five
+// analyzers that encode the simulator's correctness invariants — run-to-run
+// determinism, way-bitmap discipline, metrics atomicity and error hygiene —
+// as machine-checked rules, plus the loader and runner behind
+// cmd/codecheck.
+//
+// The container this repository grows in has no module proxy access, so the
+// suite cannot depend on golang.org/x/tools/go/analysis. Instead this
+// package is a deliberate, minimal mirror of that API (Analyzer, Pass,
+// Diagnostic, an analysistest-style "// want" harness) built only on the
+// standard library: packages are loaded with `go list -export` and
+// type-checked from source with go/types, import resolution going through
+// the compiler's export data. If the x/tools dependency ever becomes
+// available, each Analyzer here converts mechanically.
+//
+// Suppressions follow the staticcheck convention: a comment
+//
+//	//lint:ignore <analyzer> <justification>
+//
+// on the flagged line or the line directly above it silences that analyzer
+// there. The justification is mandatory; an ignore without one is itself a
+// diagnostic.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named invariant check, the mirror of
+// golang.org/x/tools/go/analysis.Analyzer.
+type Analyzer struct {
+	Name string // short lower-case identifier, used in //lint:ignore
+	Doc  string // one-paragraph description of the invariant
+	Run  func(*Pass) error
+}
+
+// Pass carries one type-checked package through one analyzer, the mirror of
+// analysis.Pass.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	Path      string // import path ("" for testdata packages)
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding, already resolved to a file position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// All returns the full suite in stable order. cmd/codecheck runs exactly
+// this list.
+func All() []*Analyzer {
+	return []*Analyzer{DetMap, WallTime, BitMask, AtomicHandle, ErrDrop}
+}
+
+// ByName resolves a comma-separated analyzer list ("" means all).
+func ByName(names string) ([]*Analyzer, error) {
+	if names == "" {
+		return All(), nil
+	}
+	byName := map[string]*Analyzer{}
+	for _, a := range All() {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, n := range strings.Split(names, ",") {
+		n = strings.TrimSpace(n)
+		a, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("lint: unknown analyzer %q", n)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// Run applies the analyzers to one loaded package and returns the surviving
+// diagnostics, sorted by position, after applying //lint:ignore
+// suppressions. Malformed ignores (no justification, unknown analyzer) are
+// reported as diagnostics themselves so they cannot rot silently.
+func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			Path:      pkg.ImportPath,
+			diags:     &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.ImportPath, err)
+		}
+	}
+	malformed := applySuppressions(pkg, &diags)
+	diags = append(diags, malformed...)
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+// ignoreDirective is one parsed //lint:ignore comment.
+type ignoreDirective struct {
+	line      int    // line the directive governs (its own line)
+	analyzers string // comma-separated names or "*"
+	justified bool
+	pos       token.Pos
+}
+
+// applySuppressions filters *diags in place and returns extra diagnostics
+// for malformed directives.
+func applySuppressions(pkg *Package, diags *[]Diagnostic) []Diagnostic {
+	known := map[string]bool{}
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	// file -> line -> directives on that line
+	index := map[string]map[int][]ignoreDirective{}
+	var malformed []Diagnostic
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//lint:ignore")
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(text)
+				d := ignoreDirective{
+					line:      pkg.Fset.Position(c.Pos()).Line,
+					justified: len(fields) >= 2,
+					pos:       c.Pos(),
+				}
+				if len(fields) >= 1 {
+					d.analyzers = fields[0]
+				}
+				file := pkg.Fset.Position(c.Pos()).Filename
+				if !d.justified {
+					malformed = append(malformed, Diagnostic{
+						Pos:      pkg.Fset.Position(c.Pos()),
+						Analyzer: "ignore",
+						Message:  "//lint:ignore needs an analyzer name and a justification",
+					})
+					continue
+				}
+				if d.analyzers != "*" {
+					for _, n := range strings.Split(d.analyzers, ",") {
+						if !known[n] {
+							malformed = append(malformed, Diagnostic{
+								Pos:      pkg.Fset.Position(c.Pos()),
+								Analyzer: "ignore",
+								Message:  fmt.Sprintf("//lint:ignore names unknown analyzer %q", n),
+							})
+						}
+					}
+				}
+				if index[file] == nil {
+					index[file] = map[int][]ignoreDirective{}
+				}
+				index[file][d.line] = append(index[file][d.line], d)
+			}
+		}
+	}
+
+	matches := func(d ignoreDirective, analyzer string) bool {
+		if !d.justified {
+			return false
+		}
+		if d.analyzers == "*" {
+			return true
+		}
+		for _, n := range strings.Split(d.analyzers, ",") {
+			if n == analyzer {
+				return true
+			}
+		}
+		return false
+	}
+
+	kept := (*diags)[:0]
+	for _, dg := range *diags {
+		suppressed := false
+		for _, line := range []int{dg.Pos.Line, dg.Pos.Line - 1} {
+			for _, dir := range index[dg.Pos.Filename][line] {
+				if matches(dir, dg.Analyzer) {
+					suppressed = true
+				}
+			}
+		}
+		if !suppressed {
+			kept = append(kept, dg)
+		}
+	}
+	*diags = kept
+	return malformed
+}

@@ -1,0 +1,97 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// Analyzer cases: one flagged and one clean testdata package per
+// analyzer, plus the scope/suppression variants.
+
+func TestDetMapFlagged(t *testing.T)    { runAnalyzerTest(t, DetMap, "detmap/flagged") }
+func TestDetMapClean(t *testing.T)      { runAnalyzerTest(t, DetMap, "detmap/clean") }
+func TestDetMapOutOfScope(t *testing.T) { runAnalyzerTest(t, DetMap, "detmap/outofscope") }
+
+func TestWallTimeFlagged(t *testing.T) { runAnalyzerTest(t, WallTime, "walltime/flagged") }
+func TestWallTimeClean(t *testing.T)   { runAnalyzerTest(t, WallTime, "walltime/clean") }
+
+func TestBitMaskFlagged(t *testing.T) { runAnalyzerTest(t, BitMask, "bitmask/flagged") }
+func TestBitMaskClean(t *testing.T)   { runAnalyzerTest(t, BitMask, "bitmask/clean") }
+
+func TestAtomicHandleFlagged(t *testing.T) { runAnalyzerTest(t, AtomicHandle, "atomichandle/flagged") }
+func TestAtomicHandleClean(t *testing.T)   { runAnalyzerTest(t, AtomicHandle, "atomichandle/clean") }
+
+func TestErrDropFlagged(t *testing.T) { runAnalyzerTest(t, ErrDrop, "errdrop/flagged") }
+func TestErrDropClean(t *testing.T)   { runAnalyzerTest(t, ErrDrop, "errdrop/clean") }
+
+// TestIgnoreDirectives exercises suppression end to end: justified ignores
+// silence findings, malformed ones are themselves reported.
+func TestIgnoreDirectives(t *testing.T) { runAnalyzerTest(t, WallTime, "ignore") }
+
+func TestByName(t *testing.T) {
+	all, err := ByName("")
+	if err != nil || len(all) != len(All()) {
+		t.Fatalf("ByName(\"\") = %d analyzers, err %v; want %d", len(all), err, len(All()))
+	}
+	two, err := ByName("detmap, errdrop")
+	if err != nil {
+		t.Fatalf("ByName: %v", err)
+	}
+	if len(two) != 2 || two[0] != DetMap || two[1] != ErrDrop {
+		t.Fatalf("ByName(detmap, errdrop) = %v", two)
+	}
+	if _, err := ByName("nosuch"); err == nil {
+		t.Fatal("ByName(nosuch) did not fail")
+	}
+}
+
+func TestAnalyzerNamesUniqueAndDocumented(t *testing.T) {
+	seen := map[string]bool{}
+	for _, a := range All() {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %+v missing name, doc or run", a)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+}
+
+// TestLoadModulePackages loads real module packages through the go
+// list/export-data path and sanity-checks type information is present.
+func TestLoadModulePackages(t *testing.T) {
+	pkgs, err := Load("", "../bitmap", "../l15")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) != 2 {
+		t.Fatalf("Load returned %d packages, want 2", len(pkgs))
+	}
+	for _, p := range pkgs {
+		if p.Types == nil || len(p.Files) == 0 || len(p.Info.Uses) == 0 {
+			t.Errorf("package %s loaded without type info", p.ImportPath)
+		}
+	}
+	if !strings.HasSuffix(pkgs[0].ImportPath, "internal/bitmap") {
+		t.Errorf("unexpected import path %q", pkgs[0].ImportPath)
+	}
+}
+
+// TestSuiteCleanOnOwnPackage runs the full suite over internal/lint itself
+// — the analyzers must hold their own code to the same standard.
+func TestSuiteCleanOnOwnPackage(t *testing.T) {
+	pkgs, err := Load("", ".", "./internal/fixture")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	for _, p := range pkgs {
+		diags, err := Run(p, All())
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		for _, d := range diags {
+			t.Errorf("finding in lint suite itself: %s", d)
+		}
+	}
+}

@@ -1,0 +1,39 @@
+// Package metrics (testdata): consistent access disciplines — all-atomic
+// on shared fields, all-plain on single-threaded ones. Nothing here may be
+// flagged.
+package metrics
+
+import "sync/atomic"
+
+// shared is touched only through sync/atomic.
+type shared struct {
+	hits   uint64
+	misses uint64
+}
+
+func (s *shared) record(hit bool) {
+	if hit {
+		atomic.AddUint64(&s.hits, 1)
+	} else {
+		atomic.AddUint64(&s.misses, 1)
+	}
+}
+
+func (s *shared) total() uint64 {
+	return atomic.LoadUint64(&s.hits) + atomic.LoadUint64(&s.misses)
+}
+
+func (s *shared) reset() {
+	atomic.StoreUint64(&s.hits, 0)
+	atomic.StoreUint64(&s.misses, 0)
+}
+
+// local is a single-threaded stats block: plain accesses everywhere are
+// fine because no atomic access sets the contract.
+type local struct {
+	hits uint64
+}
+
+func (l *local) bump() { l.hits++ }
+
+func (l *local) value() uint64 { return l.hits }

@@ -1,0 +1,31 @@
+// Package metrics (testdata): fields accessed through sync/atomic in one
+// place and plainly in another — the races the analyzer exists to catch.
+package metrics
+
+import "sync/atomic"
+
+// stats mixes access disciplines on the same fields.
+type stats struct {
+	hits   uint64
+	misses uint64
+}
+
+// record is the hot path: atomic.
+func (s *stats) record(hit bool) {
+	if hit {
+		atomic.AddUint64(&s.hits, 1)
+	} else {
+		atomic.AddUint64(&s.misses, 1)
+	}
+}
+
+// total reads the same fields without atomics: it races with record.
+func (s *stats) total() uint64 {
+	return s.hits + s.misses // want "field hits is accessed with sync/atomic" "field misses is accessed with sync/atomic"
+}
+
+// reset writes one plainly: also a race.
+func (s *stats) reset() {
+	s.hits = 0 // want "field hits is accessed with sync/atomic"
+	atomic.StoreUint64(&s.misses, 0)
+}

@@ -1,0 +1,40 @@
+// Package soc (testdata): the sanctioned bitmap constructions — API
+// calls, masked conversions, owner-mediated writes. Nothing here may be
+// flagged.
+package soc
+
+import (
+	"l15cache/internal/bitmap"
+	"l15cache/internal/lint/internal/fixture"
+)
+
+// apiSet uses the bound-checked constructor.
+func apiSet(b bitmap.Bitmap, w int) bitmap.Bitmap {
+	return b.Set(w)
+}
+
+// fromWays builds from indices through the API.
+func fromWays(ws ...int) bitmap.Bitmap {
+	return bitmap.FromWays(ws...)
+}
+
+// fromRegisterMasked converts a register operand and immediately bounds it
+// to the configured way count.
+func fromRegisterMasked(v uint32, ways int) bitmap.Bitmap {
+	return bitmap.Bitmap(v).Intersect(bitmap.FirstN(ways))
+}
+
+// fromRegisterAnded bounds with an explicit AND before converting.
+func fromRegisterAnded(v uint32, ways int) bitmap.Bitmap {
+	return bitmap.Bitmap(v & (1<<uint(ways) - 1))
+}
+
+// constMask is a constant conversion, reviewable at the call site.
+func constMask() bitmap.Bitmap {
+	return bitmap.Bitmap(0x42)
+}
+
+// ownerWrite routes the register update through the owning package's API.
+func ownerWrite(r *fixture.Regs, b bitmap.Bitmap, ways int) {
+	r.SetOW(b, ways)
+}

@@ -1,0 +1,36 @@
+// Package soc (testdata): way-bitmap indiscipline — raw shifts, unbounded
+// conversions, cross-package mask writes. Every case must be flagged.
+package soc
+
+import (
+	"l15cache/internal/bitmap"
+	"l15cache/internal/lint/internal/fixture"
+)
+
+// rawShift builds a mask with << instead of the bound-checked API: w ≥ ζ
+// silently addresses a way that does not exist.
+func rawShift(w int) bitmap.Bitmap {
+	return bitmap.Bitmap(1) << uint(w) // want "raw shift produces a bitmap.Bitmap"
+}
+
+// orShift mixes a raw shifted bit into an existing mask.
+func orShift(b bitmap.Bitmap, w int) bitmap.Bitmap {
+	return b | 1<<uint(w) // want "raw shift produces a bitmap.Bitmap"
+}
+
+// fromRegister converts a register operand without masking it to the way
+// count.
+func fromRegister(v uint32) bitmap.Bitmap {
+	return bitmap.Bitmap(v) // want "unbounded integer→bitmap.Bitmap conversion"
+}
+
+// pokeOW writes another package's mask register directly, bypassing its
+// invariants.
+func pokeOW(r *fixture.Regs, b bitmap.Bitmap) {
+	r.OW = b // want "mask field fixture.OW is written outside its owning package"
+}
+
+// pokeGVBank writes into another package's per-core register bank.
+func pokeGVBank(r *fixture.Regs, core int, b bitmap.Bitmap) {
+	r.GV[core] = b // want "mask field fixture.GV is written outside its owning package"
+}

@@ -1,0 +1,11 @@
+// Package report (testdata): not a simulator package, so detmap must stay
+// silent even on the pattern it flags elsewhere.
+package report
+
+func collectNoSort(ways map[int]int) []int {
+	var out []int
+	for w := range ways {
+		out = append(out, w)
+	}
+	return out
+}

@@ -1,0 +1,31 @@
+// Package rtsim (testdata): the sanctioned patterns — injected seeds,
+// cycle counters, duration arithmetic — none of which may be flagged.
+package rtsim
+
+import (
+	"math/rand"
+	"time"
+)
+
+// sim advances on its own cycle counter, never the host clock.
+type sim struct {
+	cycles uint64
+	r      *rand.Rand
+}
+
+// newSim receives its randomness as an injected seed.
+func newSim(seed int64) *sim {
+	return &sim{r: rand.New(rand.NewSource(seed))}
+}
+
+// step uses generator methods (not the global package functions) and the
+// cycle counter.
+func (s *sim) step(n int) uint64 {
+	s.cycles += uint64(s.r.Intn(n) + 1)
+	return s.cycles
+}
+
+// budget does pure duration arithmetic: legal, no clock read.
+func budget(cycles uint64, perCycle time.Duration) time.Duration {
+	return time.Duration(cycles) * perCycle
+}

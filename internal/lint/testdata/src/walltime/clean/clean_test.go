@@ -1,0 +1,17 @@
+// Test files are exempt: wall-clock timeouts and ad-hoc randomness are
+// fine in tests, which do not feed simulation results.
+package rtsim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestDeadline(t *testing.T) {
+	start := time.Now()
+	s := newSim(1)
+	s.step(4)
+	if time.Since(start) > time.Second {
+		t.Fatal("too slow")
+	}
+}

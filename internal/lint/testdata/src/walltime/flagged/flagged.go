@@ -1,0 +1,32 @@
+// Package rtsim (testdata): wall-clock reads and global-generator
+// randomness in non-test simulator code — every case must be flagged.
+package rtsim
+
+import (
+	"math/rand"
+	"time"
+)
+
+// stampNow smuggles host time into a simulation record.
+func stampNow() int64 {
+	return time.Now().UnixNano() // want "time.Now reads the wall clock"
+}
+
+// jitterGlobal draws from the shared, unseeded global generator.
+func jitterGlobal(n int) int {
+	return rand.Intn(n) // want "rand.Intn uses the global generator"
+}
+
+// sleepyPoll both sleeps on the host clock and shuffles globally.
+func sleepyPoll(xs []int) {
+	time.Sleep(time.Millisecond)           // want "time.Sleep reads the wall clock"
+	rand.Shuffle(len(xs), func(i, j int) { // want "rand.Shuffle uses the global generator"
+		xs[i], xs[j] = xs[j], xs[i]
+	})
+}
+
+// seedFromClock is the classic anti-pattern: the seed itself comes from
+// the wall clock, so runs are unreproducible.
+func seedFromClock() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want "time.Now reads the wall clock"
+}

@@ -502,14 +502,19 @@ func (p *port) L15Op(core int, op isa.Op, operand uint32) (uint32, int, error) {
 		bm, err := cl.Supply(local)
 		return uint32(bm), lat, err
 	case isa.OpGVSET:
-		return 0, lat, cl.GVSet(local, bitmapFrom(operand))
+		return 0, lat, cl.GVSet(local, bitmapFrom(operand, cl.Config().Ways))
 	case isa.OpGVGET:
 		bm, err := cl.GVGet(local)
 		return uint32(bm), lat, err
 	case isa.OpIPSET:
-		return 0, lat, cl.IPSet(local, bitmapFrom(operand))
+		return 0, lat, cl.IPSet(local, bitmapFrom(operand, cl.Config().Ways))
 	}
 	return 0, 0, fmt.Errorf("soc: not an L1.5 op: %v", op)
 }
 
-func bitmapFrom(v uint32) bitmap.Bitmap { return bitmap.Bitmap(v) }
+// bitmapFrom bounds a register operand to the cluster's way count: the
+// mask registers are ζ bits wide, so operand bits past the configured ways
+// do not exist in hardware and must not leak into the mask logic.
+func bitmapFrom(v uint32, ways int) bitmap.Bitmap {
+	return bitmap.Bitmap(v).Intersect(bitmap.FirstN(ways))
+}
