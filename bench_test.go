@@ -17,6 +17,8 @@
 package l15cache_test
 
 import (
+	"context"
+	"runtime"
 	"testing"
 
 	"l15cache/internal/area"
@@ -45,7 +47,7 @@ func BenchmarkFig7a(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		cfg := benchCfg()
 		cfg.Seed = int64(i + 1)
-		s, err := experiments.SweepUtilization(cfg, []float64{0.2, 0.4, 0.6, 0.8, 1.0})
+		s, err := experiments.SweepUtilization(context.Background(), cfg, []float64{0.2, 0.4, 0.6, 0.8, 1.0})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -60,7 +62,7 @@ func BenchmarkFig7b(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		cfg := benchCfg()
 		cfg.Seed = int64(i + 1)
-		s, err := experiments.SweepWidth(cfg, []float64{9, 12, 15, 18, 21})
+		s, err := experiments.SweepWidth(context.Background(), cfg, []float64{9, 12, 15, 18, 21})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -75,13 +77,40 @@ func BenchmarkFig7c(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		cfg := benchCfg()
 		cfg.Seed = int64(i + 1)
-		s, err := experiments.SweepCPR(cfg, []float64{0.1, 0.2, 0.3, 0.4, 0.5})
+		s, err := experiments.SweepCPR(context.Background(), cfg, []float64{0.1, 0.2, 0.3, 0.4, 0.5})
 		if err != nil {
 			b.Fatal(err)
 		}
 		sweep = s
 	}
 	reportGains(b, sweep)
+}
+
+// BenchmarkMakespanParallel measures the runner-backed makespan sweep at
+// the machine's full worker count — the parallel hot path of cmd/makespan.
+// Its wall time against BenchmarkMakespanSerial tracks the harness
+// speed-up (the two produce bit-identical sweeps by construction).
+func BenchmarkMakespanParallel(b *testing.B) {
+	benchMakespanWorkers(b, runtime.NumCPU())
+	b.ReportMetric(float64(runtime.NumCPU()), "workers")
+}
+
+// BenchmarkMakespanSerial is BenchmarkMakespanParallel pinned to a single
+// worker: the serial baseline for the harness speed-up.
+func BenchmarkMakespanSerial(b *testing.B) {
+	benchMakespanWorkers(b, 1)
+}
+
+func benchMakespanWorkers(b *testing.B, workers int) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		cfg := benchCfg()
+		cfg.Seed = int64(i + 1)
+		cfg.Run.Workers = workers
+		if _, err := experiments.SweepUtilization(context.Background(), cfg, []float64{0.6}); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // BenchmarkTable2 regenerates Tab. 2: the deadline-normalised *worst-case*
@@ -91,7 +120,7 @@ func BenchmarkTable2(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		cfg := benchCfg()
 		cfg.Seed = int64(i + 1)
-		s, err := experiments.SweepUtilization(cfg, []float64{0.2, 0.6, 1.0})
+		s, err := experiments.SweepUtilization(context.Background(), cfg, []float64{0.2, 0.6, 1.0})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -109,7 +138,7 @@ func benchCaseStudy(b *testing.B, cores int) {
 		cfg := experiments.DefaultCaseStudyConfig(cores)
 		cfg.Trials = 25
 		cfg.Seed = int64(i + 1)
-		r, err := experiments.RunCaseStudy(cfg, []float64{0.7})
+		r, err := experiments.RunCaseStudy(context.Background(), cfg, []float64{0.7})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -139,7 +168,7 @@ func BenchmarkFig8c(b *testing.B) {
 			RT:     rtsim.DefaultConfig(),
 			Set:    workload.DefaultTaskSetParams(),
 		}
-		p, err := experiments.RunSideEffects(cfg, []int{8}, []float64{1.0})
+		p, err := experiments.RunSideEffects(context.Background(), cfg, []int{8}, []float64{1.0})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -196,7 +225,7 @@ func BenchmarkAblationZeta(b *testing.B) {
 		cfg := experiments.DefaultMakespanConfig()
 		cfg.DAGs = 40
 		cfg.Seed = int64(i + 1)
-		r, err := experiments.AblateZeta(cfg, []int{0, 16})
+		r, err := experiments.AblateZeta(context.Background(), cfg, []int{0, 16})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -213,7 +242,7 @@ func BenchmarkAcceptance(b *testing.B) {
 		cfg := experiments.DefaultAcceptanceConfig()
 		cfg.DAGs = 60
 		cfg.Seed = int64(i + 1)
-		p, err := experiments.AcceptanceRatio(cfg, []float64{2.5})
+		p, err := experiments.AcceptanceRatio(context.Background(), cfg, []float64{2.5})
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -2,19 +2,28 @@
 // L1.5 way count ζ, the way size κ at fixed capacity, the two components of
 // Algorithm 1 (way allocation vs λ-driven priorities), the SDU's per-way
 // configuration delay, and the ETM's diminishing returns per extra way.
+// These sweeps back the repository's design discussion rather than a
+// specific paper figure.
 //
 // Usage:
 //
 //	ablation [-dags N] [-trials N] [-seed S] [-which zeta|kappa|prio|delay|etm|all]
+//	         [-workers N] [-checkpoint file.json]
+//
+// Trials fan out on the internal/runner pool: -workers caps the
+// concurrency (0 = NumCPU) without changing any result, -checkpoint makes
+// an interrupted run (Ctrl-C) resumable at trial granularity.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 
 	"l15cache/internal/experiments"
 	"l15cache/internal/metrics"
+	"l15cache/internal/runner"
 )
 
 func main() {
@@ -25,20 +34,27 @@ func main() {
 	trials := flag.Int("trials", 20, "trials per point (delay)")
 	seed := flag.Int64("seed", 1, "base RNG seed")
 	which := flag.String("which", "all", "zeta, kappa, prio, delay, etm or all")
+	workers := flag.Int("workers", 0, "max concurrent trials (0 = NumCPU; never changes results)")
+	checkpoint := flag.String("checkpoint", "", "JSON checkpoint file; an interrupted sweep resumes from it")
 	metricsOut := flag.String("metrics", "", "write a metrics-registry JSON snapshot to this file")
 	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON file (chrome://tracing)")
 	flag.Parse()
 
+	ctx, stop := runner.SignalContext(context.Background())
+	defer stop()
+
+	run := runner.Options{Workers: *workers, Checkpoint: *checkpoint}
 	cfg := experiments.DefaultMakespanConfig()
 	cfg.DAGs = *dags
 	cfg.Seed = *seed
+	cfg.Run = run
 
 	want := func(name string) bool { return *which == "all" || *which == name }
 	ran := false
 
 	if want("zeta") {
 		ran = true
-		res, err := experiments.AblateZeta(cfg, experiments.AblationZetaDefault())
+		res, err := experiments.AblateZeta(ctx, cfg, experiments.AblationZetaDefault())
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -46,7 +62,7 @@ func main() {
 	}
 	if want("kappa") {
 		ran = true
-		res, err := experiments.AblateWayBytes(cfg, experiments.AblationWayBytesDefault())
+		res, err := experiments.AblateWayBytes(ctx, cfg, experiments.AblationWayBytesDefault())
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -54,7 +70,7 @@ func main() {
 	}
 	if want("prio") {
 		ran = true
-		res, err := experiments.AblatePriorities(cfg)
+		res, err := experiments.AblatePriorities(ctx, cfg)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -62,7 +78,7 @@ func main() {
 	}
 	if want("delay") {
 		ran = true
-		res, err := experiments.AblateConfigDelay(*trials, *seed, experiments.AblationDelayDefault())
+		res, err := experiments.AblateConfigDelay(ctx, *trials, *seed, run, experiments.AblationDelayDefault())
 		if err != nil {
 			log.Fatal(err)
 		}

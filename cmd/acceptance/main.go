@@ -6,16 +6,22 @@
 //
 // Usage:
 //
-//	acceptance [-dags N] [-cores M] [-seed S]
+//	acceptance [-dags N] [-cores M] [-seed S] [-workers N] [-checkpoint file.json]
+//
+// Trials fan out on the internal/runner pool: -workers caps the
+// concurrency (0 = NumCPU) without changing any result, -checkpoint makes
+// an interrupted run (Ctrl-C) resumable at trial granularity.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 
 	"l15cache/internal/experiments"
 	"l15cache/internal/metrics"
+	"l15cache/internal/runner"
 )
 
 func main() {
@@ -25,18 +31,24 @@ func main() {
 	dags := flag.Int("dags", 200, "tasks per utilisation point")
 	cores := flag.Int("cores", 8, "core count m")
 	seed := flag.Int64("seed", 1, "base RNG seed")
+	workers := flag.Int("workers", 0, "max concurrent trials (0 = NumCPU; never changes results)")
+	checkpoint := flag.String("checkpoint", "", "JSON checkpoint file; an interrupted sweep resumes from it")
 	csv := flag.Bool("csv", false, "emit CSV instead of the formatted table")
 	metricsOut := flag.String("metrics", "", "write a metrics-registry JSON snapshot to this file")
 	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON file (chrome://tracing)")
 	flag.Parse()
 
+	ctx, stop := runner.SignalContext(context.Background())
+	defer stop()
+
 	cfg := experiments.DefaultAcceptanceConfig()
 	cfg.DAGs = *dags
 	cfg.Cores = *cores
 	cfg.Seed = *seed
+	cfg.Run = runner.Options{Workers: *workers, Checkpoint: *checkpoint}
 
 	utils := []float64{0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0}
-	points, err := experiments.AcceptanceRatio(cfg, utils)
+	points, err := experiments.AcceptanceRatio(ctx, cfg, utils)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -5,7 +5,11 @@
 //
 // Usage:
 //
-//	area [-gates]
+//	area [-gates] [-workers N]
+//
+// The area model is closed-form — there is no randomized sweep to fan
+// out — so -workers is accepted only for interface parity with the other
+// experiment commands and has no effect.
 package main
 
 import (
@@ -19,6 +23,7 @@ import (
 
 func main() {
 	gates := flag.Bool("gates", false, "also print the L1.5 gate-count breakdown")
+	_ = flag.Int("workers", 0, "accepted for parity with the sweep commands; the analytic model has nothing to parallelise")
 	metricsOut := flag.String("metrics", "", "write a metrics-registry JSON snapshot to this file")
 	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON file (chrome://tracing)")
 	flag.Parse()

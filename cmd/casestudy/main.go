@@ -5,15 +5,22 @@
 // Usage:
 //
 //	casestudy [-cores 8|16] [-trials N] [-step pct] [-seed S]
+//	          [-workers N] [-checkpoint file.json]
+//
+// Trials fan out on the internal/runner pool: -workers caps the
+// concurrency (0 = NumCPU) without changing any result, -checkpoint makes
+// an interrupted run (Ctrl-C) resumable at trial granularity.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 
 	"l15cache/internal/experiments"
 	"l15cache/internal/metrics"
+	"l15cache/internal/runner"
 )
 
 func main() {
@@ -24,22 +31,28 @@ func main() {
 	trials := flag.Int("trials", 200, "trials per utilisation point")
 	step := flag.Float64("step", 0.05, "utilisation step")
 	seed := flag.Int64("seed", 1, "base RNG seed")
+	workers := flag.Int("workers", 0, "max concurrent trials (0 = NumCPU; never changes results)")
+	checkpoint := flag.String("checkpoint", "", "JSON checkpoint file; an interrupted sweep resumes from it")
 	csv := flag.Bool("csv", false, "emit CSV instead of the formatted table")
 	partitioned := flag.Bool("partitioned", false, "partition tasks to clusters instead of global scheduling")
 	metricsOut := flag.String("metrics", "", "write a metrics-registry JSON snapshot to this file")
 	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON file (chrome://tracing)")
 	flag.Parse()
 
+	ctx, stop := runner.SignalContext(context.Background())
+	defer stop()
+
 	cfg := experiments.DefaultCaseStudyConfig(*cores)
 	cfg.Trials = *trials
 	cfg.Seed = *seed
 	cfg.RT.Partitioned = *partitioned
+	cfg.Run = runner.Options{Workers: *workers, Checkpoint: *checkpoint}
 
 	var utils []float64
 	for u := 0.40; u <= 0.90+1e-9; u += *step {
 		utils = append(utils, u)
 	}
-	res, err := experiments.RunCaseStudy(cfg, utils)
+	res, err := experiments.RunCaseStudy(ctx, cfg, utils)
 	if err != nil {
 		log.Fatal(err)
 	}

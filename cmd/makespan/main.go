@@ -5,19 +5,25 @@
 //
 // Usage:
 //
-//	makespan [-sweep u|p|cpr|all] [-dags N] [-instances N] [-cores N] [-seed S]
+//	makespan [-sweep u|p|cpr|all] [-dags N] [-instances N] [-cores N]
+//	         [-seed S] [-workers N] [-checkpoint file.json]
 //
 // With the defaults (500 DAGs × 10 instances, as in §5.1) a full run takes
-// a few minutes; use -dags 100 for a quick pass.
+// a few minutes; use -dags 100 for a quick pass. Trials fan out on the
+// internal/runner pool: -workers caps the concurrency (0 = NumCPU) without
+// changing any result, -checkpoint makes an interrupted run (Ctrl-C)
+// resumable at trial granularity.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 
 	"l15cache/internal/experiments"
 	"l15cache/internal/metrics"
+	"l15cache/internal/runner"
 )
 
 func main() {
@@ -29,34 +35,40 @@ func main() {
 	instances := flag.Int("instances", 10, "instances per DAG (first is cold)")
 	cores := flag.Int("cores", 8, "number of cores m")
 	seed := flag.Int64("seed", 1, "base RNG seed")
+	workers := flag.Int("workers", 0, "max concurrent trials (0 = NumCPU; never changes results)")
+	checkpoint := flag.String("checkpoint", "", "JSON checkpoint file; an interrupted sweep resumes from it")
 	csv := flag.Bool("csv", false, "emit CSV instead of the formatted tables")
 	metricsOut := flag.String("metrics", "", "write a metrics-registry JSON snapshot to this file")
 	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON file (chrome://tracing)")
 	flag.Parse()
+
+	ctx, stop := runner.SignalContext(context.Background())
+	defer stop()
 
 	cfg := experiments.DefaultMakespanConfig()
 	cfg.DAGs = *dags
 	cfg.Instances = *instances
 	cfg.Cores = *cores
 	cfg.Seed = *seed
+	cfg.Run = runner.Options{Workers: *workers, Checkpoint: *checkpoint}
 
-	type runner struct {
+	type sweepRun struct {
 		name string
 		run  func() (*experiments.MakespanSweep, error)
 	}
-	runners := []runner{
+	runs := []sweepRun{
 		{"u", func() (*experiments.MakespanSweep, error) {
-			return experiments.SweepUtilization(cfg, []float64{0.2, 0.4, 0.6, 0.8, 1.0})
+			return experiments.SweepUtilization(ctx, cfg, []float64{0.2, 0.4, 0.6, 0.8, 1.0})
 		}},
 		{"p", func() (*experiments.MakespanSweep, error) {
-			return experiments.SweepWidth(cfg, []float64{9, 12, 15, 18, 21})
+			return experiments.SweepWidth(ctx, cfg, []float64{9, 12, 15, 18, 21})
 		}},
 		{"cpr", func() (*experiments.MakespanSweep, error) {
-			return experiments.SweepCPR(cfg, []float64{0.1, 0.2, 0.3, 0.4, 0.5})
+			return experiments.SweepCPR(ctx, cfg, []float64{0.1, 0.2, 0.3, 0.4, 0.5})
 		}},
 	}
 	ran := false
-	for _, r := range runners {
+	for _, r := range runs {
 		if *sweep != "all" && *sweep != r.name {
 			continue
 		}

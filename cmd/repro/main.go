@@ -5,10 +5,15 @@
 //
 // Usage:
 //
-//	repro [-quick] [-o report.md] [-seed S] [-metrics m.json] [-trace t.json]
+//	repro [-quick] [-o report.md] [-seed S] [-workers N] [-checkpoint cp.json]
+//	      [-metrics m.json] [-trace t.json]
 //
 // -quick runs reduced sample sizes (~30 s); the default runs the paper's
 // full sizes (500 DAGs × 10 instances, 200 trials — several minutes).
+// Every randomized sweep fans out on the internal/runner pool: -workers
+// caps the concurrency (0 = NumCPU) without changing any result, and
+// -checkpoint makes an interrupted run (Ctrl-C) resumable at trial
+// granularity.
 // -metrics serialises the unified metrics registry (scheduler wave counts,
 // rtsim counters, and the cycle-accurate smoke run's L1/L1.5/L2 hit+miss
 // counters and SDU latency histograms) as stable JSON — the artifact the CI
@@ -16,6 +21,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -27,6 +33,7 @@ import (
 	"l15cache/internal/metrics"
 	"l15cache/internal/monitor"
 	"l15cache/internal/rtsim"
+	"l15cache/internal/runner"
 	"l15cache/internal/soc"
 	"l15cache/internal/workload"
 )
@@ -91,9 +98,15 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced sample sizes (~30s instead of minutes)")
 	out := flag.String("o", "repro_report.md", "output report path ('-' for stdout)")
 	seed := flag.Int64("seed", 1, "base RNG seed")
+	workers := flag.Int("workers", 0, "max concurrent trials (0 = NumCPU; never changes results)")
+	checkpoint := flag.String("checkpoint", "", "JSON checkpoint file; an interrupted run resumes from it")
 	metricsOut := flag.String("metrics", "", "write a metrics-registry JSON snapshot to this file")
 	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON file (chrome://tracing)")
 	flag.Parse()
+
+	ctx, stop := runner.SignalContext(context.Background())
+	defer stop()
+	run := runner.Options{Workers: *workers, Checkpoint: *checkpoint}
 
 	var sb strings.Builder
 	sb.WriteString("# Reproduction report — L1.5 Cache co-design (DAC 2024)\n\n")
@@ -105,9 +118,11 @@ func main() {
 
 	mk := experiments.DefaultMakespanConfig()
 	mk.Seed = *seed
+	mk.Run = run
 	cs8 := experiments.DefaultCaseStudyConfig(8)
 	cs16 := experiments.DefaultCaseStudyConfig(16)
 	cs8.Seed, cs16.Seed = *seed, *seed
+	cs8.Run, cs16.Run = run, run
 	seTrials := 50
 	utils := []float64{0.40, 0.45, 0.50, 0.55, 0.60, 0.65, 0.70, 0.75, 0.80, 0.85, 0.90}
 	if *quick {
@@ -128,13 +143,13 @@ func main() {
 	}
 	for _, sr := range []sweepRun{
 		{"Fig. 7(a) + Tab. 2 left — utilisation sweep", func() (*experiments.MakespanSweep, error) {
-			return experiments.SweepUtilization(mk, []float64{0.2, 0.4, 0.6, 0.8, 1.0})
+			return experiments.SweepUtilization(ctx, mk, []float64{0.2, 0.4, 0.6, 0.8, 1.0})
 		}},
 		{"Fig. 7(b) + Tab. 2 middle — width sweep", func() (*experiments.MakespanSweep, error) {
-			return experiments.SweepWidth(mk, []float64{9, 12, 15, 18, 21})
+			return experiments.SweepWidth(ctx, mk, []float64{9, 12, 15, 18, 21})
 		}},
 		{"Fig. 7(c) + Tab. 2 right — cpr sweep", func() (*experiments.MakespanSweep, error) {
-			return experiments.SweepCPR(mk, []float64{0.1, 0.2, 0.3, 0.4, 0.5})
+			return experiments.SweepCPR(ctx, mk, []float64{0.1, 0.2, 0.3, 0.4, 0.5})
 		}},
 	} {
 		step(sr.name)
@@ -153,7 +168,7 @@ func main() {
 	for _, cfg := range []experiments.CaseStudyConfig{cs8, cs16} {
 		name := fmt.Sprintf("Fig. 8 — success ratio, %d cores", cfg.Cores)
 		step(name)
-		res, err := experiments.RunCaseStudy(cfg, utils)
+		res, err := experiments.RunCaseStudy(ctx, cfg, utils)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -164,11 +179,12 @@ func main() {
 
 	// Fig. 8(c).
 	step("Fig. 8(c) — side effects")
-	sePts, err := experiments.RunSideEffects(experiments.SideEffectsConfig{
+	sePts, err := experiments.RunSideEffects(ctx, experiments.SideEffectsConfig{
 		Trials: seTrials,
 		Seed:   *seed,
 		RT:     rtsim.DefaultConfig(),
 		Set:    workload.DefaultTaskSetParams(),
+		Run:    run,
 	}, []int{8, 16}, []float64{0.8, 1.0})
 	if err != nil {
 		log.Fatal(err)
@@ -195,11 +211,11 @@ func main() {
 		abl.DAGs = 200
 	}
 	step("ablations")
-	zeta, err := experiments.AblateZeta(abl, experiments.AblationZetaDefault())
+	zeta, err := experiments.AblateZeta(ctx, abl, experiments.AblationZetaDefault())
 	if err != nil {
 		log.Fatal(err)
 	}
-	prio, err := experiments.AblatePriorities(abl)
+	prio, err := experiments.AblatePriorities(ctx, abl)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -212,11 +228,12 @@ func main() {
 	// Acceptance.
 	acc := experiments.DefaultAcceptanceConfig()
 	acc.Seed = *seed
+	acc.Run = run
 	if *quick {
 		acc.DAGs = 50
 	}
 	step("acceptance ratio")
-	pts, err := experiments.AcceptanceRatio(acc, []float64{1.0, 2.0, 2.5, 3.0, 4.0})
+	pts, err := experiments.AcceptanceRatio(ctx, acc, []float64{1.0, 2.0, 2.5, 3.0, 4.0})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -5,10 +5,15 @@
 //
 // Usage:
 //
-//	sideeffects [-trials N] [-seed S]
+//	sideeffects [-trials N] [-seed S] [-workers N] [-checkpoint file.json]
+//
+// Trials fan out on the internal/runner pool: -workers caps the
+// concurrency (0 = NumCPU) without changing any result, -checkpoint makes
+// an interrupted run (Ctrl-C) resumable at trial granularity.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -16,6 +21,7 @@ import (
 	"l15cache/internal/experiments"
 	"l15cache/internal/metrics"
 	"l15cache/internal/rtsim"
+	"l15cache/internal/runner"
 	"l15cache/internal/workload"
 )
 
@@ -25,18 +31,24 @@ func main() {
 
 	trials := flag.Int("trials", 50, "trials per configuration")
 	seed := flag.Int64("seed", 1, "base RNG seed")
+	workers := flag.Int("workers", 0, "max concurrent trials (0 = NumCPU; never changes results)")
+	checkpoint := flag.String("checkpoint", "", "JSON checkpoint file; an interrupted sweep resumes from it")
 	csv := flag.Bool("csv", false, "emit CSV instead of the formatted table")
 	metricsOut := flag.String("metrics", "", "write a metrics-registry JSON snapshot to this file")
 	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON file (chrome://tracing)")
 	flag.Parse()
+
+	ctx, stop := runner.SignalContext(context.Background())
+	defer stop()
 
 	cfg := experiments.SideEffectsConfig{
 		Trials: *trials,
 		Seed:   *seed,
 		RT:     rtsim.DefaultConfig(),
 		Set:    workload.DefaultTaskSetParams(),
+		Run:    runner.Options{Workers: *workers, Checkpoint: *checkpoint},
 	}
-	pts, err := experiments.RunSideEffects(cfg, []int{8, 16}, []float64{0.8, 1.0})
+	pts, err := experiments.RunSideEffects(ctx, cfg, []int{8, 16}, []float64{0.8, 1.0})
 	if err != nil {
 		log.Fatal(err)
 	}

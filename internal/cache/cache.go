@@ -85,10 +85,16 @@ func New(totalBytes, ways, lineBytes, hitLatency int) (*Cache, error) {
 	return c, nil
 }
 
-// Sets, Ways, LineBytes and HitLatency expose the geometry.
-func (c *Cache) Sets() int       { return c.sets }
-func (c *Cache) Ways() int       { return c.ways }
-func (c *Cache) LineBytes() int  { return c.lineBytes }
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return c.sets }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.ways }
+
+// LineBytes returns the line size in bytes.
+func (c *Cache) LineBytes() int { return c.lineBytes }
+
+// HitLatency returns the hit latency in cycles.
 func (c *Cache) HitLatency() int { return c.hitLat }
 
 // AllWays is the mask selecting the whole associativity.

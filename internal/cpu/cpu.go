@@ -47,6 +47,7 @@ const (
 	TrapMemFault
 )
 
+// String names the trap kind.
 func (k TrapKind) String() string {
 	switch k {
 	case TrapNone:

@@ -1,13 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
-	"math/rand"
 	"strings"
 
 	"l15cache/internal/dag"
 	"l15cache/internal/etm"
 	"l15cache/internal/rtsim"
+	"l15cache/internal/runner"
 	"l15cache/internal/sched"
 	"l15cache/internal/schedsim"
 	"l15cache/internal/stats"
@@ -50,14 +51,16 @@ func (a *AblationResult) Format() string {
 	return sb.String()
 }
 
-// meanPropMakespan generates cfg.DAGs tasks and returns the mean
-// deadline-normalised steady makespan of the proposed system under the
-// given schedule transformer.
-func meanPropMakespan(cfg MakespanConfig, schedule func(*dag.Task) (*sched.Result, *schedsim.Proposed, error)) (float64, error) {
-	var sum float64
-	for i := 0; i < cfg.DAGs; i++ {
-		r := rand.New(rand.NewSource(cfg.Seed + int64(i)*7919))
-		task, err := workload.Synthetic(r, cfg.Base)
+// meanPropMakespan generates cfg.DAGs tasks on the runner and returns the
+// mean deadline-normalised steady makespan of the proposed system under
+// the given schedule transformer.
+func meanPropMakespan(ctx context.Context, name string, cfg MakespanConfig, schedule func(*dag.Task) (*sched.Result, *schedsim.Proposed, error)) (float64, error) {
+	values, err := runner.Map(ctx, runner.Config{
+		Name:     name,
+		RootSeed: cfg.Seed,
+		Options:  cfg.Run,
+	}, cfg.DAGs, func(_ context.Context, s runner.Shard) (float64, error) {
+		task, err := workload.Synthetic(s.RNG(), cfg.Base)
 		if err != nil {
 			return 0, err
 		}
@@ -69,7 +72,14 @@ func meanPropMakespan(cfg MakespanConfig, schedule func(*dag.Task) (*sched.Resul
 		if err != nil {
 			return 0, err
 		}
-		sum += st[0].Makespan / task.Period
+		return st[0].Makespan / task.Period, nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	var sum float64
+	for _, v := range values {
+		sum += v
 	}
 	return sum / float64(cfg.DAGs), nil
 }
@@ -77,16 +87,17 @@ func meanPropMakespan(cfg MakespanConfig, schedule func(*dag.Task) (*sched.Resul
 // AblateZeta sweeps the L1.5 way count ζ and reports the mean normalised
 // makespan of the proposed system (lower is better; the paper's SoC uses
 // 16).
-func AblateZeta(cfg MakespanConfig, zetas []int) (*AblationResult, error) {
+func AblateZeta(ctx context.Context, cfg MakespanConfig, zetas []int) (*AblationResult, error) {
 	out := &AblationResult{Name: "zeta", Metric: "mean makespan / T"}
 	for _, z := range zetas {
-		v, err := meanPropMakespan(cfg, func(t *dag.Task) (*sched.Result, *schedsim.Proposed, error) {
-			p, err := schedsim.NewProposed(t, z, cfg.WayBytes)
-			if err != nil {
-				return nil, nil, err
-			}
-			return p.Alloc, p, nil
-		})
+		v, err := meanPropMakespan(ctx, fmt.Sprintf("ablation/zeta=%d", z), cfg,
+			func(t *dag.Task) (*sched.Result, *schedsim.Proposed, error) {
+				p, err := schedsim.NewProposed(t, z, cfg.WayBytes)
+				if err != nil {
+					return nil, nil, err
+				}
+				return p.Alloc, p, nil
+			})
 		if err != nil {
 			return nil, err
 		}
@@ -98,7 +109,7 @@ func AblateZeta(cfg MakespanConfig, zetas []int) (*AblationResult, error) {
 // AblateWayBytes sweeps κ at fixed total capacity ζ×κ = 32 KB and reports
 // the mean normalised makespan: small ways allocate precisely but cap the
 // per-node speed-up resolution; huge ways waste capacity on small δ.
-func AblateWayBytes(cfg MakespanConfig, wayBytes []int64) (*AblationResult, error) {
+func AblateWayBytes(ctx context.Context, cfg MakespanConfig, wayBytes []int64) (*AblationResult, error) {
 	const totalBytes = 32 * 1024
 	out := &AblationResult{Name: "kappa", Metric: "mean makespan / T (32KB total)"}
 	for _, kb := range wayBytes {
@@ -106,13 +117,14 @@ func AblateWayBytes(cfg MakespanConfig, wayBytes []int64) (*AblationResult, erro
 			return nil, fmt.Errorf("experiments: way size %d does not divide %d", kb, totalBytes)
 		}
 		zeta := int(totalBytes / kb)
-		v, err := meanPropMakespan(cfg, func(t *dag.Task) (*sched.Result, *schedsim.Proposed, error) {
-			p, err := schedsim.NewProposed(t, zeta, kb)
-			if err != nil {
-				return nil, nil, err
-			}
-			return p.Alloc, p, nil
-		})
+		v, err := meanPropMakespan(ctx, fmt.Sprintf("ablation/kappa=%d", kb), cfg,
+			func(t *dag.Task) (*sched.Result, *schedsim.Proposed, error) {
+				p, err := schedsim.NewProposed(t, zeta, kb)
+				if err != nil {
+					return nil, nil, err
+				}
+				return p.Alloc, p, nil
+			})
 		if err != nil {
 			return nil, err
 		}
@@ -135,48 +147,56 @@ type PriorityAblation struct {
 	Full, WaysOnly, PrioOnly float64
 }
 
-// AblatePriorities runs the priority-policy ablation.
-func AblatePriorities(cfg MakespanConfig) (PriorityAblation, error) {
+// prioTrial carries one DAG's three variant makespans. Fields are
+// exported so the runner can checkpoint a trial as JSON.
+type prioTrial struct {
+	Full     float64 `json:"full"`
+	WaysOnly float64 `json:"ways_only"`
+	PrioOnly float64 `json:"prio_only"`
+}
+
+// AblatePriorities runs the priority-policy ablation on the runner: each
+// trial evaluates all three variants on the same task.
+func AblatePriorities(ctx context.Context, cfg MakespanConfig) (PriorityAblation, error) {
 	var out PriorityAblation
-	var full, waysOnly, prioOnly []float64
-	for i := 0; i < cfg.DAGs; i++ {
-		r := rand.New(rand.NewSource(cfg.Seed + int64(i)*7919))
-		task, err := workload.Synthetic(r, cfg.Base)
+	trials, err := runner.Map(ctx, runner.Config{
+		Name:     "ablation/prio",
+		RootSeed: cfg.Seed,
+		Options:  cfg.Run,
+	}, cfg.DAGs, func(_ context.Context, s runner.Shard) (prioTrial, error) {
+		var tr prioTrial
+		task, err := workload.Synthetic(s.RNG(), cfg.Base)
 		if err != nil {
-			return out, err
+			return tr, err
 		}
 
 		// Full Alg. 1.
 		p, err := schedsim.NewProposed(task.Clone(), cfg.Zeta, cfg.WayBytes)
 		if err != nil {
-			return out, err
+			return tr, err
 		}
-		v, err := oneNormMakespan(p.Alloc, p, cfg)
-		if err != nil {
-			return out, err
+		if tr.Full, err = oneNormMakespan(p.Alloc, p, cfg); err != nil {
+			return tr, err
 		}
-		full = append(full, v)
 
 		// Ways only: keep the allocation, overwrite priorities with the
 		// raw longest-path-first assignment.
 		waysAlloc, err := sched.L15Schedule(task.Clone(), cfg.Zeta, cfg.WayBytes)
 		if err != nil {
-			return out, err
+			return tr, err
 		}
 		if _, err := sched.LongestPathFirst(waysAlloc.Task); err != nil {
-			return out, err
+			return tr, err
 		}
-		v, err = oneNormMakespan(waysAlloc, &schedsim.Proposed{Alloc: waysAlloc}, cfg)
-		if err != nil {
-			return out, err
+		if tr.WaysOnly, err = oneNormMakespan(waysAlloc, &schedsim.Proposed{Alloc: waysAlloc}, cfg); err != nil {
+			return tr, err
 		}
-		waysOnly = append(waysOnly, v)
 
 		// Priorities only: Alg. 1 priorities, zero ways at run time
 		// (an empty way model over the priority-bearing task).
 		prioAlloc, err := sched.L15Schedule(task.Clone(), cfg.Zeta, cfg.WayBytes)
 		if err != nil {
-			return out, err
+			return tr, err
 		}
 		empty := &sched.Result{
 			Task:      prioAlloc.Task,
@@ -184,11 +204,19 @@ func AblatePriorities(cfg MakespanConfig) (PriorityAblation, error) {
 			LocalWays: map[dag.NodeID]int{},
 			Model:     etm.NewModel(prioAlloc.Task, cfg.WayBytes),
 		}
-		v, err = oneNormMakespan(empty, &schedsim.Proposed{Alloc: empty}, cfg)
-		if err != nil {
-			return out, err
+		if tr.PrioOnly, err = oneNormMakespan(empty, &schedsim.Proposed{Alloc: empty}, cfg); err != nil {
+			return tr, err
 		}
-		prioOnly = append(prioOnly, v)
+		return tr, nil
+	})
+	if err != nil {
+		return out, err
+	}
+	full := make([]float64, len(trials))
+	waysOnly := make([]float64, len(trials))
+	prioOnly := make([]float64, len(trials))
+	for i, tr := range trials {
+		full[i], waysOnly[i], prioOnly[i] = tr.Full, tr.WaysOnly, tr.PrioOnly
 	}
 	out.Full = stats.Mean(full)
 	out.WaysOnly = stats.Mean(waysOnly)
@@ -216,33 +244,42 @@ func (p PriorityAblation) Format() string {
 
 // AblateConfigDelay sweeps the SDU per-way configuration delay in the
 // periodic simulator and reports φ (the §5.3 metric) at 8 cores, 80%
-// utilisation.
-func AblateConfigDelay(trials int, seed int64, delays []float64) (*AblationResult, error) {
+// utilisation. run carries the worker-pool/checkpoint settings.
+func AblateConfigDelay(ctx context.Context, trials int, seed int64, run runner.Options, delays []float64) (*AblationResult, error) {
 	if trials <= 0 {
 		return nil, fmt.Errorf("experiments: trials = %d", trials)
 	}
 	out := &AblationResult{Name: "config-delay", Metric: "phi"}
-	for _, d := range delays {
+	for di, d := range delays {
 		if d < 0 {
 			return nil, fmt.Errorf("experiments: negative delay %g", d)
 		}
-		var phi float64
-		for trial := 0; trial < trials; trial++ {
-			r := rand.New(rand.NewSource(seed + int64(trial)*7919))
+		phis, err := runner.Map(ctx, runner.Config{
+			Name:     fmt.Sprintf("ablation/delay=%g", d),
+			RootSeed: runner.Seed(seed, di),
+			Options:  run,
+		}, trials, func(_ context.Context, s runner.Shard) (float64, error) {
 			set := workload.DefaultTaskSetParams()
 			set.TargetUtilization = 0.8 * 8
 			set.Tasks = 16
-			tasks, err := workload.TaskSet(r, set)
+			tasks, err := workload.TaskSet(s.RNG(), set)
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
 			cfg := rtsim.DefaultConfig()
 			cfg.WayConfigDelay = d
 			m, err := rtsim.Run(tasks, rtsim.KindProp, cfg)
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
-			phi += m.Phi
+			return m.Phi, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		var phi float64
+		for _, p := range phis {
+			phi += p
 		}
 		out.Points = append(out.Points, AblationPoint{Param: d, Value: phi / float64(trials)})
 	}

@@ -1,9 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
+
+	"l15cache/internal/runner"
 )
 
 func ablCfg() MakespanConfig {
@@ -13,7 +16,7 @@ func ablCfg() MakespanConfig {
 }
 
 func TestAblateZetaMonotone(t *testing.T) {
-	res, err := AblateZeta(ablCfg(), []int{0, 4, 16, 32})
+	res, err := AblateZeta(context.Background(), ablCfg(), []int{0, 4, 16, 32})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -35,7 +38,7 @@ func TestAblateZetaMonotone(t *testing.T) {
 }
 
 func TestAblateWayBytes(t *testing.T) {
-	res, err := AblateWayBytes(ablCfg(), []int64{1024, 2048, 4096})
+	res, err := AblateWayBytes(context.Background(), ablCfg(), []int64{1024, 2048, 4096})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,13 +47,13 @@ func TestAblateWayBytes(t *testing.T) {
 			t.Errorf("bad value at κ=%g: %g", p.Param, p.Value)
 		}
 	}
-	if _, err := AblateWayBytes(ablCfg(), []int64{3000}); err == nil {
+	if _, err := AblateWayBytes(context.Background(), ablCfg(), []int64{3000}); err == nil {
 		t.Error("non-dividing way size accepted")
 	}
 }
 
 func TestAblatePriorities(t *testing.T) {
-	res, err := AblatePriorities(ablCfg())
+	res, err := AblatePriorities(context.Background(), ablCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +75,7 @@ func TestAblatePriorities(t *testing.T) {
 }
 
 func TestAblateConfigDelay(t *testing.T) {
-	res, err := AblateConfigDelay(5, 1, []float64{0, 0.05})
+	res, err := AblateConfigDelay(context.Background(), 5, 1, runner.Options{}, []float64{0, 0.05})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,10 +86,10 @@ func TestAblateConfigDelay(t *testing.T) {
 	if res.Points[1].Value <= 0 {
 		t.Errorf("φ with slow SDU = %g, want > 0", res.Points[1].Value)
 	}
-	if _, err := AblateConfigDelay(0, 1, []float64{0}); err == nil {
+	if _, err := AblateConfigDelay(context.Background(), 0, 1, runner.Options{}, []float64{0}); err == nil {
 		t.Error("zero trials accepted")
 	}
-	if _, err := AblateConfigDelay(1, 1, []float64{-1}); err == nil {
+	if _, err := AblateConfigDelay(context.Background(), 1, 1, runner.Options{}, []float64{-1}); err == nil {
 		t.Error("negative delay accepted")
 	}
 }
@@ -135,7 +138,7 @@ func TestDefaultsSane(t *testing.T) {
 
 func TestCSVExports(t *testing.T) {
 	cfg := smallCfgCSV()
-	s, err := SweepUtilization(cfg, []float64{0.5})
+	s, err := SweepUtilization(context.Background(), cfg, []float64{0.5})
 	if err != nil {
 		t.Fatal(err)
 	}

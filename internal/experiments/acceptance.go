@@ -1,12 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
-	"math/rand"
 	"strings"
 
 	"l15cache/internal/analysis"
 	"l15cache/internal/dag"
+	"l15cache/internal/runner"
 	"l15cache/internal/schedsim"
 	"l15cache/internal/workload"
 )
@@ -41,6 +42,7 @@ type AcceptanceConfig struct {
 	WayBytes int64
 	Seed     int64
 	Base     workload.SynthParams
+	Run      runner.Options // worker pool / checkpoint settings
 }
 
 // DefaultAcceptanceConfig mirrors the makespan experiment's platform.
@@ -55,57 +57,73 @@ func DefaultAcceptanceConfig() AcceptanceConfig {
 	}
 }
 
-// AcceptanceRatio sweeps the task utilisation and returns the per-point
-// acceptance fractions.
-func AcceptanceRatio(cfg AcceptanceConfig, utils []float64) ([]AcceptancePoint, error) {
+// acceptanceTrial records one task's three verdicts. Fields are exported
+// so the runner can checkpoint a trial as JSON.
+type acceptanceTrial struct {
+	Base bool `json:"base"` // conventional bound meets the deadline
+	Prop bool `json:"prop"` // proposed bound meets the deadline
+	Sim  bool `json:"sim"`  // simulated proposed makespan meets the deadline
+}
+
+// AcceptanceRatio sweeps the task utilisation on the runner and returns
+// the per-point acceptance fractions.
+func AcceptanceRatio(ctx context.Context, cfg AcceptanceConfig, utils []float64) ([]AcceptancePoint, error) {
 	if cfg.DAGs <= 0 || cfg.Cores <= 0 {
 		return nil, fmt.Errorf("experiments: need positive DAGs and Cores")
 	}
 	var out []AcceptancePoint
 	for ui, u := range utils {
-		pt := AcceptancePoint{Utilization: u}
-		for i := 0; i < cfg.DAGs; i++ {
-			r := rand.New(rand.NewSource(cfg.Seed + int64(ui)*1_000_003 + int64(i)*7919))
+		trials, err := runner.Map(ctx, runner.Config{
+			Name:     fmt.Sprintf("acceptance/U=%g", u),
+			RootSeed: runner.Seed(cfg.Seed, ui),
+			Options:  cfg.Run,
+		}, cfg.DAGs, func(_ context.Context, s runner.Shard) (acceptanceTrial, error) {
+			var tr acceptanceTrial
 			p := cfg.Base
 			p.Utilization = u
-			task, err := workload.Synthetic(r, p)
+			task, err := workload.Synthetic(s.RNG(), p)
 			if err != nil {
-				return nil, err
+				return tr, err
 			}
 
 			// Conventional bound: raw edge costs.
-			okBase, _, err := analysis.Schedulable(task, cfg.Cores, dag.RawCost)
-			if err != nil {
-				return nil, err
-			}
-			if okBase {
-				pt.BaseAccepted++
+			if tr.Base, _, err = analysis.Schedulable(task, cfg.Cores, dag.RawCost); err != nil {
+				return tr, err
 			}
 
 			// Proposed bound: Alg. 1 allocation, ETM edge costs.
 			prop, err := schedsim.NewProposed(task.Clone(), cfg.Zeta, cfg.WayBytes)
 			if err != nil {
-				return nil, err
+				return tr, err
 			}
-			okProp, _, err := analysis.Schedulable(prop.Alloc.Task, cfg.Cores, prop.Alloc.Model.Weight())
-			if err != nil {
-				return nil, err
-			}
-			if okProp {
-				pt.PropAccepted++
+			if tr.Prop, _, err = analysis.Schedulable(prop.Alloc.Task, cfg.Cores, prop.Alloc.Model.Weight()); err != nil {
+				return tr, err
 			}
 
 			// Ground truth on the proposed platform.
 			st, err := schedsim.Run(prop.Alloc, prop, schedsim.Options{Cores: cfg.Cores})
 			if err != nil {
-				return nil, err
+				return tr, err
 			}
-			feasible := st[0].Makespan <= prop.Alloc.Task.Deadline
-			if feasible {
+			tr.Sim = st[0].Makespan <= prop.Alloc.Task.Deadline
+			if tr.Prop && !tr.Sim {
+				return tr, fmt.Errorf("experiments: unsound bound at U=%g shard %d", u, s.Index)
+			}
+			return tr, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		pt := AcceptancePoint{Utilization: u}
+		for _, tr := range trials {
+			if tr.Base {
+				pt.BaseAccepted++
+			}
+			if tr.Prop {
+				pt.PropAccepted++
+			}
+			if tr.Sim {
 				pt.SimFeasible++
-			}
-			if okProp && !feasible {
-				return nil, fmt.Errorf("experiments: unsound bound at U=%g seed %d", u, i)
 			}
 		}
 		n := float64(cfg.DAGs)

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -8,7 +9,7 @@ import (
 func TestAcceptanceRatio(t *testing.T) {
 	cfg := DefaultAcceptanceConfig()
 	cfg.DAGs = 40
-	points, err := AcceptanceRatio(cfg, []float64{1.0, 2.5, 4.0})
+	points, err := AcceptanceRatio(context.Background(), cfg, []float64{1.0, 2.5, 4.0})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,12 +57,12 @@ func TestAcceptanceRatio(t *testing.T) {
 func TestAcceptanceErrors(t *testing.T) {
 	cfg := DefaultAcceptanceConfig()
 	cfg.DAGs = 0
-	if _, err := AcceptanceRatio(cfg, []float64{1}); err == nil {
+	if _, err := AcceptanceRatio(context.Background(), cfg, []float64{1}); err == nil {
 		t.Error("zero DAGs accepted")
 	}
 	cfg = DefaultAcceptanceConfig()
 	cfg.Cores = 0
-	if _, err := AcceptanceRatio(cfg, []float64{1}); err == nil {
+	if _, err := AcceptanceRatio(context.Background(), cfg, []float64{1}); err == nil {
 		t.Error("zero cores accepted")
 	}
 }

@@ -1,13 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
-	"runtime"
 	"strings"
-	"sync"
 
 	"l15cache/internal/rtsim"
+	"l15cache/internal/runner"
 	"l15cache/internal/workload"
 )
 
@@ -21,9 +21,10 @@ type CaseStudyConfig struct {
 	Cores  int   // 8 or 16
 	Trials int   // 200 in the paper
 	Tasks  int   // DAG tasks per set (defaults to Cores)
-	Seed   int64 // base RNG seed
+	Seed   int64 // root RNG seed (per-trial seeds derive from it)
 	RT     rtsim.Config
 	Set    workload.TaskSetParams
+	Run    runner.Options // worker pool / checkpoint settings
 }
 
 // DefaultCaseStudyConfig mirrors §5.2 for the given core count.
@@ -56,8 +57,9 @@ type CaseStudyResult struct {
 // RunCaseStudy sweeps the target utilisation (fraction of total core
 // capacity, the paper's 40%–90% at 5% steps) and returns the success ratio
 // of every system. Within a trial all systems execute the identical task
-// set, matching the paper's fairness protocol.
-func RunCaseStudy(cfg CaseStudyConfig, utils []float64) (*CaseStudyResult, error) {
+// set, matching the paper's fairness protocol. Trials of a point fan out
+// on the runner; each draws its task set from its shard seed alone.
+func RunCaseStudy(ctx context.Context, cfg CaseStudyConfig, utils []float64) (*CaseStudyResult, error) {
 	if cfg.Cores <= 0 || cfg.Trials <= 0 {
 		return nil, fmt.Errorf("experiments: need positive Cores and Trials")
 	}
@@ -66,31 +68,22 @@ func RunCaseStudy(cfg CaseStudyConfig, utils []float64) (*CaseStudyResult, error
 	}
 	out := &CaseStudyResult{Cores: cfg.Cores}
 	for ui, util := range utils {
+		successes, err := runner.Map(ctx, runner.Config{
+			Name:     fmt.Sprintf("casestudy/%dc/u=%g", cfg.Cores, util),
+			RootSeed: runner.Seed(cfg.Seed, ui),
+			Options:  cfg.Run,
+		}, cfg.Trials, func(_ context.Context, s runner.Shard) (map[string]bool, error) {
+			return runCaseTrial(cfg, util, s.Seed)
+		})
+		if err != nil {
+			return nil, err
+		}
 		pt := CaseStudyPoint{
 			Utilization: util,
 			Success:     map[string]float64{},
 		}
-		successes := make([]map[string]bool, cfg.Trials)
-
-		var wg sync.WaitGroup
-		sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-		errs := make([]error, cfg.Trials)
-		for trial := 0; trial < cfg.Trials; trial++ {
-			wg.Add(1)
-			sem <- struct{}{}
-			go func(trial int) {
-				defer wg.Done()
-				defer func() { <-sem }()
-				successes[trial], errs[trial] = runCaseTrial(cfg, util,
-					cfg.Seed+int64(ui)*1_000_003+int64(trial)*7919)
-			}(trial)
-		}
-		wg.Wait()
-		for trial := 0; trial < cfg.Trials; trial++ {
-			if errs[trial] != nil {
-				return nil, errs[trial]
-			}
-			for sys, ok := range successes[trial] {
+		for _, trial := range successes {
+			for sys, ok := range trial {
 				if ok {
 					pt.Success[sys] += 1 / float64(cfg.Trials)
 				}
@@ -148,6 +141,7 @@ type SideEffectsConfig struct {
 	Seed   int64
 	RT     rtsim.Config
 	Set    workload.TaskSetParams
+	Run    runner.Options // worker pool / checkpoint settings
 }
 
 // SideEffectsPoint is one "xc|y%" configuration of Fig. 8(c).
@@ -163,10 +157,18 @@ func (p SideEffectsPoint) Label() string {
 	return fmt.Sprintf("%dc|%.0f%%", p.Cores, p.Utilization*100)
 }
 
+// sideTrial carries one trial's raw metrics. Fields are exported so the
+// runner can checkpoint a trial as JSON.
+type sideTrial struct {
+	WayUtilization float64 `json:"way_utilization"`
+	Phi            float64 `json:"phi"`
+}
+
 // RunSideEffects reproduces Fig. 8(c): the proposed system only, under the
 // given core-count / target-utilisation configurations, reporting the L1.5
-// way utilisation and the mis-configuration ratio φ.
-func RunSideEffects(cfg SideEffectsConfig, cores []int, utils []float64) ([]SideEffectsPoint, error) {
+// way utilisation and the mis-configuration ratio φ. Trials of each
+// configuration fan out on the runner.
+func RunSideEffects(ctx context.Context, cfg SideEffectsConfig, cores []int, utils []float64) ([]SideEffectsPoint, error) {
 	if cfg.Trials <= 0 {
 		return nil, fmt.Errorf("experiments: need positive Trials")
 	}
@@ -179,23 +181,32 @@ func RunSideEffects(cfg SideEffectsConfig, cores []int, utils []float64) ([]Side
 			if tasks <= 0 {
 				tasks = c
 			}
-			var wu, phi float64
-			for trial := 0; trial < cfg.Trials; trial++ {
-				seed := cfg.Seed + int64(ci)*50_000_017 + int64(ui)*1_000_003 + int64(trial)*7919
-				r := rand.New(rand.NewSource(seed))
+			trials, err := runner.Map(ctx, runner.Config{
+				Name:     fmt.Sprintf("sideeffects/%dc/u=%g", c, util),
+				RootSeed: runner.Seed(cfg.Seed, ci*len(utils)+ui),
+				Options:  cfg.Run,
+			}, cfg.Trials, func(_ context.Context, s runner.Shard) (sideTrial, error) {
+				r := s.RNG()
 				set := cfg.Set
 				set.TargetUtilization = util * float64(c)
 				set.Tasks = tasks
 				ts, err := workload.TaskSet(r, set)
 				if err != nil {
-					return nil, err
+					return sideTrial{}, err
 				}
 				m, err := rtsim.Run(ts, rtsim.KindProp, rt)
 				if err != nil {
-					return nil, err
+					return sideTrial{}, err
 				}
-				wu += m.WayUtilization
-				phi += m.Phi
+				return sideTrial{WayUtilization: m.WayUtilization, Phi: m.Phi}, nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			var wu, phi float64
+			for _, t := range trials {
+				wu += t.WayUtilization
+				phi += t.Phi
 			}
 			out = append(out, SideEffectsPoint{
 				Cores:          c,

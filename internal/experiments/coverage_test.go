@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -11,7 +12,7 @@ import (
 func TestRunCaseStudySmall(t *testing.T) {
 	cfg := DefaultCaseStudyConfig(8)
 	cfg.Trials = 4
-	res, err := RunCaseStudy(cfg, []float64{0.5})
+	res, err := RunCaseStudy(context.Background(), cfg, []float64{0.5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -37,18 +38,18 @@ func TestRunCaseStudySmall(t *testing.T) {
 func TestRunCaseStudyErrors(t *testing.T) {
 	cfg := DefaultCaseStudyConfig(8)
 	cfg.Trials = 0
-	if _, err := RunCaseStudy(cfg, []float64{0.5}); err == nil {
+	if _, err := RunCaseStudy(context.Background(), cfg, []float64{0.5}); err == nil {
 		t.Error("zero trials accepted")
 	}
 	cfg = DefaultCaseStudyConfig(0)
-	if _, err := RunCaseStudy(cfg, []float64{0.5}); err == nil {
+	if _, err := RunCaseStudy(context.Background(), cfg, []float64{0.5}); err == nil {
 		t.Error("zero cores accepted")
 	}
 	// Tasks defaults to Cores when unset.
 	cfg = DefaultCaseStudyConfig(8)
 	cfg.Tasks = 0
 	cfg.Trials = 1
-	if _, err := RunCaseStudy(cfg, []float64{0.5}); err != nil {
+	if _, err := RunCaseStudy(context.Background(), cfg, []float64{0.5}); err != nil {
 		t.Errorf("default task count failed: %v", err)
 	}
 }
@@ -60,7 +61,7 @@ func TestRunSideEffectsSmall(t *testing.T) {
 		RT:     rtsim.DefaultConfig(),
 		Set:    workload.DefaultTaskSetParams(),
 	}
-	pts, err := RunSideEffects(cfg, []int{8}, []float64{0.8})
+	pts, err := RunSideEffects(context.Background(), cfg, []int{8}, []float64{0.8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,7 +76,7 @@ func TestRunSideEffectsSmall(t *testing.T) {
 		t.Errorf("format: %q", out)
 	}
 	cfg.Trials = 0
-	if _, err := RunSideEffects(cfg, []int{8}, []float64{0.8}); err == nil {
+	if _, err := RunSideEffects(context.Background(), cfg, []int{8}, []float64{0.8}); err == nil {
 		t.Error("zero trials accepted")
 	}
 }

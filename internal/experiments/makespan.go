@@ -1,19 +1,27 @@
 // Package experiments contains one typed harness per table and figure of
 // the paper's evaluation (§5): the makespan comparison (Fig. 7, Tab. 2),
-// the case study (Fig. 8(a,b)), the side-effects analysis (Fig. 8(c)) and
-// the hardware overhead (§5.4). Each harness returns structured rows and
-// can render itself as a text table, so the cmd/ tools and the benchmark
-// suite print exactly the series the paper reports.
+// the case study (Fig. 8(a,b)), the side-effects analysis (Fig. 8(c)),
+// the acceptance-ratio analysis (§4.2) and the hardware overhead (§5.4).
+// Each harness returns structured rows and can render itself as a text
+// table or CSV, so the cmd/ tools and the benchmark suite print exactly
+// the series the paper reports.
+//
+// Every randomized sweep runs on the internal/runner harness: trials
+// execute on a bounded worker pool, each seeded from the sweep's root
+// seed and its trial index only, so published numbers are bit-identical
+// at any -workers setting and interrupted sweeps resume from a
+// -checkpoint file. Each harness config embeds runner.Options as its Run
+// field to expose those knobs.
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
-	"runtime"
 	"sort"
 	"strings"
-	"sync"
 
+	"l15cache/internal/runner"
 	"l15cache/internal/sched"
 	"l15cache/internal/schedsim"
 	"l15cache/internal/stats"
@@ -34,8 +42,9 @@ type MakespanConfig struct {
 	Cores     int   // m (8)
 	Zeta      int   // ζ L1.5 ways (16)
 	WayBytes  int64 // κ (2 KB)
-	Seed      int64 // base RNG seed
+	Seed      int64 // root RNG seed (per-DAG seeds derive from it)
 	Base      workload.SynthParams
+	Run       runner.Options // worker pool / checkpoint settings
 }
 
 // DefaultMakespanConfig mirrors §5.1 with the paper's defaults.
@@ -74,45 +83,40 @@ type MakespanSweep struct {
 // Systems returns the system names present in the sweep, report order.
 func (s *MakespanSweep) Systems() []string { return []string{SysProp, SysCMPL1, SysCMPL2} }
 
-// perDAGResult carries one DAG's per-system makespans.
-type perDAGResult struct {
-	avg   map[string]float64 // mean makespan over instances, / T
-	worst map[string]float64 // max makespan over instances, / T
-	err   error
+// dagResult carries one DAG's per-system makespans. Fields are exported
+// so the runner can checkpoint a trial as JSON.
+type dagResult struct {
+	Avg   map[string]float64 `json:"avg"`   // mean makespan over instances, / T
+	Worst map[string]float64 `json:"worst"` // max makespan over instances, / T
 }
 
 // runPoint evaluates one parameter point: cfg.DAGs random tasks, each run
-// for cfg.Instances instances per system.
-func runPoint(cfg MakespanConfig, p workload.SynthParams, pointSeed int64) (MakespanPoint, error) {
+// for cfg.Instances instances per system, fanned out on the runner.
+func runPoint(ctx context.Context, cfg MakespanConfig, p workload.SynthParams, name string, pointSeed int64) (MakespanPoint, error) {
 	out := MakespanPoint{
 		Avg:   map[string]float64{},
 		Worst: map[string]float64{},
 	}
-	results := make([]perDAGResult, cfg.DAGs)
-
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	for i := 0; i < cfg.DAGs; i++ {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			results[i] = runOneDAG(cfg, p, pointSeed+int64(i)*7919)
-		}(i)
+	results, err := runner.Map(ctx, runner.Config{
+		Name:     name,
+		RootSeed: pointSeed,
+		Options:  cfg.Run,
+	}, cfg.DAGs, func(_ context.Context, s runner.Shard) (dagResult, error) {
+		return runOneDAG(cfg, p, s.Seed)
+	})
+	if err != nil {
+		return out, err
 	}
-	wg.Wait()
 
+	// Index-ordered reduction: fold the trials in shard order so the
+	// floating-point sums cannot depend on completion order.
 	sums := map[string]float64{}
 	worsts := map[string]float64{}
 	for _, r := range results {
-		if r.err != nil {
-			return out, r.err
-		}
-		for sys, v := range r.avg {
+		for sys, v := range r.Avg {
 			sums[sys] += v
 		}
-		for sys, v := range r.worst {
+		for sys, v := range r.Worst {
 			worsts[sys] += v
 		}
 	}
@@ -125,76 +129,76 @@ func runPoint(cfg MakespanConfig, p workload.SynthParams, pointSeed int64) (Make
 	return out, nil
 }
 
-func runOneDAG(cfg MakespanConfig, p workload.SynthParams, seed int64) perDAGResult {
+func runOneDAG(cfg MakespanConfig, p workload.SynthParams, seed int64) (dagResult, error) {
 	r := rand.New(rand.NewSource(seed))
 	task, err := workload.Synthetic(r, p)
 	if err != nil {
-		return perDAGResult{err: err}
+		return dagResult{}, err
 	}
-	res := perDAGResult{
-		avg:   map[string]float64{},
-		worst: map[string]float64{},
+	res := dagResult{
+		Avg:   map[string]float64{},
+		Worst: map[string]float64{},
 	}
 	opt := schedsim.Options{Cores: cfg.Cores, Instances: cfg.Instances}
 
 	// Proposed: Algorithm 1 priorities + ETM communication.
 	prop, err := schedsim.NewProposed(task.Clone(), cfg.Zeta, cfg.WayBytes)
 	if err != nil {
-		return perDAGResult{err: err}
+		return dagResult{}, err
 	}
 	if err := record(&res, task.Period, SysProp, prop.Alloc, prop, opt); err != nil {
-		return perDAGResult{err: err}
+		return dagResult{}, err
 	}
 
 	// Baselines: longest-path-first priorities, conventional caches.
 	for _, plat := range []schedsim.Platform{schedsim.CMPL1(), schedsim.CMPL2()} {
 		alloc, err := sched.LongestPathFirst(task.Clone())
 		if err != nil {
-			return perDAGResult{err: err}
+			return dagResult{}, err
 		}
 		if err := record(&res, task.Period, plat.Name(), alloc, plat, opt); err != nil {
-			return perDAGResult{err: err}
+			return dagResult{}, err
 		}
 	}
-	return res
+	return res, nil
 }
 
-func record(res *perDAGResult, period float64, name string, alloc *sched.Result, plat schedsim.Platform, opt schedsim.Options) error {
+func record(res *dagResult, period float64, name string, alloc *sched.Result, plat schedsim.Platform, opt schedsim.Options) error {
 	st, err := schedsim.Run(alloc, plat, opt)
 	if err != nil {
 		return err
 	}
 	ms := schedsim.Makespans(st)
-	res.avg[name] = stats.Mean(ms) / period
-	res.worst[name] = stats.Max(ms) / period
+	res.Avg[name] = stats.Mean(ms) / period
+	res.Worst[name] = stats.Max(ms) / period
 	return nil
 }
 
 // SweepUtilization reproduces Fig. 7(a) / Tab. 2 left: U_i from values
 // (paper: 0.2..1.0).
-func SweepUtilization(cfg MakespanConfig, values []float64) (*MakespanSweep, error) {
-	return sweep(cfg, "U", values, func(p *workload.SynthParams, v float64) {
+func SweepUtilization(ctx context.Context, cfg MakespanConfig, values []float64) (*MakespanSweep, error) {
+	return sweep(ctx, cfg, "U", values, func(p *workload.SynthParams, v float64) {
 		p.Utilization = v
 	})
 }
 
 // SweepWidth reproduces Fig. 7(b) / Tab. 2 middle: p from values (paper:
 // 9..21).
-func SweepWidth(cfg MakespanConfig, values []float64) (*MakespanSweep, error) {
-	return sweep(cfg, "p", values, func(p *workload.SynthParams, v float64) {
+func SweepWidth(ctx context.Context, cfg MakespanConfig, values []float64) (*MakespanSweep, error) {
+	return sweep(ctx, cfg, "p", values, func(p *workload.SynthParams, v float64) {
 		p.MaxWidth = int(v)
 	})
 }
 
 // SweepCPR reproduces Fig. 7(c) / Tab. 2 right: cpr from values (paper:
 // 0.1..0.5).
-func SweepCPR(cfg MakespanConfig, values []float64) (*MakespanSweep, error) {
-	return sweep(cfg, "cpr", values, func(p *workload.SynthParams, v float64) {
+func SweepCPR(ctx context.Context, cfg MakespanConfig, values []float64) (*MakespanSweep, error) {
+	return sweep(ctx, cfg, "cpr", values, func(p *workload.SynthParams, v float64) {
 		p.CPR = v
 	})
 }
 
-func sweep(cfg MakespanConfig, name string, values []float64, set func(*workload.SynthParams, float64)) (*MakespanSweep, error) {
+func sweep(ctx context.Context, cfg MakespanConfig, name string, values []float64, set func(*workload.SynthParams, float64)) (*MakespanSweep, error) {
 	if cfg.DAGs <= 0 || cfg.Instances <= 0 {
 		return nil, fmt.Errorf("experiments: need positive DAGs and Instances")
 	}
@@ -202,7 +206,8 @@ func sweep(cfg MakespanConfig, name string, values []float64, set func(*workload
 	for i, v := range values {
 		p := cfg.Base
 		set(&p, v)
-		pt, err := runPoint(cfg, p, cfg.Seed+int64(i)*104729)
+		pt, err := runPoint(ctx, cfg, p,
+			fmt.Sprintf("makespan/%s=%g", name, v), runner.Seed(cfg.Seed, i))
 		if err != nil {
 			return nil, err
 		}

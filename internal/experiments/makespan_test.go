@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -16,7 +17,7 @@ func smallCfg() MakespanConfig {
 }
 
 func TestSweepUtilizationShape(t *testing.T) {
-	s, err := SweepUtilization(smallCfg(), []float64{0.2, 0.6, 1.0})
+	s, err := SweepUtilization(context.Background(), smallCfg(), []float64{0.2, 0.6, 1.0})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,7 +61,7 @@ func TestSweepUtilizationShape(t *testing.T) {
 }
 
 func TestSweepWidthShape(t *testing.T) {
-	s, err := SweepWidth(smallCfg(), []float64{9, 15, 21})
+	s, err := SweepWidth(context.Background(), smallCfg(), []float64{9, 15, 21})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +87,7 @@ func TestSweepWidthShape(t *testing.T) {
 }
 
 func TestSweepCPRShape(t *testing.T) {
-	s, err := SweepCPR(smallCfg(), []float64{0.1, 0.3, 0.5})
+	s, err := SweepCPR(context.Background(), smallCfg(), []float64{0.1, 0.3, 0.5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +123,7 @@ func TestSweepCPRShape(t *testing.T) {
 }
 
 func TestNormalisation(t *testing.T) {
-	s, err := SweepUtilization(smallCfg(), []float64{0.4, 0.8})
+	s, err := SweepUtilization(context.Background(), smallCfg(), []float64{0.4, 0.8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,7 +146,7 @@ func TestNormalisation(t *testing.T) {
 func TestFormatters(t *testing.T) {
 	cfg := smallCfg()
 	cfg.DAGs = 10
-	s, err := SweepUtilization(cfg, []float64{0.5})
+	s, err := SweepUtilization(context.Background(), cfg, []float64{0.5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -166,19 +167,47 @@ func TestFormatters(t *testing.T) {
 func TestSweepConfigValidation(t *testing.T) {
 	cfg := smallCfg()
 	cfg.DAGs = 0
-	if _, err := SweepUtilization(cfg, []float64{0.5}); err == nil {
+	if _, err := SweepUtilization(context.Background(), cfg, []float64{0.5}); err == nil {
 		t.Error("zero DAGs accepted")
+	}
+}
+
+// TestSweepWorkerInvariance is the acceptance check for the parallel
+// harness: the same seeded sweep at 1 worker and at 8 workers must be
+// bit-identical, down to the floating-point sums.
+func TestSweepWorkerInvariance(t *testing.T) {
+	run := func(workers int) *MakespanSweep {
+		cfg := smallCfg()
+		cfg.DAGs = 20
+		cfg.Run.Workers = workers
+		s, err := SweepUtilization(context.Background(), cfg, []float64{0.4, 0.8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	serial, parallel := run(1), run(8)
+	for i := range serial.Points {
+		for _, sys := range serial.Systems() {
+			if serial.Points[i].Avg[sys] != parallel.Points[i].Avg[sys] ||
+				serial.Points[i].Worst[sys] != parallel.Points[i].Worst[sys] {
+				t.Errorf("U=%g %s: workers=1 and workers=8 disagree: avg %v vs %v, worst %v vs %v",
+					serial.Points[i].Param, sys,
+					serial.Points[i].Avg[sys], parallel.Points[i].Avg[sys],
+					serial.Points[i].Worst[sys], parallel.Points[i].Worst[sys])
+			}
+		}
 	}
 }
 
 func TestSweepDeterminism(t *testing.T) {
 	cfg := smallCfg()
 	cfg.DAGs = 15
-	a, err := SweepUtilization(cfg, []float64{0.6})
+	a, err := SweepUtilization(context.Background(), cfg, []float64{0.6})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := SweepUtilization(cfg, []float64{0.6})
+	b, err := SweepUtilization(context.Background(), cfg, []float64{0.6})
 	if err != nil {
 		t.Fatal(err)
 	}

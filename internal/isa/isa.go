@@ -125,8 +125,10 @@ func (o Op) IsL15() bool {
 // between cores, so it is reserved for the OS/hypervisor.
 func (o Op) Privileged() bool { return o == OpDEMAND }
 
-// IsLoad and IsStore classify memory operations.
-func (o Op) IsLoad() bool  { return o >= OpLB && o <= OpLHU }
+// IsLoad reports memory loads.
+func (o Op) IsLoad() bool { return o >= OpLB && o <= OpLHU }
+
+// IsStore reports memory stores.
 func (o Op) IsStore() bool { return o >= OpSB && o <= OpSW }
 
 // IsBranch reports conditional branches.

@@ -102,6 +102,8 @@ func (p *Ported) Cycle(reqs []Request) ([]PortedResult, error) {
 	return out, nil
 }
 
-// Ports and Depth expose the configuration.
+// Ports returns the configured port count.
 func (p *Ported) Ports() int { return p.ports }
+
+// Depth returns the configured queue depth.
 func (p *Ported) Depth() int { return p.depth }

@@ -18,6 +18,7 @@ var simPackages = map[string]bool{
 	"soc":         true,
 	"l15":         true,
 	"experiments": true,
+	"runner":      true, // the parallel harness must reduce in index order
 }
 
 // DetMap flags map iteration with order-dependent effects in the simulator

@@ -1,8 +1,8 @@
-// Package lint is the repository's custom static-analysis suite: five
+// Package lint is the repository's custom static-analysis suite: six
 // analyzers that encode the simulator's correctness invariants — run-to-run
-// determinism, way-bitmap discipline, metrics atomicity and error hygiene —
-// as machine-checked rules, plus the loader and runner behind
-// cmd/codecheck.
+// determinism, way-bitmap discipline, metrics atomicity, error hygiene and
+// godoc coverage — as machine-checked rules, plus the loader and runner
+// behind cmd/codecheck.
 //
 // The container this repository grows in has no module proxy access, so the
 // suite cannot depend on golang.org/x/tools/go/analysis. Instead this
@@ -68,6 +68,7 @@ type Diagnostic struct {
 	Message  string
 }
 
+// String renders the diagnostic in the conventional file:line:col form.
 func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
 }
@@ -75,7 +76,7 @@ func (d Diagnostic) String() string {
 // All returns the full suite in stable order. cmd/codecheck runs exactly
 // this list.
 func All() []*Analyzer {
-	return []*Analyzer{DetMap, WallTime, BitMask, AtomicHandle, ErrDrop}
+	return []*Analyzer{DetMap, WallTime, BitMask, AtomicHandle, ErrDrop, DocComment}
 }
 
 // ByName resolves a comma-separated analyzer list ("" means all).

@@ -15,6 +15,11 @@ func TestDetMapOutOfScope(t *testing.T) { runAnalyzerTest(t, DetMap, "detmap/out
 func TestWallTimeFlagged(t *testing.T) { runAnalyzerTest(t, WallTime, "walltime/flagged") }
 func TestWallTimeClean(t *testing.T)   { runAnalyzerTest(t, WallTime, "walltime/clean") }
 
+// TestWallTimeHarness pins the runner exemption: a package named runner may
+// read the wall clock (progress/ETA gauges) but still may not touch the
+// global math/rand generator.
+func TestWallTimeHarness(t *testing.T) { runAnalyzerTest(t, WallTime, "walltime/harness") }
+
 func TestBitMaskFlagged(t *testing.T) { runAnalyzerTest(t, BitMask, "bitmask/flagged") }
 func TestBitMaskClean(t *testing.T)   { runAnalyzerTest(t, BitMask, "bitmask/clean") }
 
@@ -23,6 +28,26 @@ func TestAtomicHandleClean(t *testing.T)   { runAnalyzerTest(t, AtomicHandle, "a
 
 func TestErrDropFlagged(t *testing.T) { runAnalyzerTest(t, ErrDrop, "errdrop/flagged") }
 func TestErrDropClean(t *testing.T)   { runAnalyzerTest(t, ErrDrop, "errdrop/clean") }
+
+func TestDocCommentFlagged(t *testing.T) { runAnalyzerTest(t, DocComment, "doccomment/flagged") }
+func TestDocCommentClean(t *testing.T)   { runAnalyzerTest(t, DocComment, "doccomment/clean") }
+
+// TestDocCommentScope pins the analyzer's reach: testdata (empty path),
+// internal/ and cmd/ packages are in scope; the module root and vendored
+// paths are not.
+func TestDocCommentScope(t *testing.T) {
+	for path, want := range map[string]bool{
+		"":                          true,
+		"l15cache/internal/runner":  true,
+		"l15cache/cmd/makespan":     true,
+		"l15cache":                  false,
+		"example.com/other/package": false,
+	} {
+		if got := docCommentScope(path); got != want {
+			t.Errorf("docCommentScope(%q) = %v, want %v", path, got, want)
+		}
+	}
+}
 
 // TestIgnoreDirectives exercises suppression end to end: justified ignores
 // silence findings, malformed ones are themselves reported.

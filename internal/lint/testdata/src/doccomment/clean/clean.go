@@ -1,0 +1,37 @@
+// Package clean (testdata): the package clause and every exported
+// identifier carry doc comments, in every shape the analyzer accepts —
+// nothing may be flagged.
+package clean
+
+// Limit bounds the pool (own doc on a single const).
+const Limit = 8
+
+// Sizes documented once at the group level cover every spec inside.
+const (
+	Small = 1
+	Large = 2
+)
+
+// Pool is a documented exported type.
+type Pool struct{}
+
+// Close is a documented exported method.
+func (Pool) Close() {}
+
+// Spawn is a documented exported function.
+func Spawn() {}
+
+var (
+	// Registry carries its own doc inside an undocumented group.
+	Registry int
+
+	Trailing int // Trailing is covered by its line comment.
+
+	count int
+)
+
+type internalOnly struct{}
+
+func (internalOnly) Exported() {}
+
+func helper() { _ = count; _ = internalOnly{} }

@@ -1,0 +1,30 @@
+package flagged // want "package flagged has no doc comment"
+
+import "time"
+
+const Limit = 8 // Limit is documented by its trailing comment: no finding.
+
+const (
+	gap = 1
+	Gap = 2
+	// want "exported const Gap has no doc comment"
+)
+
+var (
+	Registry int
+	// want "exported var Registry has no doc comment"
+)
+
+type Pool struct{} // want "exported type Pool has no doc comment"
+
+func Spawn() {} // want "exported function Spawn has no doc comment"
+
+func (Pool) Close() {} // want "exported method Pool.Close has no doc comment"
+
+func (*Pool) Drain() {} // want "exported method Pool.Drain has no doc comment"
+
+type hidden struct{}
+
+func (hidden) Exported() time.Duration { return 0 }
+
+func internalOnly() {}

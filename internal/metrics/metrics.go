@@ -13,6 +13,12 @@
 //     and copy them into the registry only when Snapshot is taken, so the
 //     simulated hot path pays nothing.
 //
+// The parallel experiment harness (internal/runner) publishes its
+// operator-facing progress through the same registry: per-sweep
+// `runner.<name>.trials_total`, `.trials_completed`, `.progress` and
+// `.eta_seconds` series, so a long sweep's state shows up in the standard
+// `-metrics` snapshot alongside the simulation counters.
+//
 // Snapshot serialises to stable JSON (keys sorted), which is what the CI
 // pipeline archives and gates on.
 package metrics

@@ -1,0 +1,109 @@
+package runner
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strconv"
+)
+
+// The checkpoint file holds one section per Map invocation (keyed by
+// Config.Name), so a multi-point sweep sharing one -checkpoint path
+// resumes whole finished points instantly and the interrupted point at
+// trial granularity. Sections are invalidated — not reused — when the
+// root seed or trial count changed, so a resume can never mix results
+// from two different sweeps.
+
+// checkpointFile is the on-disk JSON shape.
+type checkpointFile struct {
+	Sections map[string]*checkpointSection `json:"sections"`
+}
+
+// checkpointSection records the finished shards of one named Map call.
+type checkpointSection struct {
+	RootSeed int64 `json:"root_seed"`
+	Trials   int   `json:"trials"`
+	// Done maps decimal shard index to the shard's JSON-encoded result.
+	Done map[string]json.RawMessage `json:"done"`
+}
+
+// checkpoint is the live handle Map drives: the whole file plus the
+// section this invocation owns.
+type checkpoint struct {
+	path string
+	file *checkpointFile
+	sec  *checkpointSection
+}
+
+// openCheckpoint loads path (a missing file is an empty one) and binds the
+// named section, resetting it when its identity does not match.
+func openCheckpoint(path, name string, rootSeed int64, trials int) (*checkpoint, error) {
+	file := &checkpointFile{Sections: map[string]*checkpointSection{}}
+	data, err := os.ReadFile(path)
+	switch {
+	case errors.Is(err, fs.ErrNotExist):
+		// First run: start empty.
+	case err != nil:
+		return nil, fmt.Errorf("runner: reading checkpoint %s: %w", path, err)
+	default:
+		if err := json.Unmarshal(data, file); err != nil {
+			return nil, fmt.Errorf("runner: checkpoint %s is not a runner checkpoint (delete it to start over): %w", path, err)
+		}
+		if file.Sections == nil {
+			file.Sections = map[string]*checkpointSection{}
+		}
+	}
+	sec := file.Sections[name]
+	if sec == nil || sec.RootSeed != rootSeed || sec.Trials != trials || sec.Done == nil {
+		sec = &checkpointSection{
+			RootSeed: rootSeed,
+			Trials:   trials,
+			Done:     map[string]json.RawMessage{},
+		}
+		file.Sections[name] = sec
+	}
+	return &checkpoint{path: path, file: file, sec: sec}, nil
+}
+
+// record stores one finished shard in the bound section (in memory; flush
+// persists it).
+func (c *checkpoint) record(index int, value any) error {
+	raw, err := json.Marshal(value)
+	if err != nil {
+		return fmt.Errorf("runner: checkpointing shard %d: %w", index, err)
+	}
+	c.sec.Done[strconv.Itoa(index)] = raw
+	return nil
+}
+
+// flush atomically rewrites the checkpoint file (temp file + rename), so
+// a crash mid-write can never corrupt an existing checkpoint.
+func (c *checkpoint) flush() error {
+	data, err := json.Marshal(c.file)
+	if err != nil {
+		return fmt.Errorf("runner: encoding checkpoint: %w", err)
+	}
+	dir := filepath.Dir(c.path)
+	tmp, err := os.CreateTemp(dir, ".runner-checkpoint-*")
+	if err != nil {
+		return fmt.Errorf("runner: writing checkpoint: %w", err)
+	}
+	_, werr := tmp.Write(append(data, '\n'))
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		if err := os.Remove(tmp.Name()); err != nil {
+			return fmt.Errorf("runner: cleaning up checkpoint temp file: %w", err)
+		}
+		if werr != nil {
+			return fmt.Errorf("runner: writing checkpoint: %w", werr)
+		}
+		return fmt.Errorf("runner: writing checkpoint: %w", cerr)
+	}
+	if err := os.Rename(tmp.Name(), c.path); err != nil {
+		return fmt.Errorf("runner: writing checkpoint: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,307 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync/atomic"
+	"syscall"
+	"testing"
+
+	"l15cache/internal/metrics"
+)
+
+// square is the trivial deterministic shard function most tests use.
+func square(_ context.Context, s Shard) (int, error) { return s.Index * s.Index, nil }
+
+func TestMapOrderedResults(t *testing.T) {
+	got, err := Map(context.Background(), Config{Name: "t/order", Options: Options{Workers: 4}}, 50, square)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("results[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+// TestWorkerCountInvariance is the core determinism guarantee: the same
+// sweep at 1 worker and at 8 workers must produce bit-identical output,
+// including the floating-point draws each shard makes from its RNG.
+func TestWorkerCountInvariance(t *testing.T) {
+	run := func(workers int) []float64 {
+		res, err := Map(context.Background(),
+			Config{Name: fmt.Sprintf("t/invariance/w%d", workers), RootSeed: 42, Options: Options{Workers: workers}},
+			200,
+			func(_ context.Context, s Shard) (float64, error) {
+				r := s.RNG()
+				sum := 0.0
+				for i := 0; i < 100; i++ {
+					sum += r.NormFloat64()
+				}
+				return sum, nil
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	serial, parallel := run(1), run(8)
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("shard %d: workers=1 gives %v, workers=8 gives %v", i, serial[i], parallel[i])
+		}
+	}
+}
+
+func TestSeedDependsOnIndexOnly(t *testing.T) {
+	if Seed(1, 0) == Seed(1, 1) {
+		t.Error("adjacent shards share a seed")
+	}
+	if Seed(1, 0) == Seed(2, 0) {
+		t.Error("different roots share a seed")
+	}
+	if Seed(7, 13) != Seed(7, 13) {
+		t.Error("seed derivation is not a pure function")
+	}
+}
+
+// TestGoroutineBound is the regression test for the unbounded fan-out the
+// runner replaced (one goroutine per trial in the old casestudy/makespan
+// loops): with W workers, the peak goroutine count may exceed the
+// baseline only by W plus the runner's fixed overhead (dispatcher +
+// pool closer), regardless of trial count.
+func TestGoroutineBound(t *testing.T) {
+	const workers = 4
+	const trials = 500
+	baseline := runtime.NumGoroutine()
+	var peak atomic.Int64
+	_, err := Map(context.Background(), Config{Name: "t/bound", Options: Options{Workers: workers}}, trials,
+		func(_ context.Context, s Shard) (int, error) {
+			g := int64(runtime.NumGoroutine())
+			for {
+				old := peak.Load()
+				if g <= old || peak.CompareAndSwap(old, g) {
+					break
+				}
+			}
+			return 0, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fixed overhead: dispatcher + wait-closer, plus slack for test
+	// runner internals.
+	limit := int64(baseline + workers + 4)
+	if p := peak.Load(); p > limit {
+		t.Errorf("peak goroutines %d exceeds workers+O(1) bound %d (baseline %d, %d trials)",
+			p, limit, baseline, trials)
+	}
+}
+
+func TestMapErrorIsLowestIndex(t *testing.T) {
+	boom := errors.New("boom")
+	_, err := Map(context.Background(), Config{Name: "t/err", Options: Options{Workers: 8}}, 100,
+		func(_ context.Context, s Shard) (int, error) {
+			if s.Index%10 == 3 { // fails at 3, 13, 23, ...
+				return 0, fmt.Errorf("shard %d: %w", s.Index, boom)
+			}
+			return 1, nil
+		})
+	if err == nil || !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+	// The dispatcher stops on the first failure, but whichever subset of
+	// failures raced through, the reported shard must be the lowest
+	// failing index among them — and shard 3 always runs first on any
+	// worker count because indices are dispatched in order.
+	want := "runner: t/err shard 3:"
+	if got := err.Error(); len(got) < len(want) || got[:len(want)] != want {
+		t.Errorf("err = %q, want prefix %q", got, want)
+	}
+}
+
+func TestMapCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	_, err := Map(ctx, Config{Name: "t/cancel", Options: Options{Workers: 2}}, 1000,
+		func(_ context.Context, s Shard) (int, error) {
+			if ran.Add(1) == 10 {
+				cancel()
+			}
+			return 0, nil
+		})
+	var c *Canceled
+	if !errors.As(err, &c) {
+		t.Fatalf("err = %v, want *Canceled", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Error("Canceled does not unwrap to context.Canceled")
+	}
+	if c.Done >= c.Total || c.Total != 1000 {
+		t.Errorf("partial summary %d/%d nonsensical", c.Done, c.Total)
+	}
+	if int64(c.Done) > ran.Load() {
+		t.Errorf("summary claims %d done, only %d ran", c.Done, ran.Load())
+	}
+}
+
+// TestCheckpointResume kills a sweep partway, then resumes it from the
+// checkpoint and verifies (a) only the missing shards are recomputed and
+// (b) the final results equal an uninterrupted run's.
+func TestCheckpointResume(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.checkpoint.json")
+	cfg := Config{Name: "t/resume", RootSeed: 9, Options: Options{Workers: 1, Checkpoint: path}}
+	draw := func(_ context.Context, s Shard) (float64, error) {
+		return s.RNG().Float64(), nil
+	}
+
+	// Interrupted first attempt: cancel after 25 of 60 trials.
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	_, err := Map(ctx, cfg, 60, func(c context.Context, s Shard) (float64, error) {
+		if ran.Add(1) == 25 {
+			cancel()
+		}
+		return draw(c, s)
+	})
+	var canceled *Canceled
+	if !errors.As(err, &canceled) {
+		t.Fatalf("first attempt: err = %v, want *Canceled", err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("no checkpoint written: %v", err)
+	}
+
+	// Resume: the shard function counts its invocations.
+	var resumed atomic.Int64
+	got, err := Map(context.Background(), cfg, 60, func(c context.Context, s Shard) (float64, error) {
+		resumed.Add(1)
+		return draw(c, s)
+	})
+	if err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	if re := int(resumed.Load()); re != 60-canceled.Done {
+		t.Errorf("resume recomputed %d shards, want %d (checkpoint had %d)", re, 60-canceled.Done, canceled.Done)
+	}
+
+	// Reference: clean run without checkpointing.
+	ref, err := Map(context.Background(), Config{Name: "t/resume-ref", RootSeed: 9, Options: Options{Workers: 3}}, 60, draw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ref {
+		if got[i] != ref[i] {
+			t.Fatalf("shard %d: resumed %v != clean %v", i, got[i], ref[i])
+		}
+	}
+
+	// A third run is fully cached: zero recomputation.
+	var again atomic.Int64
+	if _, err := Map(context.Background(), cfg, 60, func(c context.Context, s Shard) (float64, error) {
+		again.Add(1)
+		return draw(c, s)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if again.Load() != 0 {
+		t.Errorf("completed checkpoint recomputed %d shards", again.Load())
+	}
+}
+
+// TestCheckpointIdentityMismatch: a stale section (different seed or
+// trial count) must be discarded, never partially reused.
+func TestCheckpointIdentityMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cp.json")
+	cfg := Config{Name: "t/identity", RootSeed: 1, Options: Options{Workers: 1, Checkpoint: path}}
+	if _, err := Map(context.Background(), cfg, 10, square); err != nil {
+		t.Fatal(err)
+	}
+	var ran atomic.Int64
+	cfg.RootSeed = 2
+	if _, err := Map(context.Background(), cfg, 10, func(_ context.Context, s Shard) (int, error) {
+		ran.Add(1)
+		return 0, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() != 10 {
+		t.Errorf("stale section reused: only %d/10 shards recomputed", ran.Load())
+	}
+}
+
+// TestCheckpointSectionsCoexist: two named sweeps share one file without
+// clobbering each other (the multi-point-sweep layout).
+func TestCheckpointSectionsCoexist(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cp.json")
+	a := Config{Name: "t/sec-a", RootSeed: 1, Options: Options{Workers: 1, Checkpoint: path}}
+	b := Config{Name: "t/sec-b", RootSeed: 1, Options: Options{Workers: 1, Checkpoint: path}}
+	if _, err := Map(context.Background(), a, 5, square); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Map(context.Background(), b, 5, square); err != nil {
+		t.Fatal(err)
+	}
+	var reranA atomic.Int64
+	if _, err := Map(context.Background(), a, 5, func(_ context.Context, s Shard) (int, error) {
+		reranA.Add(1)
+		return 0, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if reranA.Load() != 0 {
+		t.Errorf("writing section b invalidated section a (%d shards reran)", reranA.Load())
+	}
+}
+
+func TestProgressMetrics(t *testing.T) {
+	reg := metrics.NewRegistry()
+	if _, err := Map(context.Background(), Config{Name: "t/progress", Options: Options{Workers: 2}, Registry: reg}, 30, square); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters["runner.t/progress.trials_completed"]; got != 30 {
+		t.Errorf("trials_completed = %d, want 30", got)
+	}
+	if got := snap.Gauges["runner.t/progress.trials_total"]; got != 30 {
+		t.Errorf("trials_total = %g, want 30", got)
+	}
+	if got := snap.Gauges["runner.t/progress.progress"]; got != 1 {
+		t.Errorf("progress = %g, want 1", got)
+	}
+	if got := snap.Gauges["runner.t/progress.eta_seconds"]; got != 0 {
+		t.Errorf("eta after completion = %g, want 0", got)
+	}
+}
+
+// TestSignalContext delivers a real SIGINT to the process and verifies
+// the context cancels — the wiring every cmd/ tool relies on.
+func TestSignalContext(t *testing.T) {
+	ctx, stop := SignalContext(context.Background())
+	defer stop()
+	if err := syscall.Kill(os.Getpid(), syscall.SIGINT); err != nil {
+		t.Fatalf("sending SIGINT: %v", err)
+	}
+	select {
+	case <-ctx.Done():
+	case <-make(chan struct{}): // unreachable; Done must already be closed or close soon
+	}
+	if ctx.Err() == nil {
+		t.Error("context not canceled after SIGINT")
+	}
+}
+
+func TestZeroShards(t *testing.T) {
+	got, err := Map(context.Background(), Config{Name: "t/zero"}, 0, square)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("Map(0) = %v, %v", got, err)
+	}
+	if _, err := Map(context.Background(), Config{Name: "t/neg"}, -1, square); err == nil {
+		t.Error("negative shard count accepted")
+	}
+}
