@@ -1,19 +1,31 @@
 // Command codecheck runs the repository's custom static-analysis suite
 // (internal/lint) over the given package patterns and exits non-zero on
-// any finding. It is the blocking CI gate that keeps the simulator's
-// hand-written invariants — determinism, way-bitmap discipline, metrics
-// atomicity, error hygiene — machine-checked:
+// any unsuppressed finding. It is the blocking CI gate that keeps the
+// simulator's hand-written invariants — determinism (syntactic and
+// interprocedural), exhaustive FSM switches, lock discipline, way-bitmap
+// hygiene, metrics atomicity, error handling — machine-checked:
 //
 //	go run ./cmd/codecheck ./...
 //	go run ./cmd/codecheck -analyzers detmap,bitmask ./internal/...
+//	go run ./cmd/codecheck -json ./... > codecheck.json
+//	go run ./cmd/codecheck -ignores ./...
 //
-// Findings are printed one per line as file:line:col: analyzer: message.
+// All packages load together so the interprocedural analyzers (puritycheck)
+// see cross-package call chains. Text output prints unsuppressed findings
+// one per line as file:line:col: analyzer: message; -json emits every
+// finding — suppressed ones included, marked with their justification — as
+// a JSON array with the stable schema in internal/lint.DiagnosticJSON.
+// -ignores lists every //lint:ignore directive with its file, analyzers and
+// justification, the audit trail of what the suppressions hide.
+//
 // A finding is suppressed by a `//lint:ignore <analyzer> <justification>`
 // comment on the flagged line or the line above it; the justification is
-// mandatory and an ignore without one is itself reported.
+// mandatory and an ignore without one is itself reported. The exit code is
+// 1 only when unsuppressed findings remain, 2 on usage or load errors.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -24,6 +36,8 @@ import (
 func main() {
 	names := flag.String("analyzers", "", "comma-separated subset of analyzers to run (default: all)")
 	list := flag.Bool("list", false, "list the available analyzers and exit")
+	asJSON := flag.Bool("json", false, "emit every finding (suppressed included) as JSON on stdout")
+	ignores := flag.Bool("ignores", false, "list every //lint:ignore directive instead of running analyzers")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: codecheck [flags] [packages]\n\n")
 		flag.PrintDefaults()
@@ -39,8 +53,7 @@ func main() {
 
 	analyzers, err := lint.ByName(*names)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "codecheck:", err)
-		os.Exit(2)
+		fatal(err)
 	}
 	patterns := flag.Args()
 	if len(patterns) == 0 {
@@ -49,24 +62,71 @@ func main() {
 
 	pkgs, err := lint.Load("", patterns...)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "codecheck:", err)
-		os.Exit(2)
+		fatal(err)
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+
+	if *ignores {
+		entries := lint.Ignores(pkgs)
+		if entries == nil {
+			entries = []lint.IgnoreEntry{}
+		}
+		if *asJSON {
+			for i := range entries {
+				entries[i].File = lint.RelPath(cwd, entries[i].File)
+			}
+			emitJSON(entries)
+			return
+		}
+		for _, e := range entries {
+			fmt.Printf("%s:%d: %s: %s\n", lint.RelPath(cwd, e.File), e.Line, e.Analyzers, e.Justification)
+		}
+		fmt.Fprintf(os.Stderr, "codecheck: %d ignore directive(s) across %d package(s)\n", len(entries), len(pkgs))
+		return
+	}
+
+	diags, err := lint.RunModule(pkgs, analyzers)
+	if err != nil {
+		fatal(err)
 	}
 
 	findings := 0
-	for _, pkg := range pkgs {
-		diags, err := lint.Run(pkg, analyzers)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "codecheck:", err)
-			os.Exit(2)
-		}
-		for _, d := range diags {
-			fmt.Println(d)
+	for _, d := range diags {
+		if !d.Suppressed {
 			findings++
+		}
+	}
+	if *asJSON {
+		emitJSON(lint.ToJSON(diags, cwd))
+	} else {
+		for _, d := range diags {
+			if d.Suppressed {
+				continue
+			}
+			d.Pos.Filename = lint.RelPath(cwd, d.Pos.Filename)
+			fmt.Println(d)
 		}
 	}
 	if findings > 0 {
 		fmt.Fprintf(os.Stderr, "codecheck: %d finding(s) across %d package(s)\n", findings, len(pkgs))
 		os.Exit(1)
 	}
+}
+
+// emitJSON writes v to stdout as indented JSON, never emitting JSON null
+// for an empty slice (the schema promises an array).
+func emitJSON(v any) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "codecheck:", err)
+	os.Exit(2)
 }

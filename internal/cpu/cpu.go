@@ -333,8 +333,9 @@ func (c *Core) branchTaken(inst isa.Inst, rs1, rs2 uint32) bool {
 		return rs1 < rs2
 	case isa.OpBGEU:
 		return rs1 >= rs2
+	default:
+		return false // executeDecoded routes only branch ops here
 	}
-	return false
 }
 
 func (c *Core) loadValue(inst isa.Inst, rs1 uint32) (uint32, int, error) {
@@ -351,6 +352,8 @@ func (c *Core) loadValue(inst isa.Inst, rs1 uint32) (uint32, int, error) {
 		v = uint32(int32(v<<24) >> 24)
 	case isa.OpLH:
 		v = uint32(int32(v<<16) >> 16)
+	default:
+		// OpLBU, OpLHU and OpLW are zero-extended or full-width: no fixup.
 	}
 	return v, lat, nil
 }
@@ -404,6 +407,8 @@ func (c *Core) execALU(inst isa.Inst, rs1, rs2 uint32) {
 		v = rs1 | rs2
 	case isa.OpAND:
 		v = rs1 & rs2
+	default:
+		// Unreachable: executeDecoded routes only ALU ops here.
 	}
 	c.setReg(inst.Rd, v)
 }

@@ -116,8 +116,9 @@ func (o Op) IsL15() bool {
 	switch o {
 	case OpDEMAND, OpSUPPLY, OpGVSET, OpGVGET, OpIPSET:
 		return true
+	default:
+		return false
 	}
-	return false
 }
 
 // Privileged reports whether the instruction requires kernel mode. Only
@@ -280,8 +281,9 @@ func Encode(i Inst) (uint32, error) {
 		return iType(0, 0, f3GVGet, rd, opcL15), nil
 	case OpIPSET:
 		return iType(0, rs1, f3IPSet, 0, opcL15), nil
+	default:
+		return 0, fmt.Errorf("isa: cannot encode %v", i.Op)
 	}
-	return 0, fmt.Errorf("isa: cannot encode %v", i.Op)
 }
 
 func iType(imm, rs1, f3, rd uint32, opc uint32) uint32 {

@@ -1,0 +1,237 @@
+package lint
+
+// The interprocedural layer: a conservative whole-module call graph that
+// per-function facts (facts.go) propagate over. The graph is built once per
+// RunModule from the same source-checked packages the per-package analyzers
+// see, so it costs one extra AST walk, not a second load.
+//
+// Resolution policy, from most to least precise:
+//
+//   - direct calls and method calls with a statically known receiver type
+//     resolve to their *types.Func and become ordinary edges;
+//   - calls through an interface method become an edge to the interface
+//     method plus class-hierarchy edges from that method to every named
+//     type declared in the loaded packages that implements the interface
+//     (stdlib implementations are invisible — their bodies are export data
+//     — so they neither add edges nor facts);
+//   - calls through function values (locals, parameters, struct fields)
+//     cannot be resolved and are recorded per caller in Unknown. Analyzers
+//     must decide their own policy for them; puritycheck deliberately does
+//     not treat them as impure, because the simulator's injected callbacks
+//     (trap handlers, observers) would otherwise drown every real finding.
+//
+// Function identity across packages is the subtle part: the loader
+// type-checks each target package from source while its importers see it
+// through compiler export data, so the same function exists as two distinct
+// *types.Func objects. types.Func.FullName renders both views identically
+// ("(*l15cache/internal/soc.SoC).Run"), which is what FuncID is.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// FuncID is the stable cross-package identity of a function: the
+// types.Func.FullName string, identical for the source-checked and
+// export-data views of the same declaration.
+type FuncID string
+
+// CallEdge is one resolved call site.
+type CallEdge struct {
+	Callee FuncID
+	Pos    token.Pos // call position in the caller ("" / NoPos for CHA edges)
+}
+
+// CallNode is one function in the graph. Functions only known through
+// export data (stdlib, and interface methods) have Pkg and Decl nil: they
+// can carry intrinsic facts but contribute no call edges of their own
+// beyond the class-hierarchy edges attached to interface methods.
+type CallNode struct {
+	ID      FuncID
+	Fn      *types.Func
+	Pkg     *Package      // declaring package, nil for export-data functions
+	Decl    *ast.FuncDecl // declaration with body, nil for export-data functions
+	Calls   []CallEdge    // resolved call sites, in source order (CHA edges last)
+	Unknown []token.Pos   // call sites through function values, unresolvable
+}
+
+// CallGraph is the whole-module conservative call graph.
+type CallGraph struct {
+	Nodes map[FuncID]*CallNode
+}
+
+// FuncIDOf derives the graph key for fn.
+func FuncIDOf(fn *types.Func) FuncID { return FuncID(fn.FullName()) }
+
+// SortedIDs returns every node id in lexical order — the deterministic
+// iteration order every traversal over the graph must use.
+func (g *CallGraph) SortedIDs() []FuncID {
+	ids := make([]FuncID, 0, len(g.Nodes))
+	for id := range g.Nodes {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+func (g *CallGraph) ensure(fn *types.Func) *CallNode {
+	id := FuncIDOf(fn)
+	n, ok := g.Nodes[id]
+	if !ok {
+		n = &CallNode{ID: id, Fn: fn}
+		g.Nodes[id] = n
+	}
+	return n
+}
+
+// BuildCallGraph constructs the graph over the given packages (normally
+// everything one Load returned, so cross-package edges resolve).
+func BuildCallGraph(pkgs []*Package) *CallGraph {
+	g := &CallGraph{Nodes: map[FuncID]*CallNode{}}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				node := g.ensure(fn)
+				node.Pkg = pkg
+				node.Decl = fd
+				g.collectCalls(pkg, fd, node)
+			}
+		}
+	}
+	g.addInterfaceImpls(pkgs)
+	return g
+}
+
+// collectCalls walks fd's body (including function literals: a closure's
+// calls are attributed to the declaring function, a sound over-
+// approximation for reachability) and records one edge per resolvable call.
+func (g *CallGraph) collectCalls(pkg *Package, fd *ast.FuncDecl, node *CallNode) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fun := ast.Unparen(call.Fun)
+		// Conversions (T(x), pkg.T(x), []byte(x)) and builtins parse as
+		// calls; neither is a call edge.
+		if tv, ok := pkg.Info.Types[fun]; ok && (tv.IsType() || tv.IsBuiltin()) {
+			return true
+		}
+		switch fun := fun.(type) {
+		case *ast.Ident:
+			if fn, ok := pkg.Info.Uses[fun].(*types.Func); ok {
+				node.Calls = append(node.Calls, CallEdge{Callee: g.ensure(fn).ID, Pos: fun.Pos()})
+				return true
+			}
+		case *ast.SelectorExpr:
+			if fn, ok := pkg.Info.Uses[fun.Sel].(*types.Func); ok {
+				node.Calls = append(node.Calls, CallEdge{Callee: g.ensure(fn).ID, Pos: fun.Sel.Pos()})
+				return true
+			}
+		case *ast.FuncLit:
+			// Immediately-invoked literal: its body is walked by this same
+			// Inspect and attributed to node already.
+			return true
+		}
+		node.Unknown = append(node.Unknown, call.Pos())
+		return true
+	})
+}
+
+// addInterfaceImpls attaches class-hierarchy edges: every interface method
+// that appears as a callee gains edges to the matching concrete method of
+// every named type in the loaded packages that implements the interface.
+func (g *CallGraph) addInterfaceImpls(pkgs []*Package) {
+	// Concrete named types declared in the loaded packages, sorted for
+	// deterministic edge order.
+	var concrete []*types.Named
+	for _, pkg := range pkgs {
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok || types.IsInterface(named) {
+				continue
+			}
+			concrete = append(concrete, named)
+		}
+	}
+	sort.Slice(concrete, func(i, j int) bool {
+		return concrete[i].Obj().Id() < concrete[j].Obj().Id()
+	})
+
+	for _, id := range g.SortedIDs() {
+		node := g.Nodes[id]
+		sig, ok := node.Fn.Type().(*types.Signature)
+		if !ok || sig.Recv() == nil {
+			continue
+		}
+		iface, ok := sig.Recv().Type().Underlying().(*types.Interface)
+		if !ok {
+			continue
+		}
+		for _, named := range concrete {
+			var impl types.Type = named
+			if !types.Implements(impl, iface) {
+				ptr := types.NewPointer(named)
+				if !types.Implements(ptr, iface) {
+					continue
+				}
+				impl = ptr
+			}
+			obj, _, _ := types.LookupFieldOrMethod(impl, true, node.Fn.Pkg(), node.Fn.Name())
+			m, ok := obj.(*types.Func)
+			if !ok {
+				continue
+			}
+			node.Calls = append(node.Calls, CallEdge{Callee: g.ensure(m).ID})
+		}
+	}
+}
+
+// DisplayName renders fn compactly for diagnostics — package name rather
+// than full import path, so chains stay readable: "(*soc.SoC).Run",
+// "time.Now".
+func DisplayName(fn *types.Func) string {
+	qual := func(p *types.Package) string {
+		if p == nil {
+			return ""
+		}
+		return p.Name()
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		recv := sig.Recv().Type()
+		star := ""
+		if p, ok := recv.(*types.Pointer); ok {
+			recv = p.Elem()
+			star = "*"
+		}
+		recv = types.Unalias(recv)
+		if named, ok := recv.(*types.Named); ok {
+			name := named.Obj().Name()
+			if q := qual(named.Obj().Pkg()); q != "" {
+				name = q + "." + name
+			}
+			return "(" + star + name + ")." + fn.Name()
+		}
+		return "(" + strings.TrimPrefix(types.TypeString(recv, qual), "*") + ")." + fn.Name()
+	}
+	if q := qual(fn.Pkg()); q != "" {
+		return q + "." + fn.Name()
+	}
+	return fn.Name()
+}

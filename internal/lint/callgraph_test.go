@@ -1,0 +1,125 @@
+package lint
+
+import (
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// TestCallGraphTestdata pins the resolution policy over the puritycheck
+// fixture: direct calls, method calls, CHA edges for interface dispatch, and
+// function-value calls recorded as unknown.
+func TestCallGraphTestdata(t *testing.T) {
+	pkg, err := LoadDir("testdata/src/puritycheck/flagged")
+	if err != nil {
+		t.Fatalf("LoadDir: %v", err)
+	}
+	g := BuildCallGraph([]*Package{pkg})
+
+	edges := map[string][]string{}
+	for _, id := range g.SortedIDs() {
+		node := g.Nodes[id]
+		from := DisplayName(node.Fn)
+		for _, e := range node.Calls {
+			edges[from] = append(edges[from], DisplayName(g.Nodes[e.Callee].Fn))
+		}
+	}
+
+	hasEdge := func(from, to string) {
+		t.Helper()
+		for _, callee := range edges[from] {
+			if callee == to {
+				return
+			}
+		}
+		t.Errorf("missing edge %s -> %s (have %v)", from, to, edges[from])
+	}
+	hasEdge("(*soc.SoC).Tick", "(*soc.SoC).stepOnce")
+	hasEdge("(*soc.SoC).stepOnce", "soc.stamp")
+	hasEdge("soc.stamp", "time.Now")
+	hasEdge("soc.runAll", "(soc.stepper).advance")
+	hasEdge("(soc.stepper).advance", "(soc.widget).advance") // the CHA edge
+}
+
+// TestCallGraphUnknownCallees pins that function-value calls land in
+// Unknown rather than becoming edges.
+func TestCallGraphUnknownCallees(t *testing.T) {
+	pkg, err := LoadDir("testdata/src/puritycheck/clean")
+	if err != nil {
+		t.Fatalf("LoadDir: %v", err)
+	}
+	g := BuildCallGraph([]*Package{pkg})
+	for _, id := range g.SortedIDs() {
+		node := g.Nodes[id]
+		if DisplayName(node.Fn) != "(*soc.SoC).Tick" {
+			continue
+		}
+		if len(node.Unknown) == 0 {
+			t.Error("Tick calls a function-value hook; expected an unknown call site")
+		}
+		return
+	}
+	t.Fatal("Tick node not found")
+}
+
+// TestCallGraphCrossPackage loads two real module packages and checks the
+// edge crossing the package boundary: cpu's decoder calls isa.Decode, and
+// the callee id resolves to the same node whether seen from source or from
+// export data.
+func TestCallGraphCrossPackage(t *testing.T) {
+	pkgs, err := Load("", "../cpu", "../isa")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	g := BuildCallGraph(pkgs)
+
+	decode := FuncID("l15cache/internal/isa.Decode")
+	node, ok := g.Nodes[decode]
+	if !ok {
+		t.Fatalf("isa.Decode not in graph (nodes: %d)", len(g.Nodes))
+	}
+	if node.Decl == nil {
+		t.Error("isa.Decode loaded from source but has no declaration: the source and export-data views did not unify")
+	}
+	found := false
+	for _, id := range g.SortedIDs() {
+		caller := g.Nodes[id]
+		if caller.Pkg == nil || caller.Pkg.Types.Name() != "cpu" {
+			continue
+		}
+		for _, e := range caller.Calls {
+			if e.Callee == decode {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("no cpu function has a call edge to isa.Decode")
+	}
+}
+
+// TestDisplayName covers the renderer's shapes without loading anything.
+func TestDisplayName(t *testing.T) {
+	pkg := types.NewPackage("l15cache/internal/soc", "soc")
+	sig := types.NewSignatureType(nil, nil, nil, nil, nil, false)
+	plain := types.NewFunc(token.NoPos, pkg, "Run", sig)
+	if got := DisplayName(plain); got != "soc.Run" {
+		t.Errorf("DisplayName(plain) = %q, want soc.Run", got)
+	}
+	noPkg := types.NewFunc(token.NoPos, nil, "init", sig)
+	if got := DisplayName(noPkg); got != "init" {
+		t.Errorf("DisplayName(noPkg) = %q, want init", got)
+	}
+}
+
+// TestFuncIDStability pins that FuncID is the FullName string — the property
+// the cross-package unification rests on.
+func TestFuncIDStability(t *testing.T) {
+	pkg := types.NewPackage("l15cache/internal/isa", "isa")
+	sig := types.NewSignatureType(nil, nil, nil, nil, nil, false)
+	fn := types.NewFunc(token.NoPos, pkg, "Decode", sig)
+	if id := FuncIDOf(fn); !strings.HasSuffix(string(id), "isa.Decode") {
+		t.Errorf("FuncIDOf = %q, want suffix isa.Decode", id)
+	}
+}

@@ -138,6 +138,17 @@ func isAppendToOuter(pass *Pass, call *ast.CallExpr, rng *ast.RangeStmt) bool {
 		}
 		break
 	}
+	// append to a value that is fresh every iteration — a conversion like
+	// append([]T(nil), xs...) or a composite literal — is order-neutral no
+	// matter where the result lands.
+	if conv, ok := root.(*ast.CallExpr); ok {
+		if tv, ok := pass.TypesInfo.Types[conv.Fun]; ok && tv.IsType() {
+			return false
+		}
+	}
+	if _, ok := root.(*ast.CompositeLit); ok {
+		return false
+	}
 	id, ok := root.(*ast.Ident)
 	if !ok {
 		return true // appending to a compound expression: assume outer

@@ -1,0 +1,149 @@
+package lint
+
+// Facts are per-function properties that flow interprocedurally: an
+// analyzer seeds a fact on the function that exhibits a behaviour (a
+// wall-clock read, an order-dependent map walk), and propagation pushes the
+// fact caller-ward over the call graph until a fixpoint — so a fact seeded
+// three packages deep surfaces on the simulator entry point that can reach
+// it, with the hop-by-hop evidence preserved.
+//
+// Package boundaries need no special casing: the call graph's edges already
+// cross them (callgraph.go unifies the source and export-data views of a
+// function), and the fixpoint loop visits nodes in sorted-FuncID order, so
+// propagation order — and therefore the recorded chains — is deterministic
+// regardless of package load order.
+
+import "go/token"
+
+// Fact is one interprocedural property, identified by (Kind, Origin): the
+// kind of behaviour and the exact source position that exhibits it. Origin
+// is a resolved token.Position (not a token.Pos) so facts stay meaningful
+// across packages loaded into different file sets.
+type Fact struct {
+	Kind   string         // e.g. "wall-clock", "global-rand", "fs-read", "map-order"
+	Sink   string         // human label of the behaviour, e.g. "time.Now"
+	Origin token.Position // position of the sink inside the seeded function
+}
+
+// factState is a fact as held by one function: the fact plus the first hop
+// of the path toward its origin.
+type factState struct {
+	next FuncID    // callee the fact arrived from ("" at the seeded function)
+	site token.Pos // call position in this function leading to next (NoPos at seed or CHA hop)
+}
+
+// FactSet holds seeded facts and computes their transitive closure over a
+// call graph.
+type FactSet struct {
+	graph *CallGraph
+	facts map[FuncID]map[Fact]*factState
+	order map[FuncID][]Fact // insertion order, the deterministic iteration order
+}
+
+// NewFactSet returns an empty fact set over g.
+func NewFactSet(g *CallGraph) *FactSet {
+	return &FactSet{
+		graph: g,
+		facts: map[FuncID]map[Fact]*factState{},
+		order: map[FuncID][]Fact{},
+	}
+}
+
+// Seed attaches an intrinsic fact to id (the function whose body exhibits
+// the behaviour). Duplicate (Kind, Origin) seeds are ignored.
+func (fs *FactSet) Seed(id FuncID, f Fact) {
+	fs.add(id, f, "", token.NoPos)
+}
+
+func (fs *FactSet) add(id FuncID, f Fact, next FuncID, site token.Pos) bool {
+	m, ok := fs.facts[id]
+	if !ok {
+		m = map[Fact]*factState{}
+		fs.facts[id] = m
+	}
+	if _, dup := m[f]; dup {
+		return false
+	}
+	m[f] = &factState{next: next, site: site}
+	fs.order[id] = append(fs.order[id], f)
+	return true
+}
+
+// Propagate pushes every fact caller-ward to a fixpoint. Recursion is safe:
+// a fact is added to a function at most once, and a function's recorded
+// next-hop always points at a function that acquired the fact strictly
+// earlier, so reconstructed chains terminate at the seed.
+func (fs *FactSet) Propagate() {
+	ids := fs.graph.SortedIDs()
+	for changed := true; changed; {
+		changed = false
+		for _, id := range ids {
+			node := fs.graph.Nodes[id]
+			for _, edge := range node.Calls {
+				for _, f := range fs.order[edge.Callee] {
+					if fs.add(id, f, edge.Callee, edge.Pos) {
+						changed = true
+					}
+				}
+			}
+		}
+	}
+}
+
+// FactsOf returns id's facts in deterministic order (seeded and inherited,
+// ordered by acquisition, which Propagate makes reproducible).
+func (fs *FactSet) FactsOf(id FuncID) []Fact {
+	return fs.order[id]
+}
+
+// ChainEntry is one hop of interprocedural evidence: a function and the
+// call site inside it that leads toward the sink. The final entry is the
+// seeded function and Site is the sink itself.
+type ChainEntry struct {
+	Func string         // DisplayName of the function
+	Site token.Position // resolved position (zero when unknown, e.g. CHA hops)
+}
+
+// Chain reconstructs the path from holder down to the seed of fact,
+// outermost first. It returns nil if holder does not hold the fact.
+func (fs *FactSet) Chain(holder FuncID, f Fact) []ChainEntry {
+	var chain []ChainEntry
+	for cur := holder; ; {
+		st, ok := fs.facts[cur][f]
+		if !ok {
+			return nil
+		}
+		node := fs.graph.Nodes[cur]
+		entry := ChainEntry{Func: DisplayName(node.Fn)}
+		if st.next == "" {
+			entry.Site = f.Origin
+			return append(chain, entry)
+		}
+		if st.site.IsValid() && node.Pkg != nil {
+			entry.Site = node.Pkg.Fset.Position(st.site)
+		}
+		chain = append(chain, entry)
+		cur = st.next
+	}
+}
+
+// ChainString renders a chain as the compact arrow form used in diagnostic
+// messages: "(*soc.SoC).Run -> (*cpu.Core).Step -> time.Now".
+func ChainString(chain []ChainEntry) string {
+	parts := make([]string, len(chain))
+	for i, e := range chain {
+		parts[i] = e.Func
+	}
+	return joinArrow(parts)
+}
+
+func joinArrow(parts []string) string {
+	out := ""
+	for i, p := range parts {
+		if i > 0 {
+			out += " -> "
+		}
+		out += p
+	}
+	return out
+}

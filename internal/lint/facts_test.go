@@ -1,0 +1,88 @@
+package lint
+
+import (
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// factsTestGraph hand-builds a call graph: a -> b -> c, with b and c in a
+// cycle (c -> b), and d isolated. Node functions carry no package so
+// DisplayName renders the bare names.
+func factsTestGraph() *CallGraph {
+	sig := types.NewSignatureType(nil, nil, nil, nil, nil, false)
+	g := &CallGraph{Nodes: map[FuncID]*CallNode{}}
+	mk := func(name string) *CallNode {
+		fn := types.NewFunc(token.NoPos, nil, name, sig)
+		n := &CallNode{ID: FuncIDOf(fn), Fn: fn}
+		g.Nodes[n.ID] = n
+		return n
+	}
+	a, b, c, d := mk("a"), mk("b"), mk("c"), mk("d")
+	a.Calls = []CallEdge{{Callee: b.ID}}
+	b.Calls = []CallEdge{{Callee: c.ID}}
+	c.Calls = []CallEdge{{Callee: b.ID}} // cycle
+	_ = d
+	return g
+}
+
+func TestFactPropagation(t *testing.T) {
+	g := factsTestGraph()
+	fs := NewFactSet(g)
+	sink := Fact{Kind: "wall-clock", Sink: "time.Now", Origin: token.Position{Filename: "c.go", Line: 7}}
+	fs.Seed("c", sink)
+	fs.Propagate()
+
+	for _, holder := range []FuncID{"a", "b", "c"} {
+		facts := fs.FactsOf(holder)
+		if len(facts) != 1 || facts[0] != sink {
+			t.Errorf("FactsOf(%s) = %v, want [%v]", holder, facts, sink)
+		}
+	}
+	if facts := fs.FactsOf("d"); len(facts) != 0 {
+		t.Errorf("FactsOf(d) = %v, want none: d reaches nothing", facts)
+	}
+}
+
+func TestFactChainTerminatesThroughCycle(t *testing.T) {
+	g := factsTestGraph()
+	fs := NewFactSet(g)
+	sink := Fact{Kind: "global-rand", Sink: "rand.Int63", Origin: token.Position{Filename: "c.go", Line: 9}}
+	fs.Seed("c", sink)
+	fs.Propagate()
+
+	chain := fs.Chain("a", sink)
+	if got := ChainString(chain); got != "a -> b -> c" {
+		t.Errorf("ChainString = %q, want \"a -> b -> c\"", got)
+	}
+	last := chain[len(chain)-1]
+	if last.Site != sink.Origin {
+		t.Errorf("final chain entry site = %v, want the sink origin %v", last.Site, sink.Origin)
+	}
+	// b holds the fact through the cycle edge too; its chain must still
+	// bottom out at the seed rather than orbiting b <-> c.
+	if got := ChainString(fs.Chain("b", sink)); got != "b -> c" {
+		t.Errorf("ChainString(b) = %q, want \"b -> c\"", got)
+	}
+	if fs.Chain("d", sink) != nil {
+		t.Error("Chain(d) should be nil: d does not hold the fact")
+	}
+}
+
+func TestFactSeedDeduplicates(t *testing.T) {
+	g := factsTestGraph()
+	fs := NewFactSet(g)
+	f := Fact{Kind: "fs-read", Sink: "os.Getenv", Origin: token.Position{Filename: "c.go", Line: 3}}
+	fs.Seed("c", f)
+	fs.Seed("c", f)
+	if facts := fs.FactsOf("c"); len(facts) != 1 {
+		t.Errorf("duplicate seed recorded: FactsOf(c) = %v", facts)
+	}
+	// Distinct origins are distinct facts even with the same kind and sink.
+	f2 := f
+	f2.Origin.Line = 4
+	fs.Seed("c", f2)
+	if facts := fs.FactsOf("c"); len(facts) != 2 {
+		t.Errorf("distinct-origin fact collapsed: FactsOf(c) = %v", facts)
+	}
+}

@@ -1,0 +1,78 @@
+package lint
+
+// The stable machine-readable form of the suite's output, consumed by the
+// CI pipeline (per-diagnostic GitHub annotations, artifact upload) and by
+// anything else that wants findings without scraping text. The schema is a
+// contract: fields are only ever added, never renamed or removed.
+
+import "path/filepath"
+
+// DiagnosticJSON is one finding in `codecheck -json` output.
+type DiagnosticJSON struct {
+	Analyzer      string           `json:"analyzer"`
+	File          string           `json:"file"`
+	Line          int              `json:"line"`
+	Col           int              `json:"col"`
+	Message       string           `json:"message"`
+	Chain         []ChainEntryJSON `json:"chain,omitempty"`
+	Suppressed    bool             `json:"suppressed"`
+	Justification string           `json:"justification,omitempty"`
+}
+
+// ChainEntryJSON is one hop of interprocedural evidence in -json output.
+// File/Line/Col are omitted for hops without a resolved call site (e.g.
+// class-hierarchy edges).
+type ChainEntryJSON struct {
+	Func string `json:"func"`
+	File string `json:"file,omitempty"`
+	Line int    `json:"line,omitempty"`
+	Col  int    `json:"col,omitempty"`
+}
+
+// ToJSON converts diagnostics to the -json schema. base, when non-empty, is
+// the directory file paths are made relative to (the working directory in
+// codecheck), so output is stable across checkouts; paths outside base stay
+// absolute.
+func ToJSON(diags []Diagnostic, base string) []DiagnosticJSON {
+	out := make([]DiagnosticJSON, 0, len(diags))
+	for _, d := range diags {
+		j := DiagnosticJSON{
+			Analyzer:      d.Analyzer,
+			File:          relTo(base, d.Pos.Filename),
+			Line:          d.Pos.Line,
+			Col:           d.Pos.Column,
+			Message:       d.Message,
+			Suppressed:    d.Suppressed,
+			Justification: d.Justification,
+		}
+		for _, e := range d.Chain {
+			ce := ChainEntryJSON{Func: e.Func}
+			if e.Site.IsValid() {
+				ce.File = relTo(base, e.Site.Filename)
+				ce.Line = e.Site.Line
+				ce.Col = e.Site.Column
+			}
+			j.Chain = append(j.Chain, ce)
+		}
+		out = append(out, j)
+	}
+	return out
+}
+
+// RelPath rewrites path relative to base the same way -json output does —
+// exported so codecheck renders its text and -ignores listings with the
+// same stable paths.
+func RelPath(base, path string) string { return relTo(base, path) }
+
+// relTo rewrites path relative to base when that produces a path inside it.
+func relTo(base, path string) string {
+	if base == "" || path == "" {
+		return path
+	}
+	rel, err := filepath.Rel(base, path)
+	if err != nil || filepath.IsAbs(rel) || rel == ".." ||
+		len(rel) >= 3 && rel[:3] == ".."+string(filepath.Separator) {
+		return path
+	}
+	return rel
+}

@@ -32,11 +32,14 @@ import (
 )
 
 // Analyzer is one named invariant check, the mirror of
-// golang.org/x/tools/go/analysis.Analyzer.
+// golang.org/x/tools/go/analysis.Analyzer. Exactly one of Run (per-package,
+// syntactic/type-based) and RunModule (whole-module, interprocedural — gets
+// the call graph) must be set.
 type Analyzer struct {
-	Name string // short lower-case identifier, used in //lint:ignore
-	Doc  string // one-paragraph description of the invariant
-	Run  func(*Pass) error
+	Name      string // short lower-case identifier, used in //lint:ignore
+	Doc       string // one-paragraph description of the invariant
+	Run       func(*Pass) error
+	RunModule func(*ModulePass) error
 }
 
 // Pass carries one type-checked package through one analyzer, the mirror of
@@ -61,11 +64,18 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
-// Diagnostic is one finding, already resolved to a file position.
+// Diagnostic is one finding, already resolved to a file position. Chain
+// carries interprocedural evidence when the analyzer has it (puritycheck's
+// entry-point-to-sink path). Suppressed findings are kept — flagged, with
+// the directive's justification — so machine consumers (-json) can audit
+// what the ignores hide; the text output and the exit code skip them.
 type Diagnostic struct {
-	Pos      token.Position
-	Analyzer string
-	Message  string
+	Pos           token.Position
+	Analyzer      string
+	Message       string
+	Chain         []ChainEntry
+	Suppressed    bool
+	Justification string // the //lint:ignore justification, when suppressed
 }
 
 // String renders the diagnostic in the conventional file:line:col form.
@@ -73,10 +83,34 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
 }
 
+// ModulePass carries the whole loaded module through one interprocedural
+// analyzer: every package, plus the call graph built over them.
+type ModulePass struct {
+	Analyzer *Analyzer
+	Pkgs     []*Package
+	Graph    *CallGraph
+
+	diags *[]Diagnostic
+}
+
+// ReportAt records a module-level diagnostic at an already-resolved
+// position, with optional interprocedural evidence.
+func (mp *ModulePass) ReportAt(pos token.Position, chain []ChainEntry, format string, args ...any) {
+	*mp.diags = append(*mp.diags, Diagnostic{
+		Pos:      pos,
+		Analyzer: mp.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+		Chain:    chain,
+	})
+}
+
 // All returns the full suite in stable order. cmd/codecheck runs exactly
 // this list.
 func All() []*Analyzer {
-	return []*Analyzer{DetMap, WallTime, BitMask, AtomicHandle, ErrDrop, DocComment}
+	return []*Analyzer{
+		DetMap, WallTime, BitMask, AtomicHandle, ErrDrop, DocComment,
+		Exhaustive, PurityCheck, LockGuard,
+	}
 }
 
 // ByName resolves a comma-separated analyzer list ("" means all).
@@ -102,25 +136,71 @@ func ByName(names string) ([]*Analyzer, error) {
 
 // Run applies the analyzers to one loaded package and returns the surviving
 // diagnostics, sorted by position, after applying //lint:ignore
-// suppressions. Malformed ignores (no justification, unknown analyzer) are
-// reported as diagnostics themselves so they cannot rot silently.
+// suppressions (suppressed findings are dropped — the historical contract;
+// RunModule keeps them flagged instead). Malformed ignores (no
+// justification, unknown analyzer) are reported as diagnostics themselves
+// so they cannot rot silently.
 func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
-	var diags []Diagnostic
-	for _, a := range analyzers {
-		pass := &Pass{
-			Analyzer:  a,
-			Fset:      pkg.Fset,
-			Files:     pkg.Files,
-			Pkg:       pkg.Types,
-			TypesInfo: pkg.Info,
-			Path:      pkg.ImportPath,
-			diags:     &diags,
-		}
-		if err := a.Run(pass); err != nil {
-			return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.ImportPath, err)
+	all, err := RunModule([]*Package{pkg}, analyzers)
+	if err != nil {
+		return nil, err
+	}
+	kept := all[:0]
+	for _, d := range all {
+		if !d.Suppressed {
+			kept = append(kept, d)
 		}
 	}
-	malformed := applySuppressions(pkg, &diags)
+	return kept, nil
+}
+
+// RunModule applies the analyzers to every loaded package at once:
+// per-package analyzers run package by package, interprocedural analyzers
+// run over the call graph built across all of them. It returns every
+// diagnostic — suppressed ones included, marked with the directive's
+// justification — sorted by position.
+func RunModule(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			if a.Run == nil {
+				continue
+			}
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+				Path:      pkg.ImportPath,
+				diags:     &diags,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.ImportPath, err)
+			}
+		}
+	}
+
+	var moduleAnalyzers []*Analyzer
+	for _, a := range analyzers {
+		if a.RunModule != nil {
+			moduleAnalyzers = append(moduleAnalyzers, a)
+		}
+	}
+	if len(moduleAnalyzers) > 0 {
+		graph := BuildCallGraph(pkgs)
+		for _, a := range moduleAnalyzers {
+			mp := &ModulePass{Analyzer: a, Pkgs: pkgs, Graph: graph, diags: &diags}
+			if err := a.RunModule(mp); err != nil {
+				return nil, fmt.Errorf("lint: %s: %w", a.Name, err)
+			}
+		}
+	}
+
+	var malformed []Diagnostic
+	for _, pkg := range pkgs {
+		malformed = append(malformed, markSuppressions(pkg, diags)...)
+	}
 	diags = append(diags, malformed...)
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
@@ -130,29 +210,31 @@ func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 		if a.Pos.Line != b.Pos.Line {
 			return a.Pos.Line < b.Pos.Line
 		}
-		return a.Analyzer < b.Analyzer
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
 	})
 	return diags, nil
 }
 
 // ignoreDirective is one parsed //lint:ignore comment.
 type ignoreDirective struct {
-	line      int    // line the directive governs (its own line)
-	analyzers string // comma-separated names or "*"
-	justified bool
-	pos       token.Pos
+	line          int    // line the directive governs (its own line)
+	analyzers     string // comma-separated names or "*"
+	justification string
+	justified     bool
+	pos           token.Position
 }
 
-// applySuppressions filters *diags in place and returns extra diagnostics
-// for malformed directives.
-func applySuppressions(pkg *Package, diags *[]Diagnostic) []Diagnostic {
+// parseIgnores extracts every //lint:ignore directive from pkg, plus
+// diagnostics for the malformed ones (missing justification, unknown
+// analyzer name).
+func parseIgnores(pkg *Package) (directives []ignoreDirective, malformed []Diagnostic) {
 	known := map[string]bool{}
 	for _, a := range All() {
 		known[a.Name] = true
 	}
-	// file -> line -> directives on that line
-	index := map[string]map[int][]ignoreDirective{}
-	var malformed []Diagnostic
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -164,15 +246,17 @@ func applySuppressions(pkg *Package, diags *[]Diagnostic) []Diagnostic {
 				d := ignoreDirective{
 					line:      pkg.Fset.Position(c.Pos()).Line,
 					justified: len(fields) >= 2,
-					pos:       c.Pos(),
+					pos:       pkg.Fset.Position(c.Pos()),
 				}
 				if len(fields) >= 1 {
 					d.analyzers = fields[0]
 				}
-				file := pkg.Fset.Position(c.Pos()).Filename
+				if len(fields) >= 2 {
+					d.justification = strings.Join(fields[1:], " ")
+				}
 				if !d.justified {
 					malformed = append(malformed, Diagnostic{
-						Pos:      pkg.Fset.Position(c.Pos()),
+						Pos:      d.pos,
 						Analyzer: "ignore",
 						Message:  "//lint:ignore needs an analyzer name and a justification",
 					})
@@ -182,19 +266,32 @@ func applySuppressions(pkg *Package, diags *[]Diagnostic) []Diagnostic {
 					for _, n := range strings.Split(d.analyzers, ",") {
 						if !known[n] {
 							malformed = append(malformed, Diagnostic{
-								Pos:      pkg.Fset.Position(c.Pos()),
+								Pos:      d.pos,
 								Analyzer: "ignore",
 								Message:  fmt.Sprintf("//lint:ignore names unknown analyzer %q", n),
 							})
 						}
 					}
 				}
-				if index[file] == nil {
-					index[file] = map[int][]ignoreDirective{}
-				}
-				index[file][d.line] = append(index[file][d.line], d)
+				directives = append(directives, d)
 			}
 		}
+	}
+	return directives, malformed
+}
+
+// markSuppressions flags diagnostics governed by a justified //lint:ignore
+// directive (on the diagnostic's line or the line above) and returns extra
+// diagnostics for malformed directives.
+func markSuppressions(pkg *Package, diags []Diagnostic) []Diagnostic {
+	directives, malformed := parseIgnores(pkg)
+	// file -> line -> directives on that line
+	index := map[string]map[int][]ignoreDirective{}
+	for _, d := range directives {
+		if index[d.pos.Filename] == nil {
+			index[d.pos.Filename] = map[int][]ignoreDirective{}
+		}
+		index[d.pos.Filename][d.line] = append(index[d.pos.Filename][d.line], d)
 	}
 
 	matches := func(d ignoreDirective, analyzer string) bool {
@@ -212,20 +309,56 @@ func applySuppressions(pkg *Package, diags *[]Diagnostic) []Diagnostic {
 		return false
 	}
 
-	kept := (*diags)[:0]
-	for _, dg := range *diags {
-		suppressed := false
+	for i := range diags {
+		dg := &diags[i]
+		if dg.Suppressed {
+			continue
+		}
 		for _, line := range []int{dg.Pos.Line, dg.Pos.Line - 1} {
 			for _, dir := range index[dg.Pos.Filename][line] {
 				if matches(dir, dg.Analyzer) {
-					suppressed = true
+					dg.Suppressed = true
+					dg.Justification = dir.justification
 				}
 			}
 		}
-		if !suppressed {
-			kept = append(kept, dg)
+	}
+	return malformed
+}
+
+// IgnoreEntry is one //lint:ignore directive, for the codecheck -ignores
+// audit listing.
+type IgnoreEntry struct {
+	Pos           token.Position `json:"-"`
+	File          string         `json:"file"`
+	Line          int            `json:"line"`
+	Analyzers     string         `json:"analyzers"`
+	Justification string         `json:"justification"`
+}
+
+// Ignores lists every suppression directive in the given packages, sorted
+// by file and line — the audit trail behind `codecheck -ignores`. Malformed
+// directives appear with an empty justification; the normal run already
+// reports them as findings.
+func Ignores(pkgs []*Package) []IgnoreEntry {
+	var entries []IgnoreEntry
+	for _, pkg := range pkgs {
+		directives, _ := parseIgnores(pkg)
+		for _, d := range directives {
+			entries = append(entries, IgnoreEntry{
+				Pos:           d.pos,
+				File:          d.pos.Filename,
+				Line:          d.pos.Line,
+				Analyzers:     d.analyzers,
+				Justification: d.justification,
+			})
 		}
 	}
-	*diags = kept
-	return malformed
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].File != entries[j].File {
+			return entries[i].File < entries[j].File
+		}
+		return entries[i].Line < entries[j].Line
+	})
+	return entries
 }

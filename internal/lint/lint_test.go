@@ -49,9 +49,86 @@ func TestDocCommentScope(t *testing.T) {
 	}
 }
 
+func TestExhaustiveFlagged(t *testing.T) { runAnalyzerTest(t, Exhaustive, "exhaustive/flagged") }
+func TestExhaustiveClean(t *testing.T)   { runAnalyzerTest(t, Exhaustive, "exhaustive/clean") }
+
+func TestPurityCheckFlagged(t *testing.T) { runAnalyzerTest(t, PurityCheck, "puritycheck/flagged") }
+func TestPurityCheckClean(t *testing.T)   { runAnalyzerTest(t, PurityCheck, "puritycheck/clean") }
+
+func TestLockGuardFlagged(t *testing.T) { runAnalyzerTest(t, LockGuard, "lockguard/flagged") }
+func TestLockGuardClean(t *testing.T)   { runAnalyzerTest(t, LockGuard, "lockguard/clean") }
+
 // TestIgnoreDirectives exercises suppression end to end: justified ignores
 // silence findings, malformed ones are themselves reported.
 func TestIgnoreDirectives(t *testing.T) { runAnalyzerTest(t, WallTime, "ignore") }
+
+// TestRunModuleKeepsSuppressed pins the -json contract: RunModule marks
+// suppressed findings instead of dropping them, carrying the directive's
+// justification, while Run still filters them out.
+func TestRunModuleKeepsSuppressed(t *testing.T) {
+	pkg, err := LoadDir("testdata/src/ignore")
+	if err != nil {
+		t.Fatalf("LoadDir: %v", err)
+	}
+	all, err := RunModule([]*Package{pkg}, []*Analyzer{WallTime})
+	if err != nil {
+		t.Fatalf("RunModule: %v", err)
+	}
+	var suppressed []Diagnostic
+	for _, d := range all {
+		if d.Suppressed {
+			suppressed = append(suppressed, d)
+		}
+	}
+	if len(suppressed) == 0 {
+		t.Fatal("RunModule dropped the suppressed findings; expected them marked")
+	}
+	for _, d := range suppressed {
+		if d.Justification == "" {
+			t.Errorf("suppressed finding %s carries no justification", d)
+		}
+	}
+	kept, err := Run(pkg, []*Analyzer{WallTime})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(kept) >= len(all) {
+		t.Errorf("Run kept %d of %d diagnostics; expected suppressed ones filtered", len(kept), len(all))
+	}
+	for _, d := range kept {
+		if d.Suppressed {
+			t.Errorf("Run returned a suppressed diagnostic: %s", d)
+		}
+	}
+}
+
+// TestIgnores pins the -ignores audit listing over the suppression testdata.
+func TestIgnores(t *testing.T) {
+	pkg, err := LoadDir("testdata/src/ignore")
+	if err != nil {
+		t.Fatalf("LoadDir: %v", err)
+	}
+	entries := Ignores([]*Package{pkg})
+	if len(entries) == 0 {
+		t.Fatal("no ignore directives found in testdata/src/ignore")
+	}
+	justified := 0
+	for i, e := range entries {
+		if e.File == "" || e.Line == 0 || e.Analyzers == "" {
+			t.Errorf("entry %+v missing file, line or analyzers", e)
+		}
+		if e.Justification != "" {
+			justified++
+		}
+		if i > 0 && (entries[i-1].File > e.File ||
+			(entries[i-1].File == e.File && entries[i-1].Line > e.Line)) {
+			t.Errorf("entries out of order at %d: %+v after %+v", i, e, entries[i-1])
+		}
+	}
+	if justified == 0 {
+		t.Error("no justified directives listed")
+	}
+}
 
 func TestByName(t *testing.T) {
 	all, err := ByName("")
@@ -73,8 +150,8 @@ func TestByName(t *testing.T) {
 func TestAnalyzerNamesUniqueAndDocumented(t *testing.T) {
 	seen := map[string]bool{}
 	for _, a := range All() {
-		if a.Name == "" || a.Doc == "" || a.Run == nil {
-			t.Errorf("analyzer %+v missing name, doc or run", a)
+		if a.Name == "" || a.Doc == "" || (a.Run == nil) == (a.RunModule == nil) {
+			t.Errorf("analyzer %+v missing name or doc, or not exactly one of Run/RunModule", a)
 		}
 		if seen[a.Name] {
 			t.Errorf("duplicate analyzer name %q", a.Name)

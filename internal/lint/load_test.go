@@ -1,0 +1,105 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The loader's error paths: every way Load/LoadDir can fail must surface a
+// diagnosable error rather than a nil package or a panic downstream.
+
+// writeTempModule lays out a throwaway module and returns its directory.
+func writeTempModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	files["go.mod"] = "module tmpmod\n\ngo 1.22\n"
+	for name, src := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// TestLoadGoListFailure drives the go-list error path: a package that does
+// not type-check makes `go list -export` fail before the loader's own
+// type-check ever runs, and the compiler's message must survive into the
+// returned error.
+func TestLoadGoListFailure(t *testing.T) {
+	dir := writeTempModule(t, map[string]string{
+		"broken/broken.go": "package broken\n\nfunc f() int { return undeclaredIdentifier }\n",
+	})
+	pkgs, err := Load(dir, "./broken")
+	if err == nil {
+		t.Fatalf("Load succeeded on a broken package: %v", pkgs)
+	}
+	if !strings.Contains(err.Error(), "undeclaredIdentifier") {
+		t.Errorf("error does not carry the compiler message: %v", err)
+	}
+}
+
+// TestLoadBadPattern drives the other go-list failure: a pattern matching
+// nothing inside the module.
+func TestLoadBadPattern(t *testing.T) {
+	dir := writeTempModule(t, map[string]string{
+		"ok/ok.go": "// Package ok is empty.\npackage ok\n",
+	})
+	if _, err := Load(dir, "./no/such/dir"); err == nil {
+		t.Fatal("Load succeeded on a pattern matching no packages")
+	}
+}
+
+// TestLoadDirNoGoFiles covers the empty-directory guard.
+func TestLoadDirNoGoFiles(t *testing.T) {
+	_, err := LoadDir(t.TempDir())
+	if err == nil || !strings.Contains(err.Error(), "no Go files") {
+		t.Errorf("LoadDir on an empty dir: %v, want a no-Go-files error", err)
+	}
+}
+
+// TestLoadDirParseError covers syntactically invalid input.
+func TestLoadDirParseError(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "bad.go"), []byte("package bad\n\nfunc {\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadDir(dir); err == nil {
+		t.Fatal("LoadDir succeeded on unparseable source")
+	}
+}
+
+// TestLoadDirTypeCheckError covers the type-check path LoadDir owns: the
+// file parses but does not type-check, and the error names the directory.
+func TestLoadDirTypeCheckError(t *testing.T) {
+	dir := t.TempDir()
+	src := "package bad\n\nfunc f() int { return \"not an int\" }\n"
+	if err := os.WriteFile(filepath.Join(dir, "bad.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := LoadDir(dir)
+	if err == nil {
+		t.Fatal("LoadDir succeeded on an ill-typed package")
+	}
+	if !strings.Contains(err.Error(), "type-checking") || !strings.Contains(err.Error(), dir) {
+		t.Errorf("LoadDir error = %v, want a type-checking error naming %s", err, dir)
+	}
+}
+
+// TestLoadDirUnresolvableImport covers the export-data lookup failing for an
+// import the go command cannot resolve.
+func TestLoadDirUnresolvableImport(t *testing.T) {
+	dir := t.TempDir()
+	src := "package bad\n\nimport \"no.such.host/nope\"\n\nvar _ = nope.Thing\n"
+	if err := os.WriteFile(filepath.Join(dir, "bad.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadDir(dir); err == nil {
+		t.Fatal("LoadDir succeeded despite an unresolvable import")
+	}
+}

@@ -1,0 +1,82 @@
+// Package fsm is exhaustive testdata for the exempt shapes: full coverage,
+// explicit defaults, string-backed kinds, non-constant case arms,
+// single-constant types and out-of-module enums.
+package fsm
+
+import "reflect"
+
+// Mode is a two-state enum, fully covered below.
+type Mode int
+
+// The modes.
+const (
+	Off Mode = iota
+	On
+)
+
+// Kernel is string-backed: partial switches fail loudly at run time already.
+type Kernel string
+
+// The kernels.
+const (
+	KCG  Kernel = "cg"
+	KMM  Kernel = "mm"
+	KFFT Kernel = "fft"
+)
+
+// Level has a single constant: not an enum.
+type Level int
+
+// LevelOne is the only Level.
+const LevelOne Level = 1
+
+func full(m Mode) string {
+	switch m {
+	case Off:
+		return "off"
+	case On:
+		return "on"
+	}
+	return "?"
+}
+
+func defaulted(m Mode) string {
+	switch m {
+	case Off:
+		return "off"
+	default:
+		return "other"
+	}
+}
+
+func stringy(k Kernel) bool {
+	switch k {
+	case KCG:
+		return true
+	}
+	return false
+}
+
+func nonConstArm(m Mode, dyn Mode) bool {
+	switch m {
+	case dyn:
+		return true
+	}
+	return false
+}
+
+func single(l Level) bool {
+	switch l {
+	case LevelOne:
+		return true
+	}
+	return false
+}
+
+func stdlib(k reflect.Kind) bool {
+	switch k {
+	case reflect.Int:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,43 @@
+// Package fsm is exhaustive testdata: switches over module-declared iota
+// enums that silently drop members.
+package fsm
+
+// State is a three-state FSM.
+type State int
+
+// The FSM states.
+const (
+	Idle State = iota
+	Busy
+	Done
+)
+
+// Drained aliases Done: covering either name covers the value.
+const Drained = Done
+
+func name(s State) string {
+	switch s { // want "switch over fsm.State is not exhaustive: missing Done .add the cases or an explicit default."
+	case Idle:
+		return "idle"
+	case Busy:
+		return "busy"
+	}
+	return "?"
+}
+
+func brief(s State) string {
+	switch s { // want "switch over fsm.State is not exhaustive: missing Busy, Done"
+	case Idle:
+		return "i"
+	}
+	return "?"
+}
+
+func aliasCovered(s State) string {
+	// Drained == Done, so every value is handled: no finding.
+	switch s {
+	case Idle, Busy, Drained:
+		return "ok"
+	}
+	return "?"
+}

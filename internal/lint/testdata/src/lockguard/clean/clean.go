@@ -1,0 +1,46 @@
+// Package guard is lockguard testdata for the approved shapes: every
+// guarded access locked, closures exempt, and mutex-free structs ignored.
+package guard
+
+import "sync"
+
+// Counter locks consistently everywhere.
+type Counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Inc locks.
+func (c *Counter) Inc() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+// Get locks with defer.
+func (c *Counter) Get() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// Async hands the field to a closure; lock state at the definition site is
+// meaningless, so the closure body is out of scope.
+func (c *Counter) Async(run func(func())) {
+	run(func() {
+		c.mu.Lock()
+		c.n++
+		c.mu.Unlock()
+	})
+}
+
+// Plain has no mutex: nothing to enforce.
+type Plain struct {
+	n int
+}
+
+// Twice is unguarded by construction.
+func (p *Plain) Twice() int {
+	p.n *= 2
+	return p.n
+}

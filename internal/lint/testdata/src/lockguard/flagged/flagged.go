@@ -1,0 +1,54 @@
+// Package guard is lockguard testdata: a registry whose map is locked in
+// some methods and forgotten in others.
+package guard
+
+import "sync"
+
+// Registry guards items with mu; hits is deliberately unconstrained.
+type Registry struct {
+	mu    sync.Mutex
+	items map[string]int
+	hits  int
+}
+
+// Add locks correctly.
+func (r *Registry) Add(k string) {
+	r.mu.Lock()
+	r.items[k]++
+	r.mu.Unlock()
+}
+
+// Len uses the deferred-unlock idiom: the region stays open to the end.
+func (r *Registry) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.items)
+}
+
+// Peek forgets the lock.
+func (r *Registry) Peek(k string) int {
+	return r.items[k] // want "field Registry.items is accessed under Registry.mu elsewhere; this access in Peek does not hold the lock"
+}
+
+// Bump touches only hits, which no method locks: unconstrained, no finding.
+func (r *Registry) Bump() {
+	r.hits++
+}
+
+// Gauge mixes an RWMutex with a read-locked and a bare reader.
+type Gauge struct {
+	mu  sync.RWMutex
+	val float64
+}
+
+// Read read-locks.
+func (g *Gauge) Read() float64 {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.val
+}
+
+// Racy reads without the lock.
+func (g *Gauge) Racy() float64 {
+	return g.val // want "field Gauge.val is accessed under Gauge.mu elsewhere; this access in Racy does not hold the lock"
+}

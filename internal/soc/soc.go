@@ -508,8 +508,9 @@ func (p *port) L15Op(core int, op isa.Op, operand uint32) (uint32, int, error) {
 		return uint32(bm), lat, err
 	case isa.OpIPSET:
 		return 0, lat, cl.IPSet(local, bitmapFrom(operand, cl.Config().Ways))
+	default:
+		return 0, 0, fmt.Errorf("soc: not an L1.5 op: %v", op)
 	}
-	return 0, 0, fmt.Errorf("soc: not an L1.5 op: %v", op)
 }
 
 // bitmapFrom bounds a register operand to the cluster's way count: the
