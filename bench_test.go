@@ -18,11 +18,13 @@ package l15cache_test
 
 import (
 	"context"
+	"math/rand"
 	"runtime"
 	"testing"
 
 	"l15cache/internal/area"
 	"l15cache/internal/experiments"
+	"l15cache/internal/flight"
 	"l15cache/internal/rtsim"
 	"l15cache/internal/workload"
 )
@@ -259,3 +261,43 @@ func BenchmarkRTOSKernel(b *testing.B) {
 		runKernelBench(b)
 	}
 }
+
+// benchFlightTrial runs one fixed real-time trial (8 cores, 60% target
+// utilisation, proposed system), optionally with the flight recorder
+// attached — the recording-on/recording-off pair behind the benchjson
+// recorder-overhead gate.
+func benchFlightTrial(b *testing.B, record bool) {
+	b.Helper()
+	// The ring is allocated once per process in the cmd tools, so it is
+	// allocated once here too — the pair measures the Emit hot path, not
+	// a 25 MB make([]Event) per iteration.
+	var rec *flight.Recorder
+	if record {
+		rec = flight.New()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := rand.New(rand.NewSource(7))
+		set := workload.DefaultTaskSetParams()
+		set.TargetUtilization = 0.6 * 8
+		tasks, err := workload.TaskSet(r, set)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := rtsim.DefaultConfig()
+		cfg.Recorder = rec
+		if _, err := rtsim.Run(tasks, rtsim.KindProp, cfg); err != nil {
+			b.Fatal(err)
+		}
+		if record && rec.Len() == 0 {
+			b.Fatal("recorder attached but empty")
+		}
+	}
+}
+
+// BenchmarkFlightRecorderOff is the baseline half of the overhead pair.
+func BenchmarkFlightRecorderOff(b *testing.B) { benchFlightTrial(b, false) }
+
+// BenchmarkFlightRecorderOn is the recording half; benchjson -overhead
+// warns when it exceeds the Off half by more than 5%.
+func BenchmarkFlightRecorderOn(b *testing.B) { benchFlightTrial(b, true) }

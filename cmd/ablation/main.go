@@ -43,6 +43,16 @@ func main() {
 	ctx, stop := runner.SignalContext(context.Background())
 	defer stop()
 
+	// die flushes the partial -metrics/-trace artifacts before a fatal
+	// exit, so an interrupted sweep (Ctrl-C → runner.Canceled) still
+	// leaves complete files behind.
+	die := func(err error) {
+		if werr := metrics.WriteFiles(*metricsOut, *traceOut); werr != nil {
+			log.Print(werr)
+		}
+		log.Fatal(err)
+	}
+
 	run := runner.Options{Workers: *workers, Checkpoint: *checkpoint}
 	cfg := experiments.DefaultMakespanConfig()
 	cfg.DAGs = *dags
@@ -56,7 +66,7 @@ func main() {
 		ran = true
 		res, err := experiments.AblateZeta(ctx, cfg, experiments.AblationZetaDefault())
 		if err != nil {
-			log.Fatal(err)
+			die(err)
 		}
 		fmt.Println(res.Format())
 	}
@@ -64,7 +74,7 @@ func main() {
 		ran = true
 		res, err := experiments.AblateWayBytes(ctx, cfg, experiments.AblationWayBytesDefault())
 		if err != nil {
-			log.Fatal(err)
+			die(err)
 		}
 		fmt.Println(res.Format())
 	}
@@ -72,7 +82,7 @@ func main() {
 		ran = true
 		res, err := experiments.AblatePriorities(ctx, cfg)
 		if err != nil {
-			log.Fatal(err)
+			die(err)
 		}
 		fmt.Println(res.Format())
 	}
@@ -80,7 +90,7 @@ func main() {
 		ran = true
 		res, err := experiments.AblateConfigDelay(ctx, *trials, *seed, run, experiments.AblationDelayDefault())
 		if err != nil {
-			log.Fatal(err)
+			die(err)
 		}
 		fmt.Println(res.Format())
 	}

@@ -41,6 +41,16 @@ func main() {
 	ctx, stop := runner.SignalContext(context.Background())
 	defer stop()
 
+	// die flushes the partial -metrics/-trace artifacts before a fatal
+	// exit, so an interrupted sweep (Ctrl-C → runner.Canceled) still
+	// leaves complete files behind.
+	die := func(err error) {
+		if werr := metrics.WriteFiles(*metricsOut, *traceOut); werr != nil {
+			log.Print(werr)
+		}
+		log.Fatal(err)
+	}
+
 	cfg := experiments.DefaultAcceptanceConfig()
 	cfg.DAGs = *dags
 	cfg.Cores = *cores
@@ -50,7 +60,7 @@ func main() {
 	utils := []float64{0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0}
 	points, err := experiments.AcceptanceRatio(ctx, cfg, utils)
 	if err != nil {
-		log.Fatal(err)
+		die(err)
 	}
 	if *csv {
 		fmt.Print(experiments.AcceptanceCSV(points))

@@ -12,6 +12,14 @@
 // Actions runners (or with -github) each regression additionally emits a
 // `::warning` workflow command, so the drift shows up as an annotation in
 // the PR checks UI even though the job stays green.
+//
+// -overhead OFF:ON gates an instrumentation pair within a single run:
+//
+//	benchjson -overhead FlightRecorderOff:FlightRecorderOn -against BENCH_ci.json
+//
+// warns (same warn-only semantics) when the ON half exceeds the OFF half
+// by more than -overhead-tolerance (default 5%). Both halves come from the
+// same run, so host speed differences cancel out.
 package main
 
 import (
@@ -141,6 +149,39 @@ func compare(w io.Writer, baseline, current Doc, tol float64, annotate bool) int
 	return regressions
 }
 
+// overhead gates an instrumentation on/off pair within one run: it reports
+// how much slower onName is than offName (ns/op) and returns true when the
+// overhead exceeds tol. Unlike compare, both halves come from the same
+// document, so runner-to-runner noise cancels.
+func overhead(w io.Writer, doc Doc, offName, onName string, tol float64, annotate bool) (bool, error) {
+	res := index(doc)
+	off, ok := res[offName]
+	if !ok {
+		return false, fmt.Errorf("overhead pair: %q not in results", offName)
+	}
+	on, ok := res[onName]
+	if !ok {
+		return false, fmt.Errorf("overhead pair: %q not in results", onName)
+	}
+	b, c := off.Values["ns/op"], on.Values["ns/op"]
+	if b <= 0 {
+		return false, fmt.Errorf("overhead pair: %q has no ns/op", offName)
+	}
+	delta := (c - b) / b
+	if delta > tol {
+		fmt.Fprintf(w, "OVERHEAD %s -> %s: %12.0f -> %12.0f ns/op (%+.1f%%, tolerance %.0f%%)\n",
+			offName, onName, b, c, 100*delta, 100*tol)
+		if annotate {
+			fmt.Fprintf(w, "::warning title=Instrumentation overhead: %s::%s costs %+.1f%% over %s (tolerance %.0f%%)\n",
+				onName, onName, 100*delta, offName, 100*tol)
+		}
+		return true, nil
+	}
+	fmt.Fprintf(w, "OVERHEAD %s -> %s: %12.0f -> %12.0f ns/op (%+.1f%%) within %.0f%%\n",
+		offName, onName, b, c, 100*delta, 100*tol)
+	return false, nil
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchjson: ")
@@ -153,7 +194,35 @@ func main() {
 	strict := flag.Bool("strict", false, "exit 1 when -compare finds regressions beyond the tolerance")
 	annotate := flag.Bool("github", os.Getenv("GITHUB_ACTIONS") == "true",
 		"emit a GitHub Actions ::warning annotation per regression (auto-enabled on Actions runners)")
+	overheadPair := flag.String("overhead", "",
+		"OFF:ON benchmark-name pair gated within the -against run (e.g. FlightRecorderOff:FlightRecorderOn)")
+	overheadTol := flag.Float64("overhead-tolerance", 0.05, "relative ns/op tolerance for -overhead")
 	flag.Parse()
+
+	if *overheadPair != "" {
+		offName, onName, ok := strings.Cut(*overheadPair, ":")
+		if !ok || offName == "" || onName == "" {
+			log.Fatal("-overhead wants OFF:ON benchmark names")
+		}
+		if *againstPath == "" {
+			log.Fatal("-overhead requires -against")
+		}
+		doc, err := load(*againstPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		over, err := overhead(os.Stdout, doc, offName, onName, *overheadTol, *annotate)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if over && *strict {
+			os.Exit(1)
+		}
+		if over {
+			fmt.Println("(warn-only: run with -strict to fail the build)")
+		}
+		return
+	}
 
 	if *baselinePath != "" {
 		if *againstPath == "" {

@@ -58,3 +58,35 @@ func TestCompareEmitsGitHubAnnotations(t *testing.T) {
 		t.Errorf("missing ::warning annotation:\n%s", out)
 	}
 }
+
+func TestOverheadGate(t *testing.T) {
+	d := doc(map[string]float64{"RecOff": 1000, "RecOn": 1030})
+	var sb strings.Builder
+	over, err := overhead(&sb, d, "RecOff", "RecOn", 0.05, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if over {
+		t.Errorf("3%% flagged at 5%% tolerance:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), "within 5%") {
+		t.Errorf("missing within-tolerance line:\n%s", sb.String())
+	}
+
+	sb.Reset()
+	d = doc(map[string]float64{"RecOff": 1000, "RecOn": 1100})
+	over, err = overhead(&sb, d, "RecOff", "RecOn", 0.05, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !over {
+		t.Errorf("10%% not flagged at 5%% tolerance:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), "::warning title=Instrumentation overhead: RecOn") {
+		t.Errorf("missing annotation:\n%s", sb.String())
+	}
+
+	if _, err := overhead(&sb, d, "Nope", "RecOn", 0.05, false); err == nil {
+		t.Error("missing OFF benchmark not reported")
+	}
+}

@@ -9,7 +9,11 @@
 //
 // Trials fan out on the internal/runner pool: -workers caps the
 // concurrency (0 = NumCPU) without changing any result, -checkpoint makes
-// an interrupted run (Ctrl-C) resumable at trial granularity.
+// an interrupted run (Ctrl-C) resumable at trial granularity. -flight
+// additionally records one representative trial (the configured core
+// count, 60% utilisation, proposed system) into a flight recording that
+// cmd/explain can dissect. An interrupt still flushes the partial
+// -metrics/-trace/-flight files before exiting.
 package main
 
 import (
@@ -17,10 +21,14 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math/rand"
 
 	"l15cache/internal/experiments"
+	"l15cache/internal/flight"
 	"l15cache/internal/metrics"
+	"l15cache/internal/rtsim"
 	"l15cache/internal/runner"
+	"l15cache/internal/workload"
 )
 
 func main() {
@@ -37,10 +45,34 @@ func main() {
 	partitioned := flag.Bool("partitioned", false, "partition tasks to clusters instead of global scheduling")
 	metricsOut := flag.String("metrics", "", "write a metrics-registry JSON snapshot to this file")
 	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON file (chrome://tracing)")
+	flightOut := flag.String("flight", "", "record one representative trial to this flight file (.jsonl or .bin)")
 	flag.Parse()
 
 	ctx, stop := runner.SignalContext(context.Background())
 	defer stop()
+
+	var rec *flight.Recorder
+	if *flightOut != "" {
+		rec = flight.New()
+	}
+	// flush writes every requested artifact; die runs it before a fatal
+	// exit so an interrupted sweep (Ctrl-C → runner.Canceled) still
+	// leaves complete partial files behind.
+	flush := func() error {
+		if err := metrics.WriteFiles(*metricsOut, *traceOut); err != nil {
+			return err
+		}
+		if *flightOut != "" {
+			return flight.WriteFile(*flightOut, rec.Snapshot())
+		}
+		return nil
+	}
+	die := func(err error) {
+		if werr := flush(); werr != nil {
+			log.Print(werr)
+		}
+		log.Fatal(err)
+	}
 
 	cfg := experiments.DefaultCaseStudyConfig(*cores)
 	cfg.Trials = *trials
@@ -48,20 +80,47 @@ func main() {
 	cfg.RT.Partitioned = *partitioned
 	cfg.Run = runner.Options{Workers: *workers, Checkpoint: *checkpoint}
 
+	if rec != nil {
+		if err := recordTrial(*seed, *cores, rec); err != nil {
+			die(err)
+		}
+	}
+
 	var utils []float64
 	for u := 0.40; u <= 0.90+1e-9; u += *step {
 		utils = append(utils, u)
 	}
 	res, err := experiments.RunCaseStudy(ctx, cfg, utils)
 	if err != nil {
-		log.Fatal(err)
+		die(err)
 	}
 	if *csv {
 		fmt.Print(res.CSV())
 	} else {
 		fmt.Print(res.Format())
 	}
-	if err := metrics.WriteFiles(*metricsOut, *traceOut); err != nil {
+	if err := flush(); err != nil {
 		log.Fatal(err)
 	}
+	if rec != nil {
+		log.Printf("wrote %s (%d events, %d dropped)", *flightOut, rec.Len(), rec.Dropped())
+	}
+}
+
+// recordTrial runs one representative case-study trial (60% utilisation,
+// proposed system) with the flight recorder attached. The recording is a
+// pure function of seed and cores.
+func recordTrial(seed int64, cores int, rec *flight.Recorder) error {
+	r := rand.New(rand.NewSource(seed))
+	set := workload.DefaultTaskSetParams()
+	set.TargetUtilization = 0.6 * float64(cores)
+	tasks, err := workload.TaskSet(r, set)
+	if err != nil {
+		return err
+	}
+	cfg := rtsim.DefaultConfig()
+	cfg.Cores = cores
+	cfg.Recorder = rec
+	_, err = rtsim.Run(tasks, rtsim.KindProp, cfg)
+	return err
 }

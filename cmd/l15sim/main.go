@@ -7,13 +7,20 @@
 // Usage:
 //
 //	l15sim [-program file.s]... [-max N] [-stats]
-//	       [-metrics out.json] [-trace out.json]
-//	       [-pprof addr] [-cpuprofile out.pb.gz] [-memprofile out.pb.gz]
+//	       [-metrics out.json] [-trace out.json] [-flight out.jsonl]
+//	       [-http addr] [-pprof addr]
+//	       [-cpuprofile out.pb.gz] [-memprofile out.pb.gz]
 //
 // -metrics serialises the metrics registry (L1/L1.5/L2/TLB counters, SDU
 // latency histograms) as JSON; -trace writes a Chrome trace_event file for
-// chrome://tracing. -pprof serves net/http/pprof on the given address for
-// live profiling, and -cpuprofile/-memprofile write offline profiles.
+// chrome://tracing; -flight writes a flight recording of every Walloc way
+// reassignment and gv_set (dissect it with cmd/explain). -http serves the
+// live-inspection endpoint (/metrics JSON snapshot, /events SSE stream of
+// flight events, /healthz) during and after the run — the process then
+// stays up until interrupted. An interrupt (Ctrl-C) at any point still
+// flushes the requested -metrics/-trace/-flight files before exiting.
+// -pprof serves net/http/pprof on the given address for live profiling,
+// and -cpuprofile/-memprofile write offline profiles.
 package main
 
 import (
@@ -23,9 +30,11 @@ import (
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 
+	"l15cache/internal/flight"
 	"l15cache/internal/isa"
 	"l15cache/internal/metrics"
 	"l15cache/internal/soc"
@@ -51,10 +60,48 @@ func main() {
 	list := flag.Bool("list", false, "print the disassembly of each program before running")
 	metricsOut := flag.String("metrics", "", "write a metrics-registry JSON snapshot to this file")
 	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON file (chrome://tracing)")
+	flightOut := flag.String("flight", "", "write a flight recording (.jsonl or .bin) to this file")
+	httpAddr := flag.String("http", "", "serve /metrics, /events (SSE) and /healthz on this address")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.Parse()
+
+	var rec *flight.Recorder
+	if *flightOut != "" || *httpAddr != "" {
+		rec = flight.New()
+	}
+	// flush writes every requested artifact; it runs on the normal exit
+	// path and again from the interrupt handler, so a Ctrl-C mid-run
+	// still leaves complete (if shorter) files behind.
+	flush := func() error {
+		if err := metrics.WriteFiles(*metricsOut, *traceOut); err != nil {
+			return err
+		}
+		if *flightOut != "" {
+			return flight.WriteFile(*flightOut, rec.Snapshot())
+		}
+		return nil
+	}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	go func() {
+		<-sig
+		log.Print("interrupted; flushing outputs")
+		if err := flush(); err != nil {
+			log.Print(err)
+		}
+		os.Exit(130)
+	}()
+	if *httpAddr != "" {
+		srv := &flight.Server{Recorder: rec}
+		go func() {
+			err := srv.ListenAndServe(*httpAddr, func(addr string) {
+				log.Printf("live inspection on http://%s/ (/metrics, /events, /healthz)", addr)
+			})
+			log.Printf("http server: %v", err)
+		}()
+	}
 
 	if *pprofAddr != "" {
 		go func() {
@@ -101,6 +148,7 @@ func main() {
 		log.Fatal(err)
 	}
 	s.Instrument(metrics.Default, metrics.Trace)
+	s.FlightRecord(rec)
 	if len(sources) > len(s.Cores) {
 		log.Fatalf("%d programs for %d cores", len(sources), len(s.Cores))
 	}
@@ -165,7 +213,7 @@ func main() {
 		fmt.Printf("L2: hits %d, misses %d\n", s.L2.Stats.Hits, s.L2.Stats.Misses)
 	}
 
-	if err := metrics.WriteFiles(*metricsOut, *traceOut); err != nil {
+	if err := flush(); err != nil {
 		log.Fatal(err)
 	}
 	if *memProfile != "" {
@@ -180,5 +228,11 @@ func main() {
 		if err := f.Close(); err != nil {
 			log.Fatal(err)
 		}
+	}
+	if *httpAddr != "" {
+		log.Print("run finished; still serving -http (Ctrl-C to exit)")
+		// Either receiver of sig may win; all artifacts are already
+		// flushed, so both paths are clean exits.
+		<-sig
 	}
 }

@@ -45,6 +45,16 @@ func main() {
 	ctx, stop := runner.SignalContext(context.Background())
 	defer stop()
 
+	// die flushes the partial -metrics/-trace artifacts before a fatal
+	// exit, so an interrupted sweep (Ctrl-C → runner.Canceled) still
+	// leaves complete files behind.
+	die := func(err error) {
+		if werr := metrics.WriteFiles(*metricsOut, *traceOut); werr != nil {
+			log.Print(werr)
+		}
+		log.Fatal(err)
+	}
+
 	cfg := experiments.DefaultMakespanConfig()
 	cfg.DAGs = *dags
 	cfg.Instances = *instances
@@ -75,7 +85,7 @@ func main() {
 		ran = true
 		s, err := r.run()
 		if err != nil {
-			log.Fatal(err)
+			die(err)
 		}
 		if *csv {
 			fmt.Print(s.CSV())

@@ -6,7 +6,7 @@
 // Usage:
 //
 //	repro [-quick] [-o report.md] [-seed S] [-workers N] [-checkpoint cp.json]
-//	      [-metrics m.json] [-trace t.json]
+//	      [-metrics m.json] [-trace t.json] [-flight rec.jsonl]
 //
 // -quick runs reduced sample sizes (~30 s); the default runs the paper's
 // full sizes (500 DAGs × 10 instances, 200 trials — several minutes).
@@ -17,7 +17,12 @@
 // -metrics serialises the unified metrics registry (scheduler wave counts,
 // rtsim counters, and the cycle-accurate smoke run's L1/L1.5/L2 hit+miss
 // counters and SDU latency histograms) as stable JSON — the artifact the CI
-// smoke job archives. -trace writes a Chrome trace_event file.
+// smoke job archives. -trace writes a Chrome trace_event file. -flight
+// records one representative Fig. 8 case-study trial plus the
+// cycle-accurate smoke run into a flight recording that cmd/explain can
+// dissect; the recording is a pure function of -seed. An interrupt
+// (Ctrl-C) still flushes the partial -metrics/-trace/-flight files before
+// exiting.
 package main
 
 import (
@@ -25,11 +30,13 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math/rand"
 	"os"
 	"strings"
 
 	"l15cache/internal/area"
 	"l15cache/internal/experiments"
+	"l15cache/internal/flight"
 	"l15cache/internal/metrics"
 	"l15cache/internal/monitor"
 	"l15cache/internal/rtsim"
@@ -43,12 +50,13 @@ import (
 // default metrics registry and tracer. This is what puts real L1/L1.5/L2
 // hit+miss counters and an SDU reassignment-latency histogram into the
 // -metrics snapshot.
-func socSmoke() (string, error) {
+func socSmoke(rec *flight.Recorder) (string, error) {
 	s, err := soc.New(soc.DefaultConfig())
 	if err != nil {
 		return "", err
 	}
 	s.Instrument(metrics.Default, metrics.Trace)
+	s.FlightRecord(rec)
 	mon, err := monitor.Attach(s, 64)
 	if err != nil {
 		return "", err
@@ -78,7 +86,9 @@ func socSmoke() (string, error) {
 	s.SettleSDU(64)
 
 	var sb strings.Builder
-	sb.WriteString(mon.Report())
+	if err := mon.WriteReport(&sb); err != nil {
+		return "", err
+	}
 	cl := s.Clusters[0].L15
 	var hits, misses, global uint64
 	for _, st := range cl.Stats {
@@ -89,6 +99,23 @@ func socSmoke() (string, error) {
 	fmt.Fprintf(&sb, "cluster 0 L1.5: hits %d (global %d), misses %d\n", hits, global, misses)
 	fmt.Fprintf(&sb, "L2: hits %d, misses %d\n", s.L2.Stats.Hits, s.L2.Stats.Misses)
 	return sb.String(), nil
+}
+
+// recordTrial runs one representative Fig. 8 case-study trial (8 cores,
+// 60% utilisation, proposed system) with the flight recorder attached.
+// The recording is a pure function of seed.
+func recordTrial(seed int64, rec *flight.Recorder) error {
+	r := rand.New(rand.NewSource(seed))
+	set := workload.DefaultTaskSetParams()
+	set.TargetUtilization = 0.6 * 8
+	tasks, err := workload.TaskSet(r, set)
+	if err != nil {
+		return err
+	}
+	cfg := rtsim.DefaultConfig()
+	cfg.Recorder = rec
+	_, err = rtsim.Run(tasks, rtsim.KindProp, cfg)
+	return err
 }
 
 func main() {
@@ -102,11 +129,32 @@ func main() {
 	checkpoint := flag.String("checkpoint", "", "JSON checkpoint file; an interrupted run resumes from it")
 	metricsOut := flag.String("metrics", "", "write a metrics-registry JSON snapshot to this file")
 	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON file (chrome://tracing)")
+	flightOut := flag.String("flight", "", "write a flight recording (.jsonl or .bin) of a representative trial")
 	flag.Parse()
 
 	ctx, stop := runner.SignalContext(context.Background())
 	defer stop()
 	run := runner.Options{Workers: *workers, Checkpoint: *checkpoint}
+
+	var rec *flight.Recorder
+	if *flightOut != "" {
+		rec = flight.New()
+	}
+	// die flushes the partial -metrics/-trace/-flight artifacts before
+	// exiting, so an interrupted run (runner.Canceled reaches every
+	// log.Fatal site through die) never leaves truncated or missing
+	// output files.
+	die := func(err error) {
+		if werr := metrics.WriteFiles(*metricsOut, *traceOut); werr != nil {
+			log.Print(werr)
+		}
+		if *flightOut != "" {
+			if werr := flight.WriteFile(*flightOut, rec.Snapshot()); werr != nil {
+				log.Print(werr)
+			}
+		}
+		log.Fatal(err)
+	}
 
 	var sb strings.Builder
 	sb.WriteString("# Reproduction report — L1.5 Cache co-design (DAC 2024)\n\n")
@@ -155,7 +203,7 @@ func main() {
 		step(sr.name)
 		s, err := sr.run()
 		if err != nil {
-			log.Fatal(err)
+			die(err)
 		}
 		section(sr.name)
 		sb.WriteString(s.FormatFig7())
@@ -170,7 +218,7 @@ func main() {
 		step(name)
 		res, err := experiments.RunCaseStudy(ctx, cfg, utils)
 		if err != nil {
-			log.Fatal(err)
+			die(err)
 		}
 		section(name)
 		sb.WriteString(res.Format())
@@ -187,7 +235,7 @@ func main() {
 		Run:    run,
 	}, []int{8, 16}, []float64{0.8, 1.0})
 	if err != nil {
-		log.Fatal(err)
+		die(err)
 	}
 	section("Fig. 8(c) — L1.5 utilisation and φ")
 	sb.WriteString(experiments.FormatSideEffects(sePts))
@@ -197,7 +245,7 @@ func main() {
 	step("§5.4 — hardware overhead")
 	rep, err := area.CompareOverhead(area.Synopsys28nm())
 	if err != nil {
-		log.Fatal(err)
+		die(err)
 	}
 	section("§5.4 — hardware overhead")
 	sb.WriteString(rep.Format())
@@ -213,11 +261,11 @@ func main() {
 	step("ablations")
 	zeta, err := experiments.AblateZeta(ctx, abl, experiments.AblationZetaDefault())
 	if err != nil {
-		log.Fatal(err)
+		die(err)
 	}
 	prio, err := experiments.AblatePriorities(ctx, abl)
 	if err != nil {
-		log.Fatal(err)
+		die(err)
 	}
 	section("Ablations")
 	sb.WriteString(zeta.Format())
@@ -235,18 +283,27 @@ func main() {
 	step("acceptance ratio")
 	pts, err := experiments.AcceptanceRatio(ctx, acc, []float64{1.0, 2.0, 2.5, 3.0, 4.0})
 	if err != nil {
-		log.Fatal(err)
+		die(err)
 	}
 	section("§4.2 — analytical acceptance ratio")
 	sb.WriteString(experiments.FormatAcceptance(pts))
 	endSection()
 
+	// Representative Fig. 8 trial, recorded: one proposed-system
+	// real-time trial whose flight recording cmd/explain can dissect.
+	if *flightOut != "" {
+		step("flight-recorded case-study trial")
+		if err := recordTrial(*seed, rec); err != nil {
+			die(err)
+		}
+	}
+
 	// Cycle-accurate smoke: the SoC + monitor run that grounds the metrics
 	// snapshot in real cache counters.
 	step("cycle-accurate smoke (SoC + monitor)")
-	smoke, err := socSmoke()
+	smoke, err := socSmoke(rec)
 	if err != nil {
-		log.Fatal(err)
+		die(err)
 	}
 	section("Cycle-accurate smoke — SoC hierarchy and SDU")
 	sb.WriteString(smoke)
@@ -255,14 +312,14 @@ func main() {
 	// Embed the unified metrics snapshot in the report.
 	snap, err := metrics.Default.Snapshot().JSON()
 	if err != nil {
-		log.Fatal(err)
+		die(err)
 	}
 	sb.WriteString("\n## Metrics snapshot\n\n```json\n")
 	sb.Write(snap)
 	sb.WriteString("\n```\n")
 
 	if err := metrics.WriteFiles(*metricsOut, *traceOut); err != nil {
-		log.Fatal(err)
+		die(err)
 	}
 	if *metricsOut != "" {
 		log.Printf("wrote %s", *metricsOut)
@@ -270,13 +327,19 @@ func main() {
 	if *traceOut != "" {
 		log.Printf("wrote %s", *traceOut)
 	}
+	if *flightOut != "" {
+		if err := flight.WriteFile(*flightOut, rec.Snapshot()); err != nil {
+			die(err)
+		}
+		log.Printf("wrote %s (%d events, %d dropped)", *flightOut, rec.Len(), rec.Dropped())
+	}
 
 	if *out == "-" {
 		fmt.Print(sb.String())
 		return
 	}
 	if err := os.WriteFile(*out, []byte(sb.String()), 0o644); err != nil {
-		log.Fatal(err)
+		die(err)
 	}
 	log.Printf("wrote %s", *out)
 }

@@ -41,6 +41,16 @@ func main() {
 	ctx, stop := runner.SignalContext(context.Background())
 	defer stop()
 
+	// die flushes the partial -metrics/-trace artifacts before a fatal
+	// exit, so an interrupted sweep (Ctrl-C → runner.Canceled) still
+	// leaves complete files behind.
+	die := func(err error) {
+		if werr := metrics.WriteFiles(*metricsOut, *traceOut); werr != nil {
+			log.Print(werr)
+		}
+		log.Fatal(err)
+	}
+
 	cfg := experiments.SideEffectsConfig{
 		Trials: *trials,
 		Seed:   *seed,
@@ -50,7 +60,7 @@ func main() {
 	}
 	pts, err := experiments.RunSideEffects(ctx, cfg, []int{8, 16}, []float64{0.8, 1.0})
 	if err != nil {
-		log.Fatal(err)
+		die(err)
 	}
 	if *csv {
 		fmt.Print(experiments.SideEffectsCSV(pts))

@@ -1,0 +1,62 @@
+package flight_test
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"l15cache/internal/flight"
+	"l15cache/internal/metrics"
+	"l15cache/internal/rtsim"
+	"l15cache/internal/runner"
+	"l15cache/internal/workload"
+)
+
+// recordSweep runs a 4-trial real-time sweep at the given worker count —
+// one recorder per trial, merged in shard order — and returns the JSONL
+// export bytes.
+func recordSweep(t *testing.T, workers int) []byte {
+	t.Helper()
+	cfg := runner.Config{
+		Name:     "flight-determinism",
+		RootSeed: 9,
+		Options:  runner.Options{Workers: workers},
+		Registry: metrics.NewRegistry(), // keep Default clean for other tests
+	}
+	recs, err := runner.Map(context.Background(), cfg, 4,
+		func(_ context.Context, sh runner.Shard) (flight.Recording, error) {
+			set := workload.DefaultTaskSetParams()
+			set.Tasks = 3
+			set.TargetUtilization = 0.5 * 8
+			tasks, err := workload.TaskSet(sh.RNG(), set)
+			if err != nil {
+				return flight.Recording{}, err
+			}
+			rc := rtsim.DefaultConfig()
+			rec := flight.New()
+			rc.Recorder = rec
+			if _, err := rtsim.Run(tasks, rtsim.KindProp, rc); err != nil {
+				return flight.Recording{}, err
+			}
+			return rec.Snapshot(), nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return flight.AppendJSONL(nil, flight.Merge(recs...))
+}
+
+// TestDeterminismAcrossWorkers is the recording half of the determinism
+// contract: the same seed produces a byte-identical merged recording at
+// any worker count, because each trial records into its own recorder and
+// the runner reduces in shard order.
+func TestDeterminismAcrossWorkers(t *testing.T) {
+	one := recordSweep(t, 1)
+	four := recordSweep(t, 4)
+	if len(one) == 0 {
+		t.Fatal("empty recording")
+	}
+	if !bytes.Equal(one, four) {
+		t.Fatalf("recordings differ across worker counts: %d vs %d bytes", len(one), len(four))
+	}
+}

@@ -1,0 +1,116 @@
+package flight
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"l15cache/internal/metrics"
+)
+
+// Server is the live-inspection endpoint the cmd tools expose with
+// -http: a JSON snapshot of the metrics registry, a Server-Sent-Events
+// stream of flight events, and a liveness probe. It reads the wall clock
+// only to pace the SSE polling loop — the events it streams stay
+// cycle-stamped, so serving never perturbs a recording (the walltime
+// analyzer's flight carve-out encodes exactly this split).
+type Server struct {
+	// Registry backs /metrics; nil means metrics.Default.
+	Registry *metrics.Registry
+	// Recorder backs /events; nil serves an empty stream.
+	Recorder *Recorder
+	// Poll is the SSE polling interval (default 250ms).
+	Poll time.Duration
+}
+
+// Handler returns the route mux: /metrics, /events, /healthz.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/events", s.handleEvents)
+	return mux
+}
+
+// ListenAndServe serves the handler on addr until the listener fails. It
+// returns the bound address through the callback before blocking, so
+// callers can log the resolved port of ":0" listeners.
+func (s *Server) ListenAndServe(addr string, onListen func(addr string)) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("flight: http: %w", err)
+	}
+	if onListen != nil {
+		onListen(ln.Addr().String())
+	}
+	return http.Serve(ln, s.Handler())
+}
+
+func (s *Server) registry() *metrics.Registry {
+	if s.Registry != nil {
+		return s.Registry
+	}
+	return metrics.Default
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, `{"ok":true,"events":%d,"dropped":%d}`+"\n",
+		s.Recorder.Len(), s.Recorder.Dropped())
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	data, err := s.registry().Snapshot().JSON()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(append(data, '\n'))
+}
+
+// handleEvents streams flight events as SSE: one "event: flight" message
+// per recorded event, data = the deterministic JSONL encoding. The
+// stream starts at the oldest retained event (or ?since=SEQ) and polls
+// the ring until the client disconnects.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+
+	var since uint64
+	if v := r.URL.Query().Get("since"); v != "" {
+		fmt.Sscanf(v, "%d", &since)
+	}
+	poll := s.Poll
+	if poll <= 0 {
+		poll = 250 * time.Millisecond
+	}
+	tick := time.NewTicker(poll)
+	defer tick.Stop()
+
+	var buf []byte
+	for {
+		for _, e := range s.Recorder.EventsSince(since) {
+			since = e.Seq + 1
+			buf = buf[:0]
+			buf = append(buf, "event: flight\ndata: "...)
+			buf = appendEventJSON(buf, e)
+			buf = append(buf, "\n\n"...)
+			if _, err := w.Write(buf); err != nil {
+				return
+			}
+		}
+		fl.Flush()
+		select {
+		case <-r.Context().Done():
+			return
+		case <-tick.C:
+		}
+	}
+}

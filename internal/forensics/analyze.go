@@ -1,0 +1,396 @@
+package forensics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"l15cache/internal/flight"
+)
+
+// Gate classifies what a span's start instant was waiting on — the last
+// event that had to happen before the scheduler could dispatch the node.
+type Gate int
+
+// The gate kinds, from the scheduler's dispatch rule: a node starts at the
+// latest of its job's release, its last predecessor's finish, and the
+// moment a core came free.
+const (
+	// GateRelease: the node started the instant its job was released.
+	GateRelease Gate = iota
+	// GatePred: the node started the instant its last predecessor
+	// finished (data dependency bound).
+	GatePred
+	// GateCore: the node was ready earlier and started only when a
+	// core's previous occupant finished (processor bound).
+	GateCore
+	// GateUnknown: no recorded event coincides with the start (the
+	// recording wrapped, or it is from a foreign writer).
+	GateUnknown
+)
+
+// String names the gate for reports.
+func (g Gate) String() string {
+	switch g {
+	case GateRelease:
+		return "release"
+	case GatePred:
+		return "pred"
+	case GateCore:
+		return "core"
+	case GateUnknown:
+		return "?"
+	default:
+		return fmt.Sprintf("Gate(%d)", int(g))
+	}
+}
+
+// PathStep is one link of a critical path: a span plus what gated its
+// start.
+type PathStep struct {
+	Span *Span
+	Gate Gate
+	// From is the span whose finish gated this one (the predecessor for
+	// GatePred, the core's previous occupant for GateCore); nil for
+	// GateRelease and GateUnknown.
+	From *Span
+}
+
+// feq is the event-time equality the gate walk uses: the simulators
+// dispatch at exactly the event instant, so identical float arithmetic
+// makes the times bit-equal; the epsilon only absorbs decode round-trips.
+func feq(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	scale := math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+	return math.Abs(a-b) <= 1e-9*scale
+}
+
+// CriticalPath walks the job's recorded events backward from its last
+// completion, at each span asking what gated the start: a predecessor's
+// finish, the core's previous occupant's finish (possibly from another
+// job), or the release itself. The returned chain is contiguous — each
+// step starts exactly when the previous one finishes — and ends at an
+// instant no earlier than the release, so its total length equals the
+// job's makespan whenever the first gate is the release.
+func (m *Model) CriticalPath(key JobKey) ([]PathStep, error) {
+	j, ok := m.byKey[key]
+	if !ok {
+		return nil, fmt.Errorf("forensics: no such job %v", key)
+	}
+	cur := lastSpan(j)
+	if cur == nil {
+		return nil, fmt.Errorf("forensics: %v has no dispatched nodes", key)
+	}
+	var rev []PathStep
+	for cur != nil && len(rev) <= len(m.spans) {
+		step := PathStep{Span: cur, Gate: GateUnknown}
+		switch {
+		case feq(cur.Start, j.Release):
+			step.Gate = GateRelease
+		default:
+			if p := m.gatingPred(j, cur); p != nil {
+				step.Gate, step.From = GatePred, p
+			} else if q := m.gatingSpan(cur); q != nil {
+				step.Gate, step.From = GateCore, q
+			}
+		}
+		rev = append(rev, step)
+		cur = step.From
+	}
+	// Reverse into chronological order.
+	for i, k := 0, len(rev)-1; i < k; i, k = i+1, k-1 {
+		rev[i], rev[k] = rev[k], rev[i]
+	}
+	return rev, nil
+}
+
+// lastSpan returns the job's latest-finishing span (lowest node on ties).
+func lastSpan(j *JobInfo) *Span {
+	var last *Span
+	for _, id := range j.Nodes() {
+		sp := j.Spans[id]
+		if last == nil || sp.Finish > last.Finish {
+			last = sp
+		}
+	}
+	return last
+}
+
+// gatingPred returns the predecessor span of cur (same job) whose finish
+// coincides with cur's start, or nil.
+func (m *Model) gatingPred(j *JobInfo, cur *Span) *Span {
+	var best *Span
+	for _, e := range j.Edges[cur.Node] {
+		p, ok := j.Spans[e.Pred]
+		if !ok {
+			continue
+		}
+		if feq(p.Finish, cur.Start) && (best == nil || p.Node < best.Node) {
+			best = p
+		}
+	}
+	return best
+}
+
+// gatingSpan returns the span (any job) whose finish coincides with cur's
+// start — the completion whose dispatch pass placed cur. A span on cur's
+// own core is preferred (that is the occupant cur physically waited out).
+func (m *Model) gatingSpan(cur *Span) *Span {
+	var sameCore, any *Span
+	for _, sp := range m.spans {
+		if sp == cur || !feq(sp.Finish, cur.Start) {
+			continue
+		}
+		if sp.Core == cur.Core && (sameCore == nil || sp.Node < sameCore.Node) {
+			sameCore = sp
+		}
+		if any == nil || sp.Node < any.Node {
+			any = sp
+		}
+	}
+	if sameCore != nil {
+		return sameCore
+	}
+	return any
+}
+
+// PathLength is the chain's total duration: last finish minus first start.
+// For a contiguous chain whose first gate is the release this equals the
+// job's makespan.
+func PathLength(path []PathStep) float64 {
+	if len(path) == 0 {
+		return 0
+	}
+	return path[len(path)-1].Span.Finish - path[0].Span.Start
+}
+
+// ValidatePath checks the chain's contiguity: every step must start
+// exactly when the previous one finishes. A non-nil error means the
+// recording was incomplete (wrapped ring) or from a foreign writer.
+func ValidatePath(path []PathStep) error {
+	for i := 1; i < len(path); i++ {
+		prev, cur := path[i-1].Span, path[i].Span
+		if !feq(prev.Finish, cur.Start) {
+			return fmt.Errorf("forensics: gap in critical path: node %d finishes at %g but node %d starts at %g",
+				prev.Node, prev.Finish, cur.Node, cur.Start)
+		}
+	}
+	return nil
+}
+
+// Slack returns, per dispatched node of the job, how much later the node
+// could have finished without (as recorded) delaying any dependent
+// activity: the gap to the earliest among its consumers' starts, the next
+// dispatch on its core (the occupant chain of the work-conserving
+// scheduler), and the job's completion. Critical-path nodes have
+// (near-)zero slack, whether the chain runs through data dependencies or
+// core occupancy.
+func (m *Model) Slack(key JobKey) (map[int]float64, error) {
+	j, ok := m.byKey[key]
+	if !ok {
+		return nil, fmt.Errorf("forensics: no such job %v", key)
+	}
+	slack := make(map[int]float64, len(j.Spans))
+	for _, id := range j.Nodes() {
+		slack[id] = j.Finish - j.Spans[id].Finish
+	}
+	// Tighten by consumer starts: Edges maps consumer -> producers.
+	for _, consumer := range j.Nodes() {
+		for _, e := range j.Edges[consumer] {
+			p, ok := j.Spans[e.Pred]
+			if !ok {
+				continue
+			}
+			if gap := j.Spans[consumer].Start - p.Finish; gap < slack[p.Node] {
+				slack[p.Node] = gap
+			}
+		}
+	}
+	// Tighten by the core's next occupant (any job): finishing later
+	// would have pushed its dispatch back.
+	for _, id := range j.Nodes() {
+		sp := j.Spans[id]
+		for _, nxt := range m.spans {
+			if nxt == sp || nxt.Core != sp.Core || nxt.Start < sp.Finish-1e-12 {
+				continue
+			}
+			if gap := nxt.Start - sp.Finish; gap < slack[id] {
+				slack[id] = gap
+			}
+		}
+	}
+	return slack, nil
+}
+
+// NodeReport is the blocked-on-what attribution of one node: the split of
+// its response into waiting on predecessors, waiting for a core, fetching
+// dependent data, and executing, plus the way supply it saw.
+type NodeReport struct {
+	Node    int
+	Core    int
+	Cluster int
+
+	Ready  float64 // max(release, last recorded predecessor finish)
+	Start  float64
+	Finish float64
+
+	PredWait float64 // Ready − release: time dependencies held the node
+	CoreWait float64 // Start − Ready: time spent waiting for a core
+	Fetch    float64 // fetch-phase duration
+	Exec     float64 // execute-phase duration
+
+	Planned, Granted int     // L1.5 ways demanded vs granted (Prop only)
+	ETMSaved         float64 // Σ (raw − effective) over incoming edges
+	Slack            float64
+}
+
+// Attribution builds the per-node wait breakdown for one job, sorted by
+// node ID.
+func (m *Model) Attribution(key JobKey) ([]NodeReport, error) {
+	j, ok := m.byKey[key]
+	if !ok {
+		return nil, fmt.Errorf("forensics: no such job %v", key)
+	}
+	slack, err := m.Slack(key)
+	if err != nil {
+		return nil, err
+	}
+	reports := make([]NodeReport, 0, len(j.Spans))
+	for _, id := range j.Nodes() {
+		sp := j.Spans[id]
+		ready := j.Release
+		var saved float64
+		for _, e := range j.Edges[id] {
+			saved += e.Raw - e.Cost
+			if p, ok := j.Spans[e.Pred]; ok && p.Finish > ready {
+				ready = p.Finish
+			}
+		}
+		reports = append(reports, NodeReport{
+			Node: id, Core: sp.Core, Cluster: sp.Cluster,
+			Ready: ready, Start: sp.Start, Finish: sp.Finish,
+			PredWait: ready - j.Release,
+			CoreWait: sp.Start - ready,
+			Fetch:    sp.Fetch, Exec: sp.Exec,
+			Planned: sp.Planned, Granted: sp.Granted,
+			ETMSaved: saved,
+			Slack:    slack[id],
+		})
+	}
+	return reports, nil
+}
+
+// WayPoint is one step of a cluster's way-occupancy timeline.
+type WayPoint struct {
+	Time        float64
+	Assigned    int // ways with an owner after the event (-1 unknown)
+	Reclaimable int // released-but-assigned ways after the event (-1 unknown)
+}
+
+// WayTimeline reconstructs a cluster's way occupancy from the grant and
+// reclamation events, in recording order. Runtime grants carry the
+// assigned-after count; node-level reclamations carry the
+// reclaimable-after count; job teardowns carry both.
+func (m *Model) WayTimeline(cluster int) []WayPoint {
+	var pts []WayPoint
+	assigned, reclaimable := -1, -1
+	for _, e := range m.wayEvents {
+		if int(e.Cluster) != cluster {
+			continue
+		}
+		switch e.Kind {
+		case flight.KindGrant:
+			assigned = int(e.C)
+		case flight.KindWayFree:
+			reclaimable = int(e.B)
+			if e.Node < 0 { // job teardown also reports assigned-after
+				assigned = int(e.C)
+			}
+		case flight.KindSDU:
+			// Event-driven SDU occupations do not change occupancy;
+			// cycle-accurate ones move one way: A=1 assign, 0 revoke.
+			if e.Node >= 0 && e.Task < 0 {
+				if assigned < 0 {
+					assigned = 0
+				}
+				if e.A != 0 {
+					assigned++
+				} else if assigned > 0 {
+					assigned--
+				}
+			} else {
+				continue
+			}
+		default:
+			continue
+		}
+		pts = append(pts, WayPoint{Time: e.Time, Assigned: assigned, Reclaimable: reclaimable})
+	}
+	return pts
+}
+
+// Clusters returns the sorted cluster IDs that appear in way events.
+func (m *Model) Clusters() []int {
+	seen := make(map[int]bool)
+	for _, e := range m.wayEvents {
+		if e.Cluster >= 0 {
+			seen[int(e.Cluster)] = true
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for cl := range seen {
+		out = append(out, cl)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// MissChain explains one deadline miss: the job, how late it was, its
+// critical path, and the nodes that waited longest.
+type MissChain struct {
+	Job      *JobInfo
+	Lateness float64 // completion − absolute deadline
+	Path     []PathStep
+	// TopWaits are the job's nodes by total wait (PredWait+CoreWait),
+	// descending, capped at three.
+	TopWaits []NodeReport
+}
+
+// MissChains builds a root-cause chain for every missed job, in release
+// order.
+func (m *Model) MissChains() []MissChain {
+	var out []MissChain
+	for _, j := range m.Jobs {
+		if !j.Missed || len(j.Spans) == 0 {
+			continue
+		}
+		path, err := m.CriticalPath(j.Key)
+		if err != nil {
+			continue
+		}
+		reports, err := m.Attribution(j.Key)
+		if err != nil {
+			continue
+		}
+		sort.SliceStable(reports, func(a, b int) bool {
+			wa := reports[a].PredWait + reports[a].CoreWait
+			wb := reports[b].PredWait + reports[b].CoreWait
+			if wa != wb {
+				return wa > wb
+			}
+			return reports[a].Node < reports[b].Node
+		})
+		if len(reports) > 3 {
+			reports = reports[:3]
+		}
+		out = append(out, MissChain{
+			Job:      j,
+			Lateness: j.Finish - j.Deadline,
+			Path:     path,
+			TopWaits: reports,
+		})
+	}
+	return out
+}

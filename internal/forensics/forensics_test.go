@@ -1,0 +1,175 @@
+package forensics_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"l15cache/internal/flight"
+	"l15cache/internal/forensics"
+	"l15cache/internal/rtsim"
+	"l15cache/internal/schedsim"
+	"l15cache/internal/workload"
+)
+
+// recordSchedsim runs one proposed-platform simulation with a recorder and
+// returns the recording plus the simulated makespans.
+func recordSchedsim(t *testing.T, seed int64, instances int) (flight.Recording, []schedsim.InstanceStats) {
+	t.Helper()
+	task, err := workload.Synthetic(rand.New(rand.NewSource(seed)), workload.DefaultSynthParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop, err := schedsim.NewProposed(task, 16, 2*1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := flight.New()
+	stats, err := schedsim.Run(prop.Alloc, prop, schedsim.Options{
+		Cores: 8, Instances: instances, Recorder: rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rec.Snapshot(), stats
+}
+
+// TestCriticalPathEqualsMakespan is the acceptance property: the extracted
+// critical path of an instance is contiguous, starts at the release, ends
+// at the last completion, and therefore has length exactly equal to the
+// simulated makespan.
+func TestCriticalPathEqualsMakespan(t *testing.T) {
+	recording, stats := recordSchedsim(t, 7, 3)
+	m := forensics.Build(recording)
+	if len(m.Jobs) != 3 {
+		t.Fatalf("jobs = %d, want 3", len(m.Jobs))
+	}
+	for i, j := range m.Jobs {
+		path, err := m.CriticalPath(j.Key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := forensics.ValidatePath(path); err != nil {
+			t.Fatal(err)
+		}
+		if got := path[0].Gate; got != forensics.GateRelease {
+			t.Fatalf("job %d: first gate = %v, want release", i, got)
+		}
+		length := forensics.PathLength(path)
+		if want := stats[i].Makespan; math.Abs(length-want) > 1e-9*math.Max(1, want) {
+			t.Fatalf("job %d: critical path length %g != makespan %g", i, length, want)
+		}
+	}
+}
+
+// TestSlackConsistency checks the slack invariants: critical-path nodes
+// have zero slack, no slack is negative, and finish+slack never exceeds
+// the earliest recorded consumer start.
+func TestSlackConsistency(t *testing.T) {
+	recording, _ := recordSchedsim(t, 11, 1)
+	m := forensics.Build(recording)
+	j := m.Jobs[0]
+	slack, err := m.Slack(j.Key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path, err := m.CriticalPath(j.Key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, step := range path {
+		if step.Span.Task != j.Key.Task || step.Span.Job != j.Key.Job {
+			continue // chain segment borrowed from another job
+		}
+		if s := slack[step.Span.Node]; math.Abs(s) > 1e-9 {
+			t.Fatalf("critical node %d has slack %g, want 0", step.Span.Node, s)
+		}
+	}
+	for _, id := range j.Nodes() {
+		if slack[id] < -1e-9 {
+			t.Fatalf("node %d has negative slack %g", id, slack[id])
+		}
+	}
+}
+
+// TestAttributionDecomposition checks that each node's recorded response
+// decomposes exactly: release + PredWait + CoreWait + Fetch + Exec =
+// finish.
+func TestAttributionDecomposition(t *testing.T) {
+	recording, _ := recordSchedsim(t, 3, 1)
+	m := forensics.Build(recording)
+	j := m.Jobs[0]
+	reports, err := m.Attribution(j.Key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != len(j.Spans) {
+		t.Fatalf("reports = %d, want %d", len(reports), len(j.Spans))
+	}
+	for _, r := range reports {
+		sum := j.Release + r.PredWait + r.CoreWait + r.Fetch + r.Exec
+		if math.Abs(sum-r.Finish) > 1e-9*math.Max(1, r.Finish) {
+			t.Fatalf("node %d: decomposition %g != finish %g", r.Node, sum, r.Finish)
+		}
+		if r.PredWait < -1e-9 || r.CoreWait < -1e-9 {
+			t.Fatalf("node %d: negative wait (pred %g, core %g)", r.Node, r.PredWait, r.CoreWait)
+		}
+	}
+}
+
+// recordRtsim runs one proposed-system real-time trial with a recorder.
+func recordRtsim(t *testing.T) flight.Recording {
+	t.Helper()
+	r := rand.New(rand.NewSource(5))
+	set := workload.DefaultTaskSetParams()
+	set.Tasks = 3
+	set.TargetUtilization = 0.6 * 8
+	tasks, err := workload.TaskSet(r, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := rtsim.DefaultConfig()
+	rec := flight.New()
+	cfg.Recorder = rec
+	if _, err := rtsim.Run(tasks, rtsim.KindProp, cfg); err != nil {
+		t.Fatal(err)
+	}
+	return rec.Snapshot()
+}
+
+// TestRtsimRecordingForensics checks the analyzers on a multi-task
+// real-time recording: the focus job's critical path is contiguous, ends
+// at the job's completion, terminates at a release, and the way timelines
+// stay within the cluster's capacity.
+func TestRtsimRecordingForensics(t *testing.T) {
+	recording := recordRtsim(t)
+	m := forensics.Build(recording)
+	if m.Dropped != 0 {
+		t.Fatalf("recording dropped %d events; enlarge the test ring", m.Dropped)
+	}
+	key, ok := m.FocusJob()
+	if !ok {
+		t.Fatal("no focus job in recording")
+	}
+	j, _ := m.Job(key)
+	path, err := m.CriticalPath(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := forensics.ValidatePath(path); err != nil {
+		t.Fatal(err)
+	}
+	if got := path[len(path)-1].Span.Finish; math.Abs(got-j.Finish) > 1e-9 {
+		t.Fatalf("path ends at %g, job finishes at %g", got, j.Finish)
+	}
+	if path[0].Gate != forensics.GateRelease {
+		t.Fatalf("first gate = %v, want release", path[0].Gate)
+	}
+	for _, cl := range m.Clusters() {
+		for _, pt := range m.WayTimeline(cl) {
+			if pt.Assigned > 16 {
+				t.Fatalf("cluster %d: %d ways assigned at t=%g (ζ=16)", cl, pt.Assigned, pt.Time)
+			}
+		}
+	}
+}

@@ -26,6 +26,7 @@ import (
 
 	"l15cache/internal/bitmap"
 	"l15cache/internal/cache"
+	"l15cache/internal/flight"
 	"l15cache/internal/mem"
 	"l15cache/internal/metrics"
 )
@@ -112,6 +113,11 @@ type L15 struct {
 	mSDULat   *metrics.Histogram
 	tracer    *metrics.Tracer
 	traceName string
+
+	// Flight recording (nil until FlightRecord): every Walloc way
+	// reassignment and gv_set emits a typed, tick-stamped event.
+	frec     *flight.Recorder
+	fcluster int32
 }
 
 // SDULatencyBuckets are the default histogram bounds (in SDU cycles) for
@@ -149,6 +155,16 @@ func (l *L15) Instrument(r *metrics.Registry, tr *metrics.Tracer, prefix string)
 		r.Counter(prefix + ".config_events").Store(uint64(len(l.Events)))
 		r.Gauge(prefix + ".owned_ways").Set(float64(l.OwnedWays()))
 	})
+}
+
+// FlightRecord attaches a flight recorder: Walloc way grants and
+// revocations emit KindSDU events (Time = SDU tick, Node = way index,
+// A = 1 assign / 0 revoke, B = owner core's demand, C = dirty lines
+// drained) and gv_set emits KindGVConvert (A = global-way count after).
+// Events carry the given cluster index. A nil recorder detaches.
+func (l *L15) FlightRecord(rec *flight.Recorder, cluster int) {
+	l.frec = rec
+	l.fcluster = int32(cluster)
 }
 
 // New builds the cluster cache. The way count must be a power of two (the
@@ -242,6 +258,12 @@ func (l *L15) GVSet(core int, ways bitmap.Bitmap) error {
 		return err
 	}
 	l.gv[core] = ways.Intersect(l.ow[core])
+	if l.frec != nil {
+		l.frec.Emit(flight.Event{Kind: flight.KindGVConvert,
+			Time: float64(l.ticks), Task: -1, Job: -1, Node: -1,
+			Core: int32(core), Cluster: l.fcluster, Wave: -1,
+			A: float64(l.gv[core].Count())})
+	}
 	return nil
 }
 
@@ -344,6 +366,12 @@ func (l *L15) assignWay(core, w int) {
 	l.ow[core] = l.ow[core].Set(w)
 	l.Events = append(l.Events, ConfigEvent{Tick: l.ticks, Core: core, Way: w, Assigned: true})
 	l.tracer.Emit(l.ticks, l.traceName, "way.assign", map[string]any{"core": core, "way": w})
+	if l.frec != nil {
+		l.frec.Emit(flight.Event{Kind: flight.KindSDU,
+			Time: float64(l.ticks), Task: -1, Job: -1, Node: int32(w),
+			Core: int32(core), Cluster: l.fcluster, Wave: -1,
+			A: 1, B: float64(l.demand[core])})
+	}
 }
 
 func (l *L15) revokeWay(core, w int) {
@@ -362,6 +390,12 @@ func (l *L15) revokeWay(core, w int) {
 	l.Events = append(l.Events, ConfigEvent{Tick: l.ticks, Core: core, Way: w, Assigned: false})
 	l.tracer.Emit(l.ticks, l.traceName, "way.revoke",
 		map[string]any{"core": core, "way": w, "dirty": dirty})
+	if l.frec != nil {
+		l.frec.Emit(flight.Event{Kind: flight.KindSDU,
+			Time: float64(l.ticks), Task: -1, Job: -1, Node: int32(w),
+			Core: int32(core), Cluster: l.fcluster, Wave: -1,
+			A: 0, B: float64(l.demand[core]), C: float64(dirty)})
+	}
 }
 
 // readMask is the upper-level filter of the read path: the core's own ways

@@ -20,6 +20,11 @@ func TestWallTimeClean(t *testing.T)   { runAnalyzerTest(t, WallTime, "walltime/
 // global math/rand generator.
 func TestWallTimeHarness(t *testing.T) { runAnalyzerTest(t, WallTime, "walltime/harness") }
 
+// TestWallTimeFlightRecorder pins the flight-recorder exemption: recorded
+// events are cycle-stamped sim-time, so package flight may read the wall
+// clock to pace its live /events stream, while the global-rand ban holds.
+func TestWallTimeFlightRecorder(t *testing.T) { runAnalyzerTest(t, WallTime, "walltime/flightrec") }
+
 func TestBitMaskFlagged(t *testing.T) { runAnalyzerTest(t, BitMask, "bitmask/flagged") }
 func TestBitMaskClean(t *testing.T)   { runAnalyzerTest(t, BitMask, "bitmask/clean") }
 
@@ -54,6 +59,13 @@ func TestExhaustiveClean(t *testing.T)   { runAnalyzerTest(t, Exhaustive, "exhau
 
 func TestPurityCheckFlagged(t *testing.T) { runAnalyzerTest(t, PurityCheck, "puritycheck/flagged") }
 func TestPurityCheckClean(t *testing.T)   { runAnalyzerTest(t, PurityCheck, "puritycheck/clean") }
+
+// TestPurityCheckFlightRecorder pins the interprocedural half of the
+// flight carve-out: wall-clock facts are not seeded in package flight, but
+// global-rand and fs-read hazards on the same paths still report.
+func TestPurityCheckFlightRecorder(t *testing.T) {
+	runAnalyzerTest(t, PurityCheck, "puritycheck/flightrec")
+}
 
 func TestLockGuardFlagged(t *testing.T) { runAnalyzerTest(t, LockGuard, "lockguard/flagged") }
 func TestLockGuardClean(t *testing.T)   { runAnalyzerTest(t, LockGuard, "lockguard/clean") }

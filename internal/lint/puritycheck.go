@@ -25,6 +25,9 @@ import (
 //     (operator-facing progress/ETA gauges only) and filesystem reads (the
 //     -checkpoint resume path) are not seeded there, while the global-rand
 //     and map-order rules still apply;
+//   - package flight keeps the matching wall-clock carve-out only: its
+//     recorded events are cycle-stamped sim-time, and the clock merely
+//     paces the live /events SSE polling loop;
 //   - only filesystem/env *reads* are sinks. Writes (reports, CSVs,
 //     checkpoints) do not feed results back into the simulation.
 var PurityCheck = &Analyzer{
@@ -45,6 +48,10 @@ var purityRootPkgs = map[string]bool{
 	"schedsim": true,
 	"etm":      true,
 	"monitor":  true,
+	// flight is observability, not simulation, but its Emit path runs
+	// inside the simulator loops, so its Run-family roots are checked too
+	// (with the wall-clock carve-out below).
+	"flight": true,
 }
 
 // purityRootNames are the entry-point function names within purityRootPkgs.
@@ -113,6 +120,7 @@ func runPurityCheck(mp *ModulePass) error {
 			continue
 		}
 		runnerExempt := node.Pkg.Types.Name() == "runner"
+		flightExempt := node.Pkg.Types.Name() == "flight"
 		for _, edge := range node.Calls {
 			callee := g.Nodes[edge.Callee]
 			kind := classifySink(callee.Fn)
@@ -121,6 +129,9 @@ func runPurityCheck(mp *ModulePass) error {
 			}
 			if runnerExempt && (kind == "wall-clock" || kind == "fs-read") {
 				continue // progress gauges and checkpoint resume (see doc)
+			}
+			if flightExempt && kind == "wall-clock" {
+				continue // SSE poll pacing; events are cycle-stamped (see doc)
 			}
 			fs.Seed(id, Fact{
 				Kind:   kind,

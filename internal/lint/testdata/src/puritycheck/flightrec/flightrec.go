@@ -1,0 +1,36 @@
+// Package flight is puritycheck testdata for the flight-recorder
+// carve-out: wall-clock reads are not seeded as hazards here (they only
+// pace the live event stream), but global-rand and fs-read hazards still
+// are. Run makes this package's functions entry points.
+package flight
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+// Server is the fake live-inspection endpoint.
+type Server struct{}
+
+// Run is an entry-point-named method so the closure roots here.
+func (s *Server) Run() {
+	_ = pollDelay()
+	_ = jitter()
+	_ = readEnv()
+}
+
+// pollDelay reads the wall clock behind a helper: exempt in this package.
+func pollDelay() int64 {
+	return time.Now().UnixNano()
+}
+
+// jitter draws from the global generator — still banned.
+func jitter() int64 {
+	return rand.Int63() // want "impure path to rand.Int63 .global-rand."
+}
+
+// readEnv consults the host environment — still banned.
+func readEnv() string {
+	return os.Getenv("FLIGHT_MODE") // want "impure path to os.Getenv .fs-read."
+}

@@ -1,0 +1,34 @@
+// Package flight (testdata): the flight-recorder exemption. Recorded
+// events are cycle-stamped sim-time, so the wall clock is legal here only
+// to pace the live /events SSE polling loop — but the global math/rand
+// generator stays banned even here.
+package flight
+
+import (
+	"math/rand"
+	"time"
+)
+
+// pollEvents paces the SSE stream off a wall-clock ticker: the sanctioned
+// use. The tick never reaches a recorded event's Time field.
+func pollEvents(interval time.Duration, send func()) *time.Ticker {
+	tick := time.NewTicker(interval)
+	go func() {
+		for range tick.C {
+			send()
+		}
+	}()
+	return tick
+}
+
+// waited measures how long a client connection has been open, for the
+// operator-facing stream log.
+func waited(since time.Time) time.Duration {
+	return time.Since(since)
+}
+
+// badSampleJitter still may not draw from the global generator; any
+// randomness in the recorder must come from an injected seed.
+func badSampleJitter() int {
+	return rand.Intn(8) // want "rand.Intn uses the global generator"
+}

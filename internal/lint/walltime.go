@@ -10,13 +10,15 @@ import (
 // cycle counter and randomness is an injected seed, so non-test code must
 // not read the wall clock or the global math/rand generator. A wall-clock
 // read smuggles host timing into results; the global generator's state is
-// shared and unseeded, so two runs (or two goroutines) diverge. The one
-// exemption is package runner, whose wall-clock reads feed only the
-// operator-facing progress/ETA gauges; the global-rand ban still applies
-// there.
+// shared and unseeded, so two runs (or two goroutines) diverge. Two
+// packages are exempted from the clock ban (never the global-rand ban):
+// runner, whose wall-clock reads feed only the operator-facing
+// progress/ETA gauges, and flight, whose recorded events are cycle-stamped
+// sim-time while its live /events stream paces its polling off a
+// wall-clock ticker.
 var WallTime = &Analyzer{
 	Name: "walltime",
-	Doc:  "forbids wall-clock reads (time.Now etc.) and global math/rand use in non-test simulator code; clocks are cycle counters, randomness is injected via *rand.Rand (package runner may read the clock for ETA gauges only)",
+	Doc:  "forbids wall-clock reads (time.Now etc.) and global math/rand use in non-test simulator code; clocks are cycle counters, randomness is injected via *rand.Rand (packages runner and flight may read the clock for operator-facing pacing only)",
 	Run:  runWallTime,
 }
 
@@ -39,12 +41,13 @@ var seededRandFuncs = map[string]bool{
 }
 
 func runWallTime(pass *Pass) error {
-	// The internal/runner harness is the one sanctioned wall-clock reader:
-	// elapsed time there feeds only the operator-facing progress/ETA gauges,
-	// never a simulated result. Its randomness discipline is unchanged —
-	// shards draw from seeded per-shard generators — so only the clock ban
-	// is lifted, not the global-rand ban.
-	timeExempt := pass.Pkg.Name() == "runner"
+	// Two sanctioned wall-clock readers: the internal/runner harness
+	// (elapsed time feeds only the operator-facing progress/ETA gauges)
+	// and the internal/flight recorder (its events are cycle-stamped
+	// sim-time; the wall clock only paces the live /events SSE polling).
+	// Neither result ever reaches a simulated value, and the global-rand
+	// ban is not lifted for either.
+	timeExempt := pass.Pkg.Name() == "runner" || pass.Pkg.Name() == "flight"
 	for _, file := range pass.Files {
 		if isTestFile(pass, file) {
 			continue

@@ -152,6 +152,43 @@ type HistogramSnapshot struct {
 	Max    float64   `json:"max"`
 }
 
+// Quantile estimates the q-th quantile (0..1) from the bucket counts by
+// linear interpolation inside the bucket that straddles the target rank.
+// The first bucket interpolates from zero; the overflow bucket (beyond the
+// last bound) reports the recorded Max. An empty histogram returns NaN.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || len(s.Counts) == 0 {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var cum float64
+	for i, c := range s.Counts {
+		prev := cum
+		cum += float64(c)
+		if cum < rank || c == 0 {
+			continue
+		}
+		if i >= len(s.Bounds) { // overflow bucket: no upper bound
+			return s.Max
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = s.Bounds[i-1]
+		}
+		frac := 1.0
+		if c > 0 {
+			frac = (rank - prev) / float64(c)
+		}
+		return lo + frac*(s.Bounds[i]-lo)
+	}
+	return s.Max
+}
+
 // Snapshot is a point-in-time copy of a registry. encoding/json emits map
 // keys sorted, so the serialised form is deterministic for identical values.
 type Snapshot struct {

@@ -3,6 +3,7 @@ package metrics
 import (
 	"bytes"
 	"encoding/json"
+	"math"
 	"os"
 	"sync"
 	"testing"
@@ -171,5 +172,66 @@ func TestWriteFile(t *testing.T) {
 	}
 	if snap.Counters["x"] != 1 {
 		t.Fatalf("round-tripped x = %d, want 1", snap.Counters["x"])
+	}
+}
+
+// TestHistogramQuantileEdgeCases covers the empty histogram, the
+// single-bucket histogram and the overflow bucket.
+func TestHistogramQuantileEdgeCases(t *testing.T) {
+	empty := NewHistogram([]float64{1}).snapshot()
+	if q := empty.Quantile(0.5); !math.IsNaN(q) {
+		t.Errorf("empty histogram quantile = %g, want NaN", q)
+	}
+
+	single := NewHistogram([]float64{10})
+	for i := 0; i < 4; i++ {
+		single.Observe(5)
+	}
+	s := single.snapshot()
+	if q := s.Quantile(0.5); q != 5 {
+		t.Errorf("single-bucket median = %g, want 5 (midpoint of [0,10])", q)
+	}
+	if q := s.Quantile(0); q != 0 {
+		t.Errorf("q=0 = %g, want bucket lower bound 0", q)
+	}
+	if q := s.Quantile(1); q != 10 {
+		t.Errorf("q=1 = %g, want bucket upper bound 10", q)
+	}
+
+	// Overflow bucket: samples beyond the last bound report Max.
+	over := NewHistogram([]float64{1})
+	over.Observe(100)
+	if q := over.snapshot().Quantile(0.99); q != 100 {
+		t.Errorf("overflow quantile = %g, want Max 100", q)
+	}
+
+	// Clamping: out-of-range q behaves like 0 and 1.
+	if a, b := s.Quantile(-3), s.Quantile(0); a != b {
+		t.Errorf("q<0 not clamped: %g vs %g", a, b)
+	}
+	if a, b := s.Quantile(7), s.Quantile(1); a != b {
+		t.Errorf("q>1 not clamped: %g vs %g", a, b)
+	}
+}
+
+// TestHistogramQuantileInterpolation checks the linear interpolation on a
+// two-bucket histogram with a known distribution.
+func TestHistogramQuantileInterpolation(t *testing.T) {
+	h := NewHistogram([]float64{10, 20})
+	for i := 0; i < 2; i++ {
+		h.Observe(5) // bucket (0,10]
+	}
+	for i := 0; i < 2; i++ {
+		h.Observe(15) // bucket (10,20]
+	}
+	s := h.snapshot()
+	if q := s.Quantile(0.5); q != 10 {
+		t.Errorf("median = %g, want 10 (boundary of the two buckets)", q)
+	}
+	if q := s.Quantile(0.25); q != 5 {
+		t.Errorf("q1 = %g, want 5 (midpoint of first bucket)", q)
+	}
+	if q := s.Quantile(0.75); q != 15 {
+		t.Errorf("q3 = %g, want 15 (midpoint of second bucket)", q)
 	}
 }

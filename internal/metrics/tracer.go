@@ -35,6 +35,22 @@ type Tracer struct {
 // Trace is the process-wide tracer the cmd/ tools serialise with -trace.
 var Trace = NewTracer(DefaultTraceCap)
 
+func init() { Trace.PublishMetrics(Default) }
+
+// PublishMetrics registers a collector on r that mirrors the tracer's
+// retained and dropped event counts into the `trace.events` and
+// `trace.dropped_events` counters at snapshot time, so a wrapped ring is
+// visible in every -metrics artifact instead of silently truncating.
+func (t *Tracer) PublishMetrics(r *Registry) {
+	if t == nil || r == nil {
+		return
+	}
+	r.RegisterCollector(func(r *Registry) {
+		r.Counter("trace.events").Store(uint64(t.Len()))
+		r.Counter("trace.dropped_events").Store(t.Dropped())
+	})
+}
+
 // NewTracer returns a tracer holding up to capacity events (minimum 1).
 func NewTracer(capacity int) *Tracer {
 	if capacity < 1 {
@@ -118,6 +134,15 @@ func (t *Tracer) ChromeJSON() ([]byte, error) {
 	events := t.Events()
 	tids := map[string]int{}
 	var out []chromeEvent
+	// A wrapped ring means the trace is a suffix of the run; say so in the
+	// file itself rather than letting the viewer imply completeness.
+	if d := t.Dropped(); d > 0 {
+		out = append(out, chromeEvent{
+			Name:  "trace_dropped_events",
+			Phase: "M",
+			Args:  map[string]any{"dropped": d},
+		})
+	}
 	for _, ev := range events {
 		tid, ok := tids[ev.Component]
 		if !ok {

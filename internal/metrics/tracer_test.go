@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"sync"
@@ -109,5 +110,31 @@ func TestWriteChrome(t *testing.T) {
 	}
 	if len(arr) != 2 { // metadata + instant
 		t.Fatalf("exported %d events, want 2", len(arr))
+	}
+}
+
+// TestTracerDroppedExposed checks satellite visibility of a wrapped ring:
+// the snapshot carries trace.events / trace.dropped_events, and the Chrome
+// export leads with a metadata record naming the drop count.
+func TestTracerDroppedExposed(t *testing.T) {
+	tr := NewTracer(2)
+	reg := NewRegistry()
+	tr.PublishMetrics(reg)
+	for i := 0; i < 5; i++ {
+		tr.Emit(uint64(i), "c", "e", nil)
+	}
+	s := reg.Snapshot()
+	if got := s.Counters["trace.events"]; got != 2 {
+		t.Errorf("trace.events = %d, want 2", got)
+	}
+	if got := s.Counters["trace.dropped_events"]; got != 3 {
+		t.Errorf("trace.dropped_events = %d, want 3", got)
+	}
+	data, err := tr.ChromeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(data, []byte("trace_dropped_events")) {
+		t.Errorf("Chrome export missing drop metadata:\n%s", data)
 	}
 }

@@ -7,6 +7,7 @@ package monitor
 
 import (
 	"fmt"
+	"io"
 	"strings"
 
 	"l15cache/internal/metrics"
@@ -134,11 +135,14 @@ func (m *Monitor) ConfigLatencies() []uint64 {
 	return out
 }
 
-// Report renders a short human-readable summary.
-func (m *Monitor) Report() string {
-	var sb strings.Builder
-	fmt.Fprintf(&sb, "monitor: %d samples, mean L1.5 way utilisation %.1f%%\n",
-		len(m.Samples), 100*m.Utilization())
+// WriteReport writes a short human-readable summary to w and propagates
+// the first write error, so callers streaming to a file or pipe see
+// truncation instead of a silently short report.
+func (m *Monitor) WriteReport(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "monitor: %d samples, mean L1.5 way utilisation %.1f%%\n",
+		len(m.Samples), 100*m.Utilization()); err != nil {
+		return err
+	}
 	lats := m.ConfigLatencies()
 	if len(lats) > 0 {
 		var max, sum uint64
@@ -148,8 +152,18 @@ func (m *Monitor) Report() string {
 				max = l
 			}
 		}
-		fmt.Fprintf(&sb, "monitor: %d reconfigurations, mean latency %.1f cycles, max %d\n",
-			len(lats), float64(sum)/float64(len(lats)), max)
+		if _, err := fmt.Fprintf(w, "monitor: %d reconfigurations, mean latency %.1f cycles, max %d\n",
+			len(lats), float64(sum)/float64(len(lats)), max); err != nil {
+			return err
+		}
 	}
+	return nil
+}
+
+// Report renders the summary as a string. It is WriteReport into a
+// strings.Builder, whose writes cannot fail.
+func (m *Monitor) Report() string {
+	var sb strings.Builder
+	_ = m.WriteReport(&sb)
 	return sb.String()
 }

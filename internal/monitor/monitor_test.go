@@ -1,6 +1,7 @@
 package monitor
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -19,6 +20,29 @@ func newSoC(t *testing.T) *soc.SoC {
 func TestAttachErrors(t *testing.T) {
 	if _, err := Attach(nil, 0); err == nil {
 		t.Error("nil SoC accepted")
+	}
+}
+
+// failWriter errors on every write, to exercise WriteReport's propagation.
+type failWriter struct{}
+
+func (failWriter) Write(p []byte) (int, error) { return 0, errors.New("sink closed") }
+
+func TestWriteReportPropagatesError(t *testing.T) {
+	s := newSoC(t)
+	m, err := Attach(s, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WriteReport(failWriter{}); err == nil {
+		t.Error("WriteReport swallowed the write error")
+	}
+	var sb strings.Builder
+	if err := m.WriteReport(&sb); err != nil {
+		t.Fatalf("WriteReport to a builder: %v", err)
+	}
+	if m.Report() != sb.String() {
+		t.Error("Report and WriteReport disagree")
 	}
 }
 

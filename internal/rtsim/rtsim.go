@@ -23,6 +23,7 @@ import (
 
 	"l15cache/internal/dag"
 	"l15cache/internal/etm"
+	"l15cache/internal/flight"
 	"l15cache/internal/metrics"
 	"l15cache/internal/sched"
 	"l15cache/internal/schedsim"
@@ -90,6 +91,14 @@ type Config struct {
 	// busy SDU, which is what makes φ grow with utilisation (default
 	// 0.01).
 	WayConfigDelay float64
+
+	// Recorder, when non-nil, receives the trial's flight events: the
+	// per-task Alg. 1 planning runs, job releases, dispatches with their
+	// runtime way grants and SDU occupations, per-edge ETM costs, node
+	// finishes, way reclamations and deadline checks. One recorder per
+	// trial keeps recordings deterministic under the parallel harness
+	// (merge per-trial recordings in index order).
+	Recorder *flight.Recorder
 
 	// Partitioned switches from global scheduling to partitioned-by-
 	// cluster: each task is bound to one cluster (worst-fit by task
@@ -171,6 +180,7 @@ func (m Metrics) Success() bool { return m.Misses == 0 }
 // job is one release of a task.
 type job struct {
 	taskIdx  int
+	jobIdx   int // release index of the task (0, 1, ...)
 	task     *dag.Task
 	alloc    *sched.Result
 	release  float64
@@ -179,10 +189,11 @@ type job struct {
 	indeg    []int
 	done     []bool
 	coreOf   []int
-	granted  []int // Prop: ways granted per node
-	cluster  []int // Prop: cluster holding each node's ways
-	succLeft []int // consumers still running, gates way release
-	left     int   // unfinished nodes
+	startAt  []float64 // dispatch instant per node (flight forensics)
+	granted  []int     // Prop: ways granted per node
+	cluster  []int     // Prop: cluster holding each node's ways
+	succLeft []int     // consumers still running, gates way release
+	left     int       // unfinished nodes
 	missed   bool
 }
 
@@ -224,12 +235,14 @@ func (h *eventHeap) Pop() any {
 // sim is the mutable state of one trial.
 type sim struct {
 	cfg       Config
+	rec       *flight.Recorder
 	kind      Kind
 	plat      *schedsim.CMP // nil for Prop
 	tasks     []*dag.Task
 	allocs    []*sched.Result
 	rmRank    []int // task index -> rate-monotonic rank (0 = highest)
 	partition []int // task index -> cluster (Partitioned mode), else nil
+	relIdx    []int // task index -> next release index
 	prevCore  [][]int
 
 	now     float64
@@ -270,7 +283,7 @@ func Run(tasks []*dag.Task, kind Kind, cfg Config) (Metrics, error) {
 	if len(tasks) == 0 {
 		return Metrics{}, fmt.Errorf("rtsim: empty task set")
 	}
-	s := &sim{cfg: cfg, kind: kind}
+	s := &sim{cfg: cfg, rec: cfg.Recorder, kind: kind}
 	switch kind {
 	case KindProp:
 	case KindCMPL1:
@@ -285,14 +298,14 @@ func Run(tasks []*dag.Task, kind Kind, cfg Config) (Metrics, error) {
 
 	// Per-task scheduling (priorities and, for Prop, the way plan).
 	var maxPeriod float64
-	for _, t := range tasks {
+	for ti, t := range tasks {
 		c := t.Clone()
 		var alloc *sched.Result
 		var err error
 		if kind == KindProp {
-			alloc, err = sched.L15Schedule(c, cfg.Zeta, cfg.WayBytes)
+			alloc, err = sched.L15ScheduleRec(c, cfg.Zeta, cfg.WayBytes, s.rec, ti)
 		} else {
-			alloc, err = sched.LongestPathFirst(c)
+			alloc, err = sched.LongestPathFirstRec(c, s.rec, ti)
 		}
 		if err != nil {
 			return Metrics{}, err
@@ -319,6 +332,7 @@ func Run(tasks []*dag.Task, kind Kind, cfg Config) (Metrics, error) {
 	}
 
 	s.freeAt = make([]float64, cfg.Cores)
+	s.relIdx = make([]int, len(s.tasks))
 	s.prevCore = make([][]int, len(s.tasks))
 	for i, t := range s.tasks {
 		s.prevCore[i] = make([]int, len(t.Nodes))
@@ -405,6 +419,10 @@ func (s *sim) run() {
 		if j.left > 0 && !j.missed {
 			j.missed = true
 			s.metrics.Misses++
+			s.rec.Emit(flight.Event{Kind: flight.KindDeadline,
+				Time: s.horizon, Task: int32(j.taskIdx),
+				Job: int32(j.jobIdx), Node: -1, Core: -1,
+				Cluster: -1, Wave: -1, A: j.deadline, B: 1})
 		}
 	}
 	if s.clusterBusy > 0 && s.cfg.Zeta > 0 {
@@ -424,6 +442,7 @@ func (s *sim) newJob(taskIdx int, at float64) *job {
 	n := len(t.Nodes)
 	j := &job{
 		taskIdx:  taskIdx,
+		jobIdx:   s.relIdx[taskIdx],
 		task:     t,
 		alloc:    s.allocs[taskIdx],
 		release:  at,
@@ -431,11 +450,16 @@ func (s *sim) newJob(taskIdx int, at float64) *job {
 		indeg:    make([]int, n),
 		done:     make([]bool, n),
 		coreOf:   make([]int, n),
+		startAt:  make([]float64, n),
 		granted:  make([]int, n),
 		cluster:  make([]int, n),
 		succLeft: make([]int, n),
 		left:     n,
 	}
+	s.relIdx[taskIdx]++
+	s.rec.Emit(flight.Event{Kind: flight.KindRelease, Time: at,
+		Task: int32(taskIdx), Job: int32(j.jobIdx), Node: -1, Core: -1,
+		Cluster: -1, Wave: -1, A: j.deadline})
 	for id := range t.Nodes {
 		v := dag.NodeID(id)
 		j.indeg[id] = len(t.Pred(v))
@@ -647,6 +671,11 @@ func (s *sim) place(rn readyNode, idle []int) {
 		j.granted[v] = grant
 		j.cluster[v] = cl
 		mGrantedWays.Observe(float64(grant))
+		s.rec.Emit(flight.Event{Kind: flight.KindGrant, Time: s.now,
+			Task: int32(j.taskIdx), Job: int32(j.jobIdx), Node: int32(v),
+			Core: int32(c), Cluster: int32(cl), Wave: -1,
+			A: float64(j.alloc.LocalWays[v]), B: float64(grant),
+			C: float64(s.assigned[cl])})
 
 		// SDU: one way at a time, FIFO per cluster. The node starts
 		// executing immediately (the configuration happens during the
@@ -657,6 +686,10 @@ func (s *sim) place(rn readyNode, idle []int) {
 			finish := start + float64(grant)*s.cfg.WayConfigDelay
 			s.sduFreeAt[cl] = finish
 			misconf = finish - s.now
+			s.rec.Emit(flight.Event{Kind: flight.KindSDU, Time: s.now,
+				Task: int32(j.taskIdx), Job: int32(j.jobIdx),
+				Node: int32(v), Core: int32(c), Cluster: int32(cl),
+				Wave: -1, A: float64(grant), B: finish, C: misconf})
 		}
 
 		for _, p := range j.task.Pred(v) {
@@ -668,19 +701,30 @@ func (s *sim) place(rn readyNode, idle []int) {
 				// the (uncontended) L2.
 				n = 0
 			}
-			fetch += etm.Cost(e.Cost, e.Alpha, j.task.Node(p).Data, s.cfg.WayBytes, n)
+			cost := etm.Cost(e.Cost, e.Alpha, j.task.Node(p).Data, s.cfg.WayBytes, n)
+			fetch += cost
+			s.rec.Emit(flight.Event{Kind: flight.KindEdge, Time: s.now,
+				Task: int32(j.taskIdx), Job: int32(j.jobIdx),
+				Node: int32(v), Core: int32(c), Cluster: int32(cl),
+				Wave: -1, A: float64(p), B: e.Cost, C: cost})
 		}
 		exec = node.WCET
 	default:
 		warm := s.prevCore[j.taskIdx][v] == c
 		for _, p := range j.task.Pred(v) {
 			e, _ := j.task.Edge(p, v)
-			fetch += s.plat.CommCost(e, j.task.Node(p), j.coreOf[p] == c, busyFrac)
+			cost := s.plat.CommCost(e, j.task.Node(p), j.coreOf[p] == c, busyFrac)
+			fetch += cost
+			s.rec.Emit(flight.Event{Kind: flight.KindEdge, Time: s.now,
+				Task: int32(j.taskIdx), Job: int32(j.jobIdx),
+				Node: int32(v), Core: int32(c), Cluster: -1,
+				Wave: -1, A: float64(p), B: e.Cost, C: cost})
 		}
 		exec = s.plat.ExecTime(node, warm, busyFrac)
 	}
 
 	j.coreOf[v] = c
+	j.startAt[v] = s.now
 	s.prevCore[j.taskIdx][v] = c
 	mNodes.Inc()
 	dur := fetch + exec
@@ -689,6 +733,10 @@ func (s *sim) place(rn readyNode, idle []int) {
 	}
 	s.execTotal += dur
 	s.misconfTotal += misconf
+	s.rec.Emit(flight.Event{Kind: flight.KindDispatch, Time: s.now,
+		Task: int32(j.taskIdx), Job: int32(j.jobIdx), Node: int32(v),
+		Core: int32(c), Cluster: int32(cl), Wave: -1,
+		A: fetch, B: exec, C: float64(j.granted[v])})
 	s.freeAt[c] = s.now + dur
 	heap.Push(&s.events, event{at: s.now + dur, j: j, v: v})
 }
@@ -742,6 +790,10 @@ func (s *sim) chooseCore(rn readyNode, idle []int) int {
 func (s *sim) complete(j *job, v dag.NodeID) {
 	j.done[v] = true
 	j.left--
+	s.rec.Emit(flight.Event{Kind: flight.KindFinish, Time: s.now,
+		Task: int32(j.taskIdx), Job: int32(j.jobIdx), Node: int32(v),
+		Core: int32(j.coreOf[v]), Cluster: int32(j.cluster[v]), Wave: -1,
+		A: s.now - j.startAt[v]})
 
 	if s.kind == KindProp {
 		// A node with no successors never held ways; otherwise its
@@ -766,8 +818,9 @@ func (s *sim) complete(j *job, v dag.NodeID) {
 	}
 
 	if j.left == 0 {
+		var resp float64
 		if rel := j.task.Deadline; rel > 0 {
-			resp := (s.now - j.release) / rel
+			resp = (s.now - j.release) / rel
 			s.respSum += resp
 			s.respJobs++
 			if resp > s.metrics.MaxResponse {
@@ -778,6 +831,14 @@ func (s *sim) complete(j *job, v dag.NodeID) {
 			j.missed = true
 			s.metrics.Misses++
 		}
+		missFlag := 0.0
+		if j.missed {
+			missFlag = 1
+		}
+		s.rec.Emit(flight.Event{Kind: flight.KindDeadline, Time: s.now,
+			Task: int32(j.taskIdx), Job: int32(j.jobIdx), Node: -1,
+			Core: -1, Cluster: -1, Wave: -1,
+			A: j.deadline, B: missFlag, C: resp})
 		// Job teardown: the kernel revokes the way bindings the job
 		// no longer needs (supply()/demand(0) during the final context
 		// switch), returning released ways in this cluster to the
@@ -791,6 +852,15 @@ func (s *sim) complete(j *job, v dag.NodeID) {
 			drop := (s.reclaimable[cl] + 1) / 2
 			s.assigned[cl] -= drop
 			s.reclaimable[cl] -= drop
+			if drop > 0 {
+				s.rec.Emit(flight.Event{Kind: flight.KindWayFree,
+					Time: s.now, Task: int32(j.taskIdx),
+					Job: int32(j.jobIdx), Node: -1, Core: -1,
+					Cluster: int32(cl), Wave: -1,
+					A: float64(drop),
+					B: float64(s.reclaimable[cl]),
+					C: float64(s.assigned[cl])})
+			}
 		}
 	}
 }
@@ -802,5 +872,9 @@ func (s *sim) releaseWays(j *job, v dag.NodeID) {
 	if g := j.granted[v]; g > 0 {
 		s.reclaimable[j.cluster[v]] += g
 		j.granted[v] = 0
+		s.rec.Emit(flight.Event{Kind: flight.KindWayFree, Time: s.now,
+			Task: int32(j.taskIdx), Job: int32(j.jobIdx), Node: int32(v),
+			Core: -1, Cluster: int32(j.cluster[v]), Wave: -1,
+			A: float64(g), B: float64(s.reclaimable[j.cluster[v]])})
 	}
 }

@@ -22,6 +22,7 @@ import (
 
 	"l15cache/internal/dag"
 	"l15cache/internal/etm"
+	"l15cache/internal/flight"
 	"l15cache/internal/metrics"
 )
 
@@ -83,13 +84,21 @@ func (r *Result) PriorityOrder() []dag.NodeID {
 // of wayBytes capacity each. It validates the task, then returns the way
 // allocation and writes node priorities.
 func L15Schedule(t *dag.Task, zeta int, wayBytes int64) (*Result, error) {
+	return L15ScheduleRec(t, zeta, wayBytes, nil, 0)
+}
+
+// L15ScheduleRec is L15Schedule with a flight recorder attached: every
+// wave transition, λ_j recomputation, F(v_j, Ω, ζ) grant and local→global
+// conversion of the run is recorded under task index task. A nil recorder
+// makes it identical to L15Schedule.
+func L15ScheduleRec(t *dag.Task, zeta int, wayBytes int64, rec *flight.Recorder, task int) (*Result, error) {
 	if zeta < 0 {
 		return nil, fmt.Errorf("sched: negative way count %d", zeta)
 	}
 	if wayBytes <= 0 {
 		return nil, fmt.Errorf("sched: non-positive way capacity %d", wayBytes)
 	}
-	return waveSchedule(t, zeta, wayBytes, true)
+	return waveSchedule(t, zeta, wayBytes, true, rec, int32(task))
 }
 
 // LongestPathFirst assigns priorities with the identical wave traversal and
@@ -97,13 +106,21 @@ func L15Schedule(t *dag.Task, zeta int, wayBytes int64) (*Result, error) {
 // assignment of He et al. [8] that the baseline systems use. Edge costs stay
 // at their raw μ.
 func LongestPathFirst(t *dag.Task) (*Result, error) {
-	return waveSchedule(t, 0, etm.DefaultWayBytes, false)
+	return waveSchedule(t, 0, etm.DefaultWayBytes, false, nil, 0)
+}
+
+// LongestPathFirstRec is LongestPathFirst with a flight recorder
+// attached (see L15ScheduleRec).
+func LongestPathFirstRec(t *dag.Task, rec *flight.Recorder, task int) (*Result, error) {
+	return waveSchedule(t, 0, etm.DefaultWayBytes, false, rec, int32(task))
 }
 
 // waveSchedule is the common skeleton of Alg. 1. When allocate is false the
 // way-management lines (5-8, 14-16) are skipped, leaving the pure
-// longest-path-first priority assignment.
-func waveSchedule(t *dag.Task, zeta int, wayBytes int64, allocate bool) (*Result, error) {
+// longest-path-first priority assignment. A non-nil rec receives the
+// planning-time flight events (Wave = wave index, Time = wave index in
+// planning steps), stamped with task.
+func waveSchedule(t *dag.Task, zeta int, wayBytes int64, allocate bool, rec *flight.Recorder, task int32) (*Result, error) {
 	if err := t.Validate(); err != nil {
 		return nil, err
 	}
@@ -116,11 +133,19 @@ func waveSchedule(t *dag.Task, zeta int, wayBytes int64, allocate bool) (*Result
 	}
 
 	mSchedules.Inc()
+	allocFlag := 0.0
+	if allocate {
+		allocFlag = 1
+	}
+	rec.Emit(flight.Event{Kind: flight.KindSchedStart, Task: task,
+		Job: -1, Node: -1, Core: -1, Cluster: -1, Wave: -1,
+		A: float64(zeta), B: float64(wayBytes), C: allocFlag})
 	examined := make([]bool, len(t.Nodes))
 	var omega []WayGroup // Ω
 	pri := len(t.Nodes)  // pri = |V_i|
 	lambda := t.LongestThrough(dag.RawCost)
 
+	waveIdx := int32(0)
 	q := []dag.NodeID{t.Source()} // Q = {v_src}
 	for len(q) > 0 {
 		if allocate {
@@ -134,6 +159,10 @@ func waveSchedule(t *dag.Task, zeta int, wayBytes int64, allocate bool) (*Result
 					if sucs := t.Succ(w.Owner); len(sucs) > 0 {
 						w.Owner = sucs[0]
 					}
+					rec.Emit(flight.Event{Kind: flight.KindGVConvert,
+						Time: float64(waveIdx), Task: task, Job: -1,
+						Node: int32(w.Owner), Core: -1, Cluster: -1,
+						Wave: waveIdx, A: float64(w.Size)})
 					next = append(next, w)
 				}
 			}
@@ -148,6 +177,10 @@ func waveSchedule(t *dag.Task, zeta int, wayBytes int64, allocate bool) (*Result
 			}
 			return wave[a] < wave[b] // deterministic tie-break
 		})
+		rec.Emit(flight.Event{Kind: flight.KindWave,
+			Time: float64(waveIdx), Task: task, Job: -1, Node: -1,
+			Core: -1, Cluster: -1, Wave: waveIdx,
+			A: float64(len(wave)), B: float64(groupsSize(omega))})
 		for _, vj := range wave {
 			// Local ways hold dependent data for suc(v_j); a node
 			// with no successors needs none (Fig. 6: the sink only
@@ -160,6 +193,11 @@ func waveSchedule(t *dag.Task, zeta int, wayBytes int64, allocate bool) (*Result
 						res.LocalWays[vj] = size
 						res.Model.Ways[vj] = size
 						mWayGrants.Add(uint64(size))
+						rec.Emit(flight.Event{Kind: flight.KindPlanWays,
+							Time: float64(waveIdx), Task: task, Job: -1,
+							Node: int32(vj), Core: -1, Cluster: -1,
+							Wave: waveIdx, A: float64(size),
+							B: float64(groupsSize(omega)), C: float64(zeta)})
 					}
 				}
 			}
@@ -174,6 +212,16 @@ func waveSchedule(t *dag.Task, zeta int, wayBytes int64, allocate bool) (*Result
 		// Line 20: refresh λ_j under the new allocation.
 		lambda = t.LongestThrough(res.Model.Weight())
 		mLambda.Inc()
+		maxLambda := 0.0
+		for _, l := range lambda {
+			if l > maxLambda {
+				maxLambda = l
+			}
+		}
+		rec.Emit(flight.Event{Kind: flight.KindLambda,
+			Time: float64(waveIdx), Task: task, Job: -1, Node: -1,
+			Core: -1, Cluster: -1, Wave: waveIdx, A: maxLambda})
+		waveIdx++
 
 		// Line 21: Q := unexamined nodes whose predecessors are all
 		// examined.

@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"l15cache/internal/dag"
+	"l15cache/internal/flight"
 	"l15cache/internal/metrics"
 	"l15cache/internal/sched"
 )
@@ -33,6 +34,16 @@ type Options struct {
 	// boundaries. The trace package builds Gantt charts and CSV exports
 	// from it.
 	OnDispatch func(instance, core int, v dag.NodeID, start, fetchEnd, end float64)
+
+	// Recorder, when non-nil, receives the flight events of the run
+	// (releases, dispatches, per-edge costs, finishes and the final
+	// makespan check), with Job set to the instance index and Task to
+	// RecordTask.
+	Recorder *flight.Recorder
+
+	// RecordTask is the task index stamped on recorded events (single-
+	// task runs leave it 0).
+	RecordTask int
 }
 
 func (o *Options) fill() {
@@ -94,7 +105,8 @@ func Run(alloc *sched.Result, plat Platform, opt Options) ([]InstanceStats, erro
 				opt.OnDispatch(inst, core, v, start, fetchEnd, end)
 			}
 		}
-		s, cores := runInstance(alloc, plat, opt.Cores, i == 0, prevCore, observe)
+		s, cores := runInstance(alloc, plat, opt.Cores, i == 0, prevCore, observe,
+			opt.Recorder, int32(opt.RecordTask), int32(i))
 		stats = append(stats, s)
 		prevCore = cores
 	}
@@ -107,15 +119,21 @@ type dispatchFunc func(core int, v dag.NodeID, start, fetchEnd, end float64)
 // runInstance simulates one release of the task. cold marks the very first
 // instance (no platform cache state); prevCore carries the previous
 // instance's placement for warm-up and affinity decisions (nil when cold).
-func runInstance(alloc *sched.Result, plat Platform, m int, cold bool, prevCore []int, observe dispatchFunc) (InstanceStats, []int) {
+// rec, when non-nil, receives the instance's flight events stamped with
+// (task, job).
+func runInstance(alloc *sched.Result, plat Platform, m int, cold bool, prevCore []int, observe dispatchFunc, rec *flight.Recorder, task, job int32) (InstanceStats, []int) {
 	mInstances.Inc()
 	t := alloc.Task
 	n := len(t.Nodes)
+
+	rec.Emit(flight.Event{Kind: flight.KindRelease, Task: task, Job: job,
+		Node: -1, Core: -1, Cluster: -1, Wave: -1})
 
 	coreOf := make([]int, n)
 	for i := range coreOf {
 		coreOf[i] = -1
 	}
+	startAt := make([]float64, n)
 	finished := make([]bool, n)
 	indeg := make([]int, n)
 	for id := range t.Nodes {
@@ -189,14 +207,24 @@ func runInstance(alloc *sched.Result, plat Platform, m int, cold bool, prevCore 
 			var fetch float64
 			for _, p := range t.Pred(v) {
 				e, _ := t.Edge(p, v)
-				fetch += plat.CommCost(e, t.Node(p), coreOf[p] == c, busyFrac)
+				cost := plat.CommCost(e, t.Node(p), coreOf[p] == c, busyFrac)
+				fetch += cost
+				rec.Emit(flight.Event{Kind: flight.KindEdge, Time: now,
+					Task: task, Job: job, Node: int32(v), Core: int32(c),
+					Cluster: -1, Wave: -1,
+					A: float64(p), B: e.Cost, C: cost})
 			}
 			exec := plat.ExecTime(t.Node(v), warm, busyFrac)
 
 			coreOf[v] = c
+			startAt[v] = now
 			finish := now + fetch + exec
 			freeAt[c] = finish
 			mDispatches.Inc()
+			rec.Emit(flight.Event{Kind: flight.KindDispatch, Time: now,
+				Task: task, Job: job, Node: int32(v), Core: int32(c),
+				Cluster: -1, Wave: -1,
+				A: fetch, B: exec, C: float64(alloc.LocalWays[v])})
 			stats.Comm += fetch
 			stats.Exec += exec
 			if observe != nil {
@@ -216,6 +244,10 @@ func runInstance(alloc *sched.Result, plat Platform, m int, cold bool, prevCore 
 		now = math.Max(now, ev.at)
 		finished[ev.node] = true
 		done++
+		rec.Emit(flight.Event{Kind: flight.KindFinish, Time: ev.at,
+			Task: task, Job: job, Node: int32(ev.node),
+			Core: int32(coreOf[ev.node]), Cluster: -1, Wave: -1,
+			A: ev.at - startAt[ev.node]})
 		for _, s := range t.Succ(ev.node) {
 			indeg[s]--
 			if indeg[s] == 0 {
@@ -226,6 +258,10 @@ func runInstance(alloc *sched.Result, plat Platform, m int, cold bool, prevCore 
 			stats.Makespan = ev.at
 		}
 	}
+	// The makespan check closes the instance; with no workload deadline
+	// the event records A=0, B=0 (met).
+	rec.Emit(flight.Event{Kind: flight.KindDeadline, Time: stats.Makespan,
+		Task: task, Job: job, Node: -1, Core: -1, Cluster: -1, Wave: -1})
 	return stats, coreOf
 }
 

@@ -13,6 +13,7 @@ import (
 	"l15cache/internal/bitmap"
 	"l15cache/internal/cache"
 	"l15cache/internal/cpu"
+	"l15cache/internal/flight"
 	"l15cache/internal/isa"
 	"l15cache/internal/l15"
 	"l15cache/internal/mem"
@@ -162,6 +163,15 @@ func New(cfg Config) (*SoC, error) {
 		s.Cores = append(s.Cores, core)
 	}
 	return s, nil
+}
+
+// FlightRecord attaches a flight recorder to every cluster's L1.5: way
+// reassignments and gv_set calls emit typed, tick-stamped events carrying
+// the cluster index (see l15.FlightRecord). A nil recorder detaches.
+func (s *SoC) FlightRecord(rec *flight.Recorder) {
+	for _, cl := range s.Clusters {
+		cl.L15.FlightRecord(rec, cl.ID)
+	}
 }
 
 // Instrument publishes the whole SoC to the observability layer: per-core
