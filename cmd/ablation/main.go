@@ -8,7 +8,7 @@
 // Usage:
 //
 //	ablation [-dags N] [-trials N] [-seed S] [-which zeta|kappa|prio|delay|etm|all]
-//	         [-workers N] [-checkpoint file.json]
+//	         [-workers N] [-checkpoint file.json] [-kernel events|ticked]
 //
 // Trials fan out on the internal/runner pool: -workers caps the
 // concurrency (0 = NumCPU) without changing any result, -checkpoint makes
@@ -22,6 +22,7 @@ import (
 	"log"
 
 	"l15cache/internal/experiments"
+	"l15cache/internal/kernel"
 	"l15cache/internal/metrics"
 	"l15cache/internal/runner"
 )
@@ -38,7 +39,13 @@ func main() {
 	checkpoint := flag.String("checkpoint", "", "JSON checkpoint file; an interrupted sweep resumes from it")
 	metricsOut := flag.String("metrics", "", "write a metrics-registry JSON snapshot to this file")
 	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON file (chrome://tracing)")
+	kernelFlag := flag.String("kernel", "events", "simulator kernel: events (time-skipping) or ticked (legacy; identical results)")
 	flag.Parse()
+
+	kern, err := kernel.Parse(*kernelFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	ctx, stop := runner.SignalContext(context.Background())
 	defer stop()
@@ -58,6 +65,7 @@ func main() {
 	cfg.DAGs = *dags
 	cfg.Seed = *seed
 	cfg.Run = run
+	cfg.Kernel = kern
 
 	want := func(name string) bool { return *which == "all" || *which == name }
 	ran := false
@@ -88,7 +96,7 @@ func main() {
 	}
 	if want("delay") {
 		ran = true
-		res, err := experiments.AblateConfigDelay(ctx, *trials, *seed, run, experiments.AblationDelayDefault())
+		res, err := experiments.AblateConfigDelay(ctx, *trials, *seed, run, kern, experiments.AblationDelayDefault())
 		if err != nil {
 			die(err)
 		}

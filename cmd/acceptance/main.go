@@ -7,6 +7,7 @@
 // Usage:
 //
 //	acceptance [-dags N] [-cores M] [-seed S] [-workers N] [-checkpoint file.json]
+//	           [-kernel events|ticked]
 //
 // Trials fan out on the internal/runner pool: -workers caps the
 // concurrency (0 = NumCPU) without changing any result, -checkpoint makes
@@ -20,6 +21,7 @@ import (
 	"log"
 
 	"l15cache/internal/experiments"
+	"l15cache/internal/kernel"
 	"l15cache/internal/metrics"
 	"l15cache/internal/runner"
 )
@@ -36,7 +38,13 @@ func main() {
 	csv := flag.Bool("csv", false, "emit CSV instead of the formatted table")
 	metricsOut := flag.String("metrics", "", "write a metrics-registry JSON snapshot to this file")
 	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON file (chrome://tracing)")
+	kernelFlag := flag.String("kernel", "events", "simulator kernel: events (time-skipping) or ticked (legacy; identical results)")
 	flag.Parse()
+
+	kern, err := kernel.Parse(*kernelFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	ctx, stop := runner.SignalContext(context.Background())
 	defer stop()
@@ -56,6 +64,7 @@ func main() {
 	cfg.Cores = *cores
 	cfg.Seed = *seed
 	cfg.Run = runner.Options{Workers: *workers, Checkpoint: *checkpoint}
+	cfg.Kernel = kern
 
 	utils := []float64{0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0}
 	points, err := experiments.AcceptanceRatio(ctx, cfg, utils)

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	casestudy [-cores 8|16] [-trials N] [-step pct] [-seed S]
-//	          [-workers N] [-checkpoint file.json]
+//	          [-workers N] [-checkpoint file.json] [-kernel events|ticked]
 //
 // Trials fan out on the internal/runner pool: -workers caps the
 // concurrency (0 = NumCPU) without changing any result, -checkpoint makes
@@ -25,6 +25,7 @@ import (
 
 	"l15cache/internal/experiments"
 	"l15cache/internal/flight"
+	"l15cache/internal/kernel"
 	"l15cache/internal/metrics"
 	"l15cache/internal/rtsim"
 	"l15cache/internal/runner"
@@ -46,7 +47,13 @@ func main() {
 	metricsOut := flag.String("metrics", "", "write a metrics-registry JSON snapshot to this file")
 	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON file (chrome://tracing)")
 	flightOut := flag.String("flight", "", "record one representative trial to this flight file (.jsonl or .bin)")
+	kernelFlag := flag.String("kernel", "events", "simulator kernel: events (time-skipping) or ticked (legacy; identical results)")
 	flag.Parse()
+
+	kern, err := kernel.Parse(*kernelFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	ctx, stop := runner.SignalContext(context.Background())
 	defer stop()
@@ -78,10 +85,11 @@ func main() {
 	cfg.Trials = *trials
 	cfg.Seed = *seed
 	cfg.RT.Partitioned = *partitioned
+	cfg.RT.Kernel = kern
 	cfg.Run = runner.Options{Workers: *workers, Checkpoint: *checkpoint}
 
 	if rec != nil {
-		if err := recordTrial(*seed, *cores, rec); err != nil {
+		if err := recordTrial(*seed, *cores, rec, kern); err != nil {
 			die(err)
 		}
 	}
@@ -110,7 +118,7 @@ func main() {
 // recordTrial runs one representative case-study trial (60% utilisation,
 // proposed system) with the flight recorder attached. The recording is a
 // pure function of seed and cores.
-func recordTrial(seed int64, cores int, rec *flight.Recorder) error {
+func recordTrial(seed int64, cores int, rec *flight.Recorder, kern kernel.Mode) error {
 	r := rand.New(rand.NewSource(seed))
 	set := workload.DefaultTaskSetParams()
 	set.TargetUtilization = 0.6 * float64(cores)
@@ -121,6 +129,7 @@ func recordTrial(seed int64, cores int, rec *flight.Recorder) error {
 	cfg := rtsim.DefaultConfig()
 	cfg.Cores = cores
 	cfg.Recorder = rec
+	cfg.Kernel = kern
 	_, err = rtsim.Run(tasks, rtsim.KindProp, cfg)
 	return err
 }

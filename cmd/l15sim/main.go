@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	l15sim [-program file.s]... [-max N] [-stats]
+//	l15sim [-program file.s]... [-max N] [-stats] [-kernel events|ticked]
 //	       [-metrics out.json] [-trace out.json] [-flight out.jsonl]
 //	       [-http addr] [-pprof addr]
 //	       [-cpuprofile out.pb.gz] [-memprofile out.pb.gz]
@@ -36,6 +36,7 @@ import (
 
 	"l15cache/internal/flight"
 	"l15cache/internal/isa"
+	"l15cache/internal/kernel"
 	"l15cache/internal/metrics"
 	"l15cache/internal/soc"
 )
@@ -65,7 +66,13 @@ func main() {
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file")
+	kernelFlag := flag.String("kernel", "events", "simulator kernel: events (time-skipping) or ticked (legacy; identical results)")
 	flag.Parse()
+
+	kern, err := kernel.Parse(*kernelFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	var rec *flight.Recorder
 	if *flightOut != "" || *httpAddr != "" {
@@ -139,6 +146,7 @@ func main() {
 	}
 
 	cfg := soc.DefaultConfig()
+	cfg.Kernel = kern
 	if *width > 1 {
 		cfg.IssueWidth = *width
 		cfg.MemPorts = 2

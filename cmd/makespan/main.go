@@ -6,7 +6,7 @@
 // Usage:
 //
 //	makespan [-sweep u|p|cpr|all] [-dags N] [-instances N] [-cores N]
-//	         [-seed S] [-workers N] [-checkpoint file.json]
+//	         [-seed S] [-workers N] [-checkpoint file.json] [-kernel events|ticked]
 //
 // With the defaults (500 DAGs × 10 instances, as in §5.1) a full run takes
 // a few minutes; use -dags 100 for a quick pass. Trials fan out on the
@@ -22,6 +22,7 @@ import (
 	"log"
 
 	"l15cache/internal/experiments"
+	"l15cache/internal/kernel"
 	"l15cache/internal/metrics"
 	"l15cache/internal/runner"
 )
@@ -40,7 +41,13 @@ func main() {
 	csv := flag.Bool("csv", false, "emit CSV instead of the formatted tables")
 	metricsOut := flag.String("metrics", "", "write a metrics-registry JSON snapshot to this file")
 	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON file (chrome://tracing)")
+	kernelFlag := flag.String("kernel", "events", "simulator kernel: events (time-skipping) or ticked (legacy; identical results)")
 	flag.Parse()
+
+	kern, err := kernel.Parse(*kernelFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	ctx, stop := runner.SignalContext(context.Background())
 	defer stop()
@@ -61,6 +68,7 @@ func main() {
 	cfg.Cores = *cores
 	cfg.Seed = *seed
 	cfg.Run = runner.Options{Workers: *workers, Checkpoint: *checkpoint}
+	cfg.Kernel = kern
 
 	type sweepRun struct {
 		name string

@@ -6,6 +6,7 @@
 // Usage:
 //
 //	sideeffects [-trials N] [-seed S] [-workers N] [-checkpoint file.json]
+//	            [-kernel events|ticked]
 //
 // Trials fan out on the internal/runner pool: -workers caps the
 // concurrency (0 = NumCPU) without changing any result, -checkpoint makes
@@ -19,6 +20,7 @@ import (
 	"log"
 
 	"l15cache/internal/experiments"
+	"l15cache/internal/kernel"
 	"l15cache/internal/metrics"
 	"l15cache/internal/rtsim"
 	"l15cache/internal/runner"
@@ -36,7 +38,13 @@ func main() {
 	csv := flag.Bool("csv", false, "emit CSV instead of the formatted table")
 	metricsOut := flag.String("metrics", "", "write a metrics-registry JSON snapshot to this file")
 	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON file (chrome://tracing)")
+	kernelFlag := flag.String("kernel", "events", "simulator kernel: events (time-skipping) or ticked (legacy; identical results)")
 	flag.Parse()
+
+	kern, err := kernel.Parse(*kernelFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	ctx, stop := runner.SignalContext(context.Background())
 	defer stop()
@@ -51,10 +59,12 @@ func main() {
 		log.Fatal(err)
 	}
 
+	rt := rtsim.DefaultConfig()
+	rt.Kernel = kern
 	cfg := experiments.SideEffectsConfig{
 		Trials: *trials,
 		Seed:   *seed,
-		RT:     rtsim.DefaultConfig(),
+		RT:     rt,
 		Set:    workload.DefaultTaskSetParams(),
 		Run:    runner.Options{Workers: *workers, Checkpoint: *checkpoint},
 	}

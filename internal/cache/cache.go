@@ -35,9 +35,13 @@ type Cache struct {
 	lineBytes int
 	hitLat    int
 
-	tag   [][]uint32 // [set][way]
-	valid [][]bool
-	dirty [][]bool
+	// The tag store is flat, struct-of-arrays style: entry (set, way)
+	// lives at index set*ways+way. One contiguous block per field keeps
+	// the per-access probe on a single cache line instead of chasing a
+	// row pointer per set.
+	tag   []uint32
+	valid []bool
+	dirty []bool
 	plru  []uint64 // per-set tree bits (ways-1 internal nodes)
 
 	Stats Stats
@@ -67,22 +71,16 @@ func New(totalBytes, ways, lineBytes, hitLatency int) (*Cache, error) {
 	if hitLatency < 0 {
 		return nil, fmt.Errorf("cache: negative hit latency")
 	}
-	c := &Cache{
+	return &Cache{
 		sets:      sets,
 		ways:      ways,
 		lineBytes: lineBytes,
 		hitLat:    hitLatency,
-		tag:       make([][]uint32, sets),
-		valid:     make([][]bool, sets),
-		dirty:     make([][]bool, sets),
+		tag:       make([]uint32, sets*ways),
+		valid:     make([]bool, sets*ways),
+		dirty:     make([]bool, sets*ways),
 		plru:      make([]uint64, sets),
-	}
-	for s := 0; s < sets; s++ {
-		c.tag[s] = make([]uint32, ways)
-		c.valid[s] = make([]bool, ways)
-		c.dirty[s] = make([]bool, ways)
-	}
-	return c, nil
+	}, nil
 }
 
 // Sets returns the number of sets.
@@ -107,13 +105,17 @@ func (c *Cache) Split(addr uint32) (set int, tag uint32) {
 }
 
 // Probe looks the line up among the allowed ways without modifying any
-// state. It returns the hit way or -1.
+// state. It returns the hit way or -1. The mask is iterated bit by bit —
+// no slice is materialised on this per-access path.
 func (c *Cache) Probe(set int, tag uint32, allowed bitmap.Bitmap) int {
-	for _, w := range allowed.Ways() {
+	base := set * c.ways
+	for v := uint64(allowed); v != 0; {
+		w := bits.TrailingZeros64(v)
 		if w >= c.ways {
 			break
 		}
-		if c.valid[set][w] && c.tag[set][w] == tag {
+		v &^= 1 << uint(w)
+		if c.valid[base+w] && c.tag[base+w] == tag {
 			return w
 		}
 	}
@@ -135,11 +137,12 @@ type AccessResult struct {
 // is write-through). A miss with an empty allowed mask performs no fill:
 // the access bypasses this level.
 func (c *Cache) Access(set int, tag uint32, write bool, allowed bitmap.Bitmap) AccessResult {
+	base := set * c.ways
 	if w := c.Probe(set, tag, allowed); w >= 0 {
 		c.Stats.Hits++
 		c.touch(set, w)
 		if write {
-			c.dirty[set][w] = true
+			c.dirty[base+w] = true
 		}
 		return AccessResult{Hit: true, Way: w}
 	}
@@ -149,17 +152,17 @@ func (c *Cache) Access(set int, tag uint32, write bool, allowed bitmap.Bitmap) A
 	}
 	w := c.victim(set, allowed)
 	res := AccessResult{Way: w}
-	if c.valid[set][w] {
+	if c.valid[base+w] {
 		res.Evicted = true
 		c.Stats.Evictions++
-		if c.dirty[set][w] {
+		if c.dirty[base+w] {
 			res.Writeback = true
 			c.Stats.Writebacks++
 		}
 	}
-	c.tag[set][w] = tag
-	c.valid[set][w] = true
-	c.dirty[set][w] = write
+	c.tag[base+w] = tag
+	c.valid[base+w] = true
+	c.dirty[base+w] = write
 	c.touch(set, w)
 	return res
 }
@@ -188,8 +191,14 @@ func (c *Cache) touch(set, w int) {
 // replacement the L1.5 ways need). Invalid allowed ways are preferred
 // outright.
 func (c *Cache) victim(set int, allowed bitmap.Bitmap) int {
-	for _, w := range allowed.Ways() {
-		if w < c.ways && !c.valid[set][w] {
+	base := set * c.ways
+	for v := uint64(allowed); v != 0; {
+		w := bits.TrailingZeros64(v)
+		if w >= c.ways {
+			break
+		}
+		v &^= 1 << uint(w)
+		if !c.valid[base+w] {
 			return w
 		}
 	}
@@ -209,13 +218,17 @@ func (c *Cache) victim(set int, allowed bitmap.Bitmap) int {
 	return lo
 }
 
+// hasAllowed reports whether any way in [lo, lo+span) is allowed —
+// a mask test rather than a per-way loop.
 func hasAllowed(allowed bitmap.Bitmap, lo, span, ways int) bool {
-	for w := lo; w < lo+span && w < ways; w++ {
-		if allowed.Has(w) {
-			return true
-		}
+	if hi := lo + span; hi < ways {
+		ways = hi
 	}
-	return false
+	if lo >= ways {
+		return false
+	}
+	window := bitmap.FirstN(ways - lo)
+	return uint64(allowed)>>uint(lo)&uint64(window) != 0
 }
 
 // FlushWay invalidates every line in the given way and returns how many
@@ -227,14 +240,15 @@ func (c *Cache) FlushWay(w int) (valid, dirty int) {
 		return 0, 0
 	}
 	for s := 0; s < c.sets; s++ {
-		if c.valid[s][w] {
+		i := s*c.ways + w
+		if c.valid[i] {
 			valid++
-			if c.dirty[s][w] {
+			if c.dirty[i] {
 				dirty++
 				c.Stats.Writebacks++
 			}
-			c.valid[s][w] = false
-			c.dirty[s][w] = false
+			c.valid[i] = false
+			c.dirty[i] = false
 		}
 	}
 	return valid, dirty
@@ -249,9 +263,10 @@ func (c *Cache) InvalidateWay(w int) int {
 	}
 	n := 0
 	for s := 0; s < c.sets; s++ {
-		if c.valid[s][w] {
-			c.valid[s][w] = false
-			c.dirty[s][w] = false
+		i := s*c.ways + w
+		if c.valid[i] {
+			c.valid[i] = false
+			c.dirty[i] = false
 			n++
 		}
 	}
@@ -277,11 +292,11 @@ func (c *Cache) PublishMetrics(r *metrics.Registry, prefix string) {
 
 // InvalidateAll clears the whole cache.
 func (c *Cache) InvalidateAll() {
-	for s := 0; s < c.sets; s++ {
-		for w := 0; w < c.ways; w++ {
-			c.valid[s][w] = false
-			c.dirty[s][w] = false
-		}
+	for i := range c.valid {
+		c.valid[i] = false
+		c.dirty[i] = false
+	}
+	for s := range c.plru {
 		c.plru[s] = 0
 	}
 }

@@ -22,6 +22,7 @@ import (
 	"fmt"
 
 	"l15cache/internal/isa"
+	"l15cache/internal/kernel"
 )
 
 // Priv is the privilege level, following Table 1's encoding: 1 = kernel,
@@ -139,6 +140,16 @@ func New(id int, memsys MemSystem, pc uint32) (*Core, error) {
 		return nil, fmt.Errorf("cpu: nil memory system")
 	}
 	return &Core{ID: id, PC: pc, Priv: PrivKernel, mem: memsys, lastLoadRd: -1}, nil
+}
+
+// NextWakeup implements the kernel wakeup protocol (DESIGN.md §11): a
+// running core is runnable at its local clock; a halted core never wakes
+// on its own (only the environment can restart it).
+func (c *Core) NextWakeup() uint64 {
+	if c.Halted {
+		return kernel.Never
+	}
+	return c.Cycles
 }
 
 // setReg writes rd, keeping x0 hard-wired to zero.

@@ -8,7 +8,6 @@ package dag
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 )
 
@@ -49,6 +48,13 @@ type Edge struct {
 }
 
 // Task is a recurrent DAG task τ_i.
+//
+// The adjacency is kept flat, struct-of-arrays style: per-node
+// predecessor/successor ID lists plus parallel edge-index lists into
+// Edges, so the simulator hot paths (longest-path dynamic programs, the
+// dispatch loops) walk dense slices instead of chasing maps or scanning
+// the edge list. The topological order is computed once and cached; the
+// mutating entry points (AddNode, AddEdge) invalidate it.
 type Task struct {
 	Name     string
 	Period   float64 // T_i
@@ -57,25 +63,31 @@ type Task struct {
 	Nodes []*Node
 	Edges []Edge
 
-	preds map[NodeID][]NodeID
-	succs map[NodeID][]NodeID
+	preds [][]NodeID // indexed by NodeID
+	succs [][]NodeID
+
+	// predEdge[v][k] is the index into Edges of the edge preds[v][k]->v;
+	// succEdge[v][k] of v->succs[v][k]. Kept aligned by AddEdge.
+	predEdge [][]int32
+	succEdge [][]int32
+
+	topo []NodeID // cached topological order; nil until topoOrder
 }
 
 // New returns an empty task with the given name, period and deadline.
 func New(name string, period, deadline float64) *Task {
-	return &Task{
-		Name:     name,
-		Period:   period,
-		Deadline: deadline,
-		preds:    make(map[NodeID][]NodeID),
-		succs:    make(map[NodeID][]NodeID),
-	}
+	return &Task{Name: name, Period: period, Deadline: deadline}
 }
 
 // AddNode appends a node and returns its ID.
 func (t *Task) AddNode(name string, wcet float64, data int64) NodeID {
 	id := NodeID(len(t.Nodes))
 	t.Nodes = append(t.Nodes, &Node{ID: id, Name: name, WCET: wcet, Data: data})
+	t.preds = append(t.preds, nil)
+	t.succs = append(t.succs, nil)
+	t.predEdge = append(t.predEdge, nil)
+	t.succEdge = append(t.succEdge, nil)
+	t.topo = nil
 	return id
 }
 
@@ -93,9 +105,13 @@ func (t *Task) AddEdge(from, to NodeID, cost, alpha float64) error {
 			return fmt.Errorf("dag: duplicate edge %d->%d", from, to)
 		}
 	}
+	ei := int32(len(t.Edges))
 	t.Edges = append(t.Edges, Edge{From: from, To: to, Cost: cost, Alpha: alpha})
 	t.succs[from] = append(t.succs[from], to)
+	t.succEdge[from] = append(t.succEdge[from], ei)
 	t.preds[to] = append(t.preds[to], from)
+	t.predEdge[to] = append(t.predEdge[to], ei)
+	t.topo = nil
 	return nil
 }
 
@@ -112,19 +128,53 @@ func (t *Task) valid(id NodeID) bool { return id >= 0 && int(id) < len(t.Nodes) 
 func (t *Task) Node(id NodeID) *Node { return t.Nodes[id] }
 
 // Pred returns pre(v): the predecessors of id, in edge-insertion order.
-func (t *Task) Pred(id NodeID) []NodeID { return t.preds[id] }
+func (t *Task) Pred(id NodeID) []NodeID {
+	if !t.valid(id) {
+		return nil
+	}
+	return t.preds[id]
+}
 
 // Succ returns suc(v): the successors of id, in edge-insertion order.
-func (t *Task) Succ(id NodeID) []NodeID { return t.succs[id] }
+func (t *Task) Succ(id NodeID) []NodeID {
+	if !t.valid(id) {
+		return nil
+	}
+	return t.succs[id]
+}
 
-// Edge returns the edge from->to and whether it exists.
+// Edge returns the edge from->to and whether it exists. The lookup scans
+// only from's out-edges, so it is O(out-degree), not O(|E|).
 func (t *Task) Edge(from, to NodeID) (Edge, bool) {
-	for _, e := range t.Edges {
-		if e.From == from && e.To == to {
-			return e, true
+	if !t.valid(from) {
+		return Edge{}, false
+	}
+	for k, s := range t.succs[from] {
+		if s == to {
+			return t.Edges[t.succEdge[from][k]], true
 		}
 	}
 	return Edge{}, false
+}
+
+// PredEdges returns the indices into Edges of id's incoming edges,
+// aligned with Pred(id). The slice is owned by the task; callers must
+// not mutate it.
+func (t *Task) PredEdges(id NodeID) []int32 {
+	if !t.valid(id) {
+		return nil
+	}
+	return t.predEdge[id]
+}
+
+// SuccEdges returns the indices into Edges of id's outgoing edges,
+// aligned with Succ(id). The slice is owned by the task; callers must
+// not mutate it.
+func (t *Task) SuccEdges(id NodeID) []int32 {
+	if !t.valid(id) {
+		return nil
+	}
+	return t.succEdge[id]
 }
 
 // Source returns the unique source node's ID. Call Validate first; Source
@@ -213,34 +263,91 @@ func (t *Task) Validate() error {
 
 // TopoOrder returns a topological order of the node IDs (Kahn's algorithm,
 // lowest-ID-first for determinism) or an error if the graph has a cycle.
+// The order is computed once and cached until the task's structure changes;
+// the returned slice is a copy the caller may keep.
 func (t *Task) TopoOrder() ([]NodeID, error) {
+	order, err := t.topoOrder()
+	if err != nil {
+		return nil, err
+	}
+	return append([]NodeID(nil), order...), nil
+}
+
+// topoOrder returns the cached topological order, computing it on first
+// use. The returned slice is owned by the task.
+func (t *Task) topoOrder() ([]NodeID, error) {
+	if t.topo != nil {
+		return t.topo, nil
+	}
 	indeg := make([]int, len(t.Nodes))
 	for id := range t.Nodes {
-		indeg[id] = len(t.preds[NodeID(id)])
+		indeg[id] = len(t.preds[id])
 	}
-	var ready []NodeID
+	// ready is a min-heap of node IDs (lowest-ID-first determinism).
+	var ready idHeap
 	for id := range t.Nodes {
 		if indeg[id] == 0 {
-			ready = append(ready, NodeID(id))
+			ready.push(NodeID(id))
 		}
 	}
 	order := make([]NodeID, 0, len(t.Nodes))
 	for len(ready) > 0 {
-		sort.Slice(ready, func(i, j int) bool { return ready[i] < ready[j] })
-		id := ready[0]
-		ready = ready[1:]
+		id := ready.pop()
 		order = append(order, id)
 		for _, s := range t.succs[id] {
 			indeg[s]--
 			if indeg[s] == 0 {
-				ready = append(ready, s)
+				ready.push(s)
 			}
 		}
 	}
 	if len(order) != len(t.Nodes) {
 		return nil, fmt.Errorf("dag %q: cycle detected", t.Name)
 	}
+	t.topo = order
 	return order, nil
+}
+
+// idHeap is a binary min-heap of node IDs: the ready set of Kahn's
+// algorithm, popping the lowest ID first.
+type idHeap []NodeID
+
+func (h *idHeap) push(id NodeID) {
+	*h = append(*h, id)
+	i := len(*h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if (*h)[p] <= (*h)[i] {
+			break
+		}
+		(*h)[p], (*h)[i] = (*h)[i], (*h)[p]
+		i = p
+	}
+}
+
+func (h *idHeap) pop() NodeID {
+	old := *h
+	top := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	*h = old[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && old[l] < old[small] {
+			small = l
+		}
+		if r < n && old[r] < old[small] {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		old[i], old[small] = old[small], old[i]
+		i = small
+	}
+	return top
 }
 
 // EdgeWeight maps an edge to the communication cost used for path-length
@@ -261,40 +368,61 @@ func ZeroCost(Edge) float64 { return 0 }
 // edge weights. It is the dynamic program Alg. 1 re-runs after each wave.
 // The task must be acyclic (Validate).
 func (t *Task) LongestThrough(w EdgeWeight) []float64 {
-	order, err := t.TopoOrder()
+	return t.LongestThroughInto(w, &PathBuf{})
+}
+
+// PathBuf holds the scratch arrays of the longest-path dynamic program so
+// callers that re-run it (Alg. 1 recomputes λ after every wave) can reuse
+// one allocation across runs.
+type PathBuf struct {
+	head, tail, lambda []float64
+}
+
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+// LongestThroughInto is LongestThrough with caller-owned scratch. The
+// returned slice aliases buf and is overwritten by the next call.
+func (t *Task) LongestThroughInto(w EdgeWeight, buf *PathBuf) []float64 {
+	order, err := t.topoOrder()
 	if err != nil {
 		panic(err) // callers validate first; a cycle is a programming error
 	}
 	n := len(t.Nodes)
 	// head[j]: longest path length from the source up to and including v_j.
-	head := make([]float64, n)
+	head := growFloats(buf.head, n)
 	for _, id := range order {
 		best := 0.0
-		for _, p := range t.preds[id] {
-			e, _ := t.Edge(p, id)
-			if l := head[p] + w(e); l > best {
+		pe := t.predEdge[id]
+		for k, p := range t.preds[id] {
+			if l := head[p] + w(t.Edges[pe[k]]); l > best {
 				best = l
 			}
 		}
 		head[id] = best + t.Nodes[id].WCET
 	}
 	// tail[j]: longest path length from v_j (exclusive) to the sink.
-	tail := make([]float64, n)
+	tail := growFloats(buf.tail, n)
 	for i := len(order) - 1; i >= 0; i-- {
 		id := order[i]
 		best := 0.0
-		for _, s := range t.succs[id] {
-			e, _ := t.Edge(id, s)
-			if l := w(e) + t.Nodes[s].WCET + tail[s]; l > best {
+		se := t.succEdge[id]
+		for k, s := range t.succs[id] {
+			if l := w(t.Edges[se[k]]) + t.Nodes[s].WCET + tail[s]; l > best {
 				best = l
 			}
 		}
 		tail[id] = best
 	}
-	lambda := make([]float64, n)
+	lambda := growFloats(buf.lambda, n)
 	for id := 0; id < n; id++ {
 		lambda[id] = head[id] + tail[id]
 	}
+	buf.head, buf.tail, buf.lambda = head, tail, lambda
 	return lambda
 }
 
@@ -315,7 +443,7 @@ func (t *Task) CriticalPathLength(w EdgeWeight) float64 {
 // CriticalPath returns one longest source-to-sink path (node IDs in
 // execution order) under the given edge weights.
 func (t *Task) CriticalPath(w EdgeWeight) []NodeID {
-	order, err := t.TopoOrder()
+	order, err := t.topoOrder()
 	if err != nil {
 		panic(err)
 	}
@@ -327,9 +455,9 @@ func (t *Task) CriticalPath(w EdgeWeight) []NodeID {
 	}
 	for _, id := range order {
 		best, bestFrom := 0.0, NodeID(-1)
-		for _, p := range t.preds[id] {
-			e, _ := t.Edge(p, id)
-			if l := head[p] + w(e); l > best || bestFrom < 0 {
+		pe := t.predEdge[id]
+		for k, p := range t.preds[id] {
+			if l := head[p] + w(t.Edges[pe[k]]); l > best || bestFrom < 0 {
 				best, bestFrom = l, p
 			}
 		}
@@ -365,16 +493,38 @@ func (t *Task) CriticalPath(w EdgeWeight) []NodeID {
 // Clone returns a deep copy of the task (nodes, edges and adjacency).
 func (t *Task) Clone() *Task {
 	c := New(t.Name, t.Period, t.Deadline)
-	for _, n := range t.Nodes {
+	c.Nodes = make([]*Node, len(t.Nodes))
+	for i, n := range t.Nodes {
 		nn := *n
-		c.Nodes = append(c.Nodes, &nn)
+		c.Nodes[i] = &nn
 	}
-	c.Edges = append(c.Edges, t.Edges...)
-	for id, ps := range t.preds {
-		c.preds[id] = append([]NodeID(nil), ps...)
+	c.Edges = append([]Edge(nil), t.Edges...)
+	c.preds = cloneIDRows(t.preds)
+	c.succs = cloneIDRows(t.succs)
+	c.predEdge = cloneEdgeRows(t.predEdge)
+	c.succEdge = cloneEdgeRows(t.succEdge)
+	if t.topo != nil {
+		c.topo = append([]NodeID(nil), t.topo...)
 	}
-	for id, ss := range t.succs {
-		c.succs[id] = append([]NodeID(nil), ss...)
+	return c
+}
+
+func cloneIDRows(rows [][]NodeID) [][]NodeID {
+	c := make([][]NodeID, len(rows))
+	for i, r := range rows {
+		if r != nil {
+			c[i] = append([]NodeID(nil), r...)
+		}
+	}
+	return c
+}
+
+func cloneEdgeRows(rows [][]int32) [][]int32 {
+	c := make([][]int32, len(rows))
+	for i, r := range rows {
+		if r != nil {
+			c[i] = append([]int32(nil), r...)
+		}
 	}
 	return c
 }

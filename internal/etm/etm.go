@@ -55,15 +55,16 @@ type Model struct {
 	WayBytes int64
 
 	// Ways[v] is the number of L1.5 ways holding v's dependent data
-	// (v's local ways, turned global once v completes). Missing entries
-	// mean zero ways.
-	Ways map[dag.NodeID]int
+	// (v's local ways, turned global once v completes). The slice is
+	// indexed by NodeID and dense — zero entries mean zero ways — so the
+	// longest-path inner loop stays a plain array load.
+	Ways []int
 }
 
 // NewModel returns a Model over the task with κ = wayBytes and no ways
 // allocated yet.
 func NewModel(t *dag.Task, wayBytes int64) *Model {
-	return &Model{Task: t, WayBytes: wayBytes, Ways: make(map[dag.NodeID]int)}
+	return &Model{Task: t, WayBytes: wayBytes, Ways: make([]int, len(t.Nodes))}
 }
 
 // EdgeCost returns ET(e, Ways[e.From]).

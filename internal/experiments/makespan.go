@@ -21,6 +21,7 @@ import (
 	"sort"
 	"strings"
 
+	"l15cache/internal/kernel"
 	"l15cache/internal/runner"
 	"l15cache/internal/sched"
 	"l15cache/internal/schedsim"
@@ -45,6 +46,7 @@ type MakespanConfig struct {
 	Seed      int64 // root RNG seed (per-DAG seeds derive from it)
 	Base      workload.SynthParams
 	Run       runner.Options // worker pool / checkpoint settings
+	Kernel    kernel.Mode    // simulator kernel (events by default)
 }
 
 // DefaultMakespanConfig mirrors §5.1 with the paper's defaults.
@@ -139,7 +141,7 @@ func runOneDAG(cfg MakespanConfig, p workload.SynthParams, seed int64) (dagResul
 		Avg:   map[string]float64{},
 		Worst: map[string]float64{},
 	}
-	opt := schedsim.Options{Cores: cfg.Cores, Instances: cfg.Instances}
+	opt := schedsim.Options{Cores: cfg.Cores, Instances: cfg.Instances, Kernel: cfg.Kernel}
 
 	// Proposed: Algorithm 1 priorities + ETM communication.
 	prop, err := schedsim.NewProposed(task.Clone(), cfg.Zeta, cfg.WayBytes)

@@ -1,0 +1,78 @@
+// Package kernel defines the simulator kernel modes and the wakeup
+// protocol shared by the cycle-accurate SoC and the continuous-time
+// drivers (DESIGN.md §11).
+//
+// A simulated unit that consumes clock cycles implements the wakeup
+// protocol: it reports the next cycle at which ticking it would change
+// state (a miss completing, the Walloc FSM moving a way, a task release).
+// When every unit reports Never, the kernel may jump the clock directly
+// to the earliest external wakeup instead of idling through no-op ticks —
+// the "events" kernel. The legacy "ticked" kernel advances one cycle at a
+// time regardless; both must produce byte-identical flight recordings,
+// metrics snapshots and experiment outputs, which the kernel-equivalence
+// CI job enforces with a byte compare.
+package kernel
+
+import "fmt"
+
+// Mode selects the simulator kernel. The zero value is Events, the
+// time-skipping kernel; Ticked is the legacy cycle-by-cycle kernel kept
+// for one release so the equivalence harness can diff the two.
+type Mode uint8
+
+const (
+	// Events is the event-driven time-skipping kernel: when no unit is
+	// runnable the clock jumps to the minimum reported wakeup.
+	Events Mode = iota
+
+	// Ticked is the legacy kernel: every unit is ticked every cycle,
+	// even through known-latency stalls.
+	Ticked
+)
+
+// String returns the flag spelling of the mode.
+func (m Mode) String() string {
+	switch m {
+	case Events:
+		return "events"
+	case Ticked:
+		return "ticked"
+	}
+	return fmt.Sprintf("kernel.Mode(%d)", uint8(m))
+}
+
+// Parse converts a -kernel flag value into a Mode. The empty string
+// selects the default (events) kernel.
+func Parse(s string) (Mode, error) {
+	switch s {
+	case "", "events":
+		return Events, nil
+	case "ticked":
+		return Ticked, nil
+	}
+	return Events, fmt.Errorf("kernel: unknown mode %q (want ticked or events)", s)
+}
+
+// Never is the wakeup a unit reports when no future tick can change its
+// state without an intervening external call. A unit reporting Never may
+// be skipped to any future cycle.
+const Never = ^uint64(0)
+
+// Waker is one clock-consuming unit of the wakeup protocol.
+type Waker interface {
+	// NextWakeup returns the earliest cycle at which ticking the unit
+	// would change state, or Never when the unit is idle.
+	NextWakeup() uint64
+}
+
+// Earliest returns the minimum of the given wakeups (Never when the list
+// is empty or all-idle) — the cycle the events kernel jumps to.
+func Earliest(wakeups ...uint64) uint64 {
+	min := uint64(Never)
+	for _, w := range wakeups {
+		if w < min {
+			min = w
+		}
+	}
+	return min
+}

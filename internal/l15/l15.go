@@ -27,6 +27,7 @@ import (
 	"l15cache/internal/bitmap"
 	"l15cache/internal/cache"
 	"l15cache/internal/flight"
+	"l15cache/internal/kernel"
 	"l15cache/internal/mem"
 	"l15cache/internal/metrics"
 )
@@ -100,6 +101,15 @@ type L15 struct {
 
 	next  NextLevel
 	ticks uint64
+
+	// Per-config-epoch mask cache (struct-of-arrays): readM[c] is
+	// OW ∪ same-TID GV, writeM[c] is OW ∖ GV. Any control-state mutation
+	// (TID load, gv_set, Walloc grant/revoke) marks the cache dirty; the
+	// access paths then recompute all cores at once instead of walking
+	// the cluster per access.
+	readM      []bitmap.Bitmap
+	writeM     []bitmap.Bitmap
+	masksDirty bool
 
 	Stats  []CoreStats
 	Events []ConfigEvent
@@ -196,6 +206,9 @@ func New(cfg Config, next NextLevel) (*L15, error) {
 		satisfiedTick: make([]uint64, cfg.Cores),
 		next:          next,
 		Stats:         make([]CoreStats, cfg.Cores),
+		readM:         make([]bitmap.Bitmap, cfg.Cores),
+		writeM:        make([]bitmap.Bitmap, cfg.Cores),
+		masksDirty:    true,
 	}
 	for w := range l.wayOwner {
 		l.wayOwner[w] = -1
@@ -221,6 +234,7 @@ func (l *L15) SetTID(core int, tid uint16) error {
 		return err
 	}
 	l.tid[core] = tid
+	l.masksDirty = true
 	return nil
 }
 
@@ -258,6 +272,7 @@ func (l *L15) GVSet(core int, ways bitmap.Bitmap) error {
 		return err
 	}
 	l.gv[core] = ways.Intersect(l.ow[core])
+	l.masksDirty = true
 	if l.frec != nil {
 		l.frec.Emit(flight.Event{Kind: flight.KindGVConvert,
 			Time: float64(l.ticks), Task: -1, Job: -1, Node: -1,
@@ -342,6 +357,52 @@ func (l *L15) Tick() {
 // Ticks returns the SDU cycle counter.
 func (l *L15) Ticks() uint64 { return l.ticks }
 
+// sduIdle reports whether a Tick would be a no-op: no core holds more ways
+// than it demands, and no underserved core can be granted one (either all
+// demands are met or the bank has no free way). Idleness is stable — a
+// no-op tick changes no state except the counter, so the SDU stays idle
+// until the next external call (demand, gv_set, revocation) — which is the
+// skip-safety argument of DESIGN.md §11.
+func (l *L15) sduIdle() bool {
+	freeExists := l.freeWay() >= 0
+	for core := 0; core < l.cfg.Cores; core++ {
+		have := l.ow[core].Count()
+		want := l.demand[core]
+		if have > want {
+			return false
+		}
+		if have < want && freeExists {
+			return false
+		}
+	}
+	return true
+}
+
+// NextWakeup implements the kernel wakeup protocol: the next cycle at
+// which ticking the SDU would change state, or kernel.Never when every
+// demand is settled.
+func (l *L15) NextWakeup() uint64 {
+	if l.sduIdle() {
+		return kernel.Never
+	}
+	return l.ticks + 1
+}
+
+// AdvanceTo brings the SDU cycle counter to target, ticking while the
+// Walloc has work and jumping the counter across idle stretches. Because
+// cores are scanned round-robin from the tick counter, the skip lands on
+// the same counter value ticked mode would reach, so the two kernels stay
+// byte-identical in every tick-stamped event.
+func (l *L15) AdvanceTo(target uint64) {
+	for l.ticks < target {
+		if l.sduIdle() {
+			l.ticks = target
+			return
+		}
+		l.Tick()
+	}
+}
+
 func (l *L15) freeWay() int {
 	for w, owner := range l.wayOwner {
 		if owner == -1 {
@@ -364,6 +425,7 @@ func (l *L15) observeConfigLatency(core int) {
 func (l *L15) assignWay(core, w int) {
 	l.wayOwner[w] = core
 	l.ow[core] = l.ow[core].Set(w)
+	l.masksDirty = true
 	l.Events = append(l.Events, ConfigEvent{Tick: l.ticks, Core: core, Way: w, Assigned: true})
 	l.tracer.Emit(l.ticks, l.traceName, "way.assign", map[string]any{"core": core, "way": w})
 	if l.frec != nil {
@@ -387,6 +449,7 @@ func (l *L15) revokeWay(core, w int) {
 	l.wayOwner[w] = -1
 	l.ow[core] = l.ow[core].Clear(w)
 	l.gv[core] = l.gv[core].Clear(w)
+	l.masksDirty = true
 	l.Events = append(l.Events, ConfigEvent{Tick: l.ticks, Core: core, Way: w, Assigned: false})
 	l.tracer.Emit(l.ticks, l.traceName, "way.revoke",
 		map[string]any{"core": core, "way": w, "dirty": dirty})
@@ -398,23 +461,39 @@ func (l *L15) revokeWay(core, w int) {
 	}
 }
 
+// ensureMasks recomputes the cached read/write masks after a control-state
+// change. The cluster is small (4 cores), so rebuilding every core at once
+// is cheaper than tracking finer invalidation.
+func (l *L15) ensureMasks() {
+	if !l.masksDirty {
+		return
+	}
+	for core := 0; core < l.cfg.Cores; core++ {
+		m := l.ow[core]
+		for c := 0; c < l.cfg.Cores; c++ {
+			if c != core && l.tid[c] == l.tid[core] {
+				m = m.Union(l.gv[c])
+			}
+		}
+		l.readM[core] = m
+		l.writeM[core] = l.ow[core].Diff(l.gv[core])
+	}
+	l.masksDirty = false
+}
+
 // readMask is the upper-level filter of the read path: the core's own ways
 // plus every same-TID core's globally visible ways (the protector's
 // TID-XNOR gates the GV registers, §3.2).
 func (l *L15) readMask(core int) bitmap.Bitmap {
-	m := l.ow[core]
-	for c := 0; c < l.cfg.Cores; c++ {
-		if c != core && l.tid[c] == l.tid[core] {
-			m = m.Union(l.gv[c])
-		}
-	}
-	return m
+	l.ensureMasks()
+	return l.readM[core]
 }
 
 // writeMask is the write-path filter: owned, not globally visible
 // (global ways are read-only).
 func (l *L15) writeMask(core int) bitmap.Bitmap {
-	return l.ow[core].Diff(l.gv[core])
+	l.ensureMasks()
+	return l.writeM[core]
 }
 
 // OwnedWays, for the monitor: the number of currently assigned ways across

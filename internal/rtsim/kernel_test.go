@@ -1,0 +1,76 @@
+package rtsim
+
+import (
+	"reflect"
+	"testing"
+
+	"l15cache/internal/flight"
+	"l15cache/internal/kernel"
+)
+
+// TestKernelEquivalence runs the same task set under the ticked and events
+// dispatch kernels for every system kind and requires identical metrics
+// and flight recordings — the per-trial slice of what the kernel-
+// equivalence CI job byte-compares across full experiment runs.
+func TestKernelEquivalence(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		tasks := testTaskSet(t, seed, 8, 0.7)
+		for _, kind := range []Kind{KindProp, KindCMPL1, KindCMPL2, KindSharedL1} {
+			cfgT := DefaultConfig()
+			cfgT.Kernel = kernel.Ticked
+			cfgT.Recorder = flight.New()
+			mT, err := Run(tasks, kind, cfgT)
+			if err != nil {
+				t.Fatalf("seed %d %v ticked: %v", seed, kind, err)
+			}
+
+			cfgE := DefaultConfig()
+			cfgE.Kernel = kernel.Events
+			cfgE.Recorder = flight.New()
+			mE, err := Run(tasks, kind, cfgE)
+			if err != nil {
+				t.Fatalf("seed %d %v events: %v", seed, kind, err)
+			}
+
+			if mT != mE {
+				t.Errorf("seed %d %v: metrics diverged:\nticked %+v\nevents %+v",
+					seed, kind, mT, mE)
+			}
+			evT, evE := cfgT.Recorder.Events(), cfgE.Recorder.Events()
+			if !reflect.DeepEqual(evT, evE) {
+				t.Errorf("seed %d %v: flight recordings diverged (%d vs %d events)",
+					seed, kind, len(evT), len(evE))
+			}
+			if len(evE) == 0 {
+				t.Errorf("seed %d %v: no flight events; test is vacuous", seed, kind)
+			}
+		}
+	}
+}
+
+// TestKernelEquivalencePartitioned covers the partitioned dispatcher and
+// an overload, where preemption-free backlog handling differs most between
+// the two dispatch loops.
+func TestKernelEquivalencePartitioned(t *testing.T) {
+	tasks := testTaskSet(t, 7, 8, 1.2)
+	for _, part := range []bool{false, true} {
+		cfgT := DefaultConfig()
+		cfgT.Kernel = kernel.Ticked
+		cfgT.Partitioned = part
+		mT, err := Run(tasks, KindProp, cfgT)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfgE := DefaultConfig()
+		cfgE.Kernel = kernel.Events
+		cfgE.Partitioned = part
+		mE, err := Run(tasks, KindProp, cfgE)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mT != mE {
+			t.Errorf("partitioned=%v: metrics diverged:\nticked %+v\nevents %+v",
+				part, mT, mE)
+		}
+	}
+}

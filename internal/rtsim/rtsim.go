@@ -16,7 +16,6 @@
 package rtsim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"sort"
@@ -24,6 +23,7 @@ import (
 	"l15cache/internal/dag"
 	"l15cache/internal/etm"
 	"l15cache/internal/flight"
+	"l15cache/internal/kernel"
 	"l15cache/internal/metrics"
 	"l15cache/internal/sched"
 	"l15cache/internal/schedsim"
@@ -107,6 +107,12 @@ type Config struct {
 	// guaranteed-allocation setting the ETM analysis assumes — at the
 	// price of lost global work conservation.
 	Partitioned bool
+
+	// Kernel selects the dispatch kernel. The zero value, kernel.Events,
+	// reuses per-trial scratch buffers in the dispatch loop; kernel.Ticked
+	// keeps the legacy allocating dispatcher. Both share one event heap
+	// and emit byte-identical flight recordings (DESIGN.md §11).
+	Kernel kernel.Mode
 }
 
 // DefaultConfig mirrors the paper's 8-core SoC (two clusters of four cores,
@@ -210,26 +216,64 @@ type event struct {
 	v  dag.NodeID
 }
 
+// eventHeap is a hand-rolled binary min-heap of completions, replacing the
+// container/heap adapter so Push/Pop stop boxing events into interface
+// values. The sift algorithm mirrors container/heap step for step (the
+// down-child is preferred only on a strictly-smaller comparison), which
+// matters because lessEvent is not a strict total order — two jobs of
+// different tasks can tie on (at, release, v) — and the pop sequence of
+// ties must not change across the refactor.
 type eventHeap []event
 
 func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, k int) bool {
-	if h[i].at != h[k].at {
-		return h[i].at < h[k].at
+
+func lessEvent(a, b event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	if h[i].j.release != h[k].j.release {
-		return h[i].j.release < h[k].j.release
+	if a.j.release != b.j.release {
+		return a.j.release < b.j.release
 	}
-	return h[i].v < h[k].v
+	return a.v < b.v
 }
-func (h eventHeap) Swap(i, k int) { h[i], h[k] = h[k], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any {
+
+func pushEvent(h *eventHeap, e event) {
+	*h = append(*h, e)
+	j := len(*h) - 1
+	for j > 0 {
+		i := (j - 1) / 2
+		if !lessEvent((*h)[j], (*h)[i]) {
+			break
+		}
+		(*h)[i], (*h)[j] = (*h)[j], (*h)[i]
+		j = i
+	}
+}
+
+func popEvent(h *eventHeap) event {
 	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+	top := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	old[n] = event{} // release the *job reference
+	*h = old[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && lessEvent(old[l], old[small]) {
+			small = l
+		}
+		if r < n && lessEvent(old[r], old[small]) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		old[i], old[small] = old[small], old[i]
+		i = small
+	}
+	return top
 }
 
 // sim is the mutable state of one trial.
@@ -237,6 +281,7 @@ type sim struct {
 	cfg       Config
 	rec       *flight.Recorder
 	kind      Kind
+	kernel    kernel.Mode
 	plat      *schedsim.CMP // nil for Prop
 	tasks     []*dag.Task
 	allocs    []*sched.Result
@@ -261,6 +306,12 @@ type sim struct {
 	reclaimable []int
 	sduFreeAt   []float64 // per cluster: SDU busy-until
 
+	// events-kernel scratch, reused across dispatch rounds so the
+	// steady-state loop allocates nothing.
+	idleBuf        []int
+	clusterIdleBuf []int
+	skipBuf        []bool
+
 	// accounting
 	wayIntegral  float64 // ∫ used ways dt over busy clusters
 	clusterBusy  float64 // ∫ #busy clusters dt
@@ -283,7 +334,7 @@ func Run(tasks []*dag.Task, kind Kind, cfg Config) (Metrics, error) {
 	if len(tasks) == 0 {
 		return Metrics{}, fmt.Errorf("rtsim: empty task set")
 	}
-	s := &sim{cfg: cfg, rec: cfg.Recorder, kind: kind}
+	s := &sim{cfg: cfg, rec: cfg.Recorder, kind: kind, kernel: cfg.Kernel}
 	switch kind {
 	case KindProp:
 	case KindCMPL1:
@@ -399,7 +450,7 @@ func (s *sim) run() {
 		// Process completions at this instant first (frees cores and
 		// ways before new dispatches).
 		for s.events.Len() > 0 && s.events[0].at <= s.now {
-			ev := heap.Pop(&s.events).(event)
+			ev := popEvent(&s.events)
 			s.complete(ev.j, ev.v)
 		}
 		// Then releases.
@@ -440,6 +491,9 @@ func (s *sim) run() {
 func (s *sim) newJob(taskIdx int, at float64) *job {
 	t := s.tasks[taskIdx]
 	n := len(t.Nodes)
+	// One backing array serves all five int-valued per-node fields; a job
+	// release costs three allocations instead of seven.
+	ints := make([]int, 5*n)
 	j := &job{
 		taskIdx:  taskIdx,
 		jobIdx:   s.relIdx[taskIdx],
@@ -447,13 +501,13 @@ func (s *sim) newJob(taskIdx int, at float64) *job {
 		alloc:    s.allocs[taskIdx],
 		release:  at,
 		deadline: at + t.Deadline,
-		indeg:    make([]int, n),
+		indeg:    ints[0*n : 1*n],
 		done:     make([]bool, n),
-		coreOf:   make([]int, n),
+		coreOf:   ints[1*n : 2*n],
 		startAt:  make([]float64, n),
-		granted:  make([]int, n),
-		cluster:  make([]int, n),
-		succLeft: make([]int, n),
+		granted:  ints[2*n : 3*n],
+		cluster:  ints[3*n : 4*n],
+		succLeft: ints[4*n : 5*n],
 		left:     n,
 	}
 	s.relIdx[taskIdx]++
@@ -538,8 +592,68 @@ func (s *sim) partitionTasks() {
 }
 
 // dispatch places ready nodes on idle cores, highest priority first. In
-// partitioned mode a node may only use its task's cluster.
+// partitioned mode a node may only use its task's cluster. The events
+// kernel reuses the sim's scratch buffers; the ticked kernel keeps the
+// legacy allocating loop. Both visit nodes and cores in the same order.
 func (s *sim) dispatch() {
+	if s.kernel == kernel.Ticked {
+		s.dispatchTicked()
+		return
+	}
+	for {
+		idle := s.idleBuf[:0]
+		for c, f := range s.freeAt {
+			if f <= s.now {
+				idle = append(idle, c)
+			}
+		}
+		s.idleBuf = idle
+		if len(idle) == 0 || len(s.ready) == 0 {
+			return
+		}
+		if s.partition == nil {
+			ri := s.pickReady()
+			rn := s.ready[ri]
+			s.ready = append(s.ready[:ri], s.ready[ri+1:]...)
+			s.place(rn, idle)
+			continue
+		}
+		// Partitioned: serve the highest-priority ready node whose
+		// cluster has an idle core; stop when none can be placed.
+		skip := s.skipBuf[:0]
+		for range s.ready {
+			skip = append(skip, false)
+		}
+		s.skipBuf = skip
+		placed := false
+		for !placed {
+			ri := s.pickReadySkipping(skip)
+			if ri < 0 {
+				return
+			}
+			rn := s.ready[ri]
+			cl := s.partition[rn.j.taskIdx]
+			clusterIdle := s.clusterIdleBuf[:0]
+			for _, c := range idle {
+				if c/s.cfg.ClusterSize == cl {
+					clusterIdle = append(clusterIdle, c)
+				}
+			}
+			s.clusterIdleBuf = clusterIdle
+			if len(clusterIdle) == 0 {
+				skip[ri] = true
+				continue
+			}
+			s.ready = append(s.ready[:ri], s.ready[ri+1:]...)
+			s.place(rn, clusterIdle)
+			placed = true
+		}
+	}
+}
+
+// dispatchTicked is the legacy dispatcher, kept for one release behind
+// -kernel=ticked so the equivalence harness can diff the kernels.
+func (s *sim) dispatchTicked() {
 	for {
 		var idle []int
 		for c, f := range s.freeAt {
@@ -557,8 +671,6 @@ func (s *sim) dispatch() {
 			s.place(rn, idle)
 			continue
 		}
-		// Partitioned: serve the highest-priority ready node whose
-		// cluster has an idle core; stop when none can be placed.
 		placed := false
 		taken := make(map[int]bool)
 		for !placed {
@@ -587,6 +699,20 @@ func (s *sim) dispatch() {
 
 // pickReadyExcluding returns the best ready index not in skip, or -1.
 func (s *sim) pickReadyExcluding(skip map[int]bool) int {
+	best := -1
+	for i := range s.ready {
+		if skip[i] {
+			continue
+		}
+		if best < 0 || s.readyLess(s.ready[i], s.ready[best]) {
+			best = i
+		}
+	}
+	return best
+}
+
+// pickReadySkipping is pickReadyExcluding over a dense scratch mask.
+func (s *sim) pickReadySkipping(skip []bool) int {
 	best := -1
 	for i := range s.ready {
 		if skip[i] {
@@ -649,7 +775,9 @@ func (s *sim) place(rn readyNode, idle []int) {
 	switch s.kind {
 	case KindProp:
 		grant := 0
-		if plan := j.alloc.LocalWays[v]; plan > 0 && s.cfg.Zeta > 0 {
+		// Model.Ways is the dense mirror of LocalWays (same values,
+		// array load instead of map lookup).
+		if plan := j.alloc.Model.Ways[v]; plan > 0 && s.cfg.Zeta > 0 {
 			// The Walloc serves a demand from unowned slots first,
 			// then by reclaiming released (but still assigned)
 			// ways, one way at a time.
@@ -674,7 +802,7 @@ func (s *sim) place(rn readyNode, idle []int) {
 		s.rec.Emit(flight.Event{Kind: flight.KindGrant, Time: s.now,
 			Task: int32(j.taskIdx), Job: int32(j.jobIdx), Node: int32(v),
 			Core: int32(c), Cluster: int32(cl), Wave: -1,
-			A: float64(j.alloc.LocalWays[v]), B: float64(grant),
+			A: float64(j.alloc.Model.Ways[v]), B: float64(grant),
 			C: float64(s.assigned[cl])})
 
 		// SDU: one way at a time, FIFO per cluster. The node starts
@@ -692,8 +820,9 @@ func (s *sim) place(rn readyNode, idle []int) {
 				Wave: -1, A: float64(grant), B: finish, C: misconf})
 		}
 
-		for _, p := range j.task.Pred(v) {
-			e, _ := j.task.Edge(p, v)
+		pe := j.task.PredEdges(v)
+		for k, p := range j.task.Pred(v) {
+			e := j.task.Edges[pe[k]]
 			n := j.granted[p]
 			if j.cluster[p] != cl {
 				// Cross-cluster: the producer's L1.5 ways are
@@ -711,8 +840,9 @@ func (s *sim) place(rn readyNode, idle []int) {
 		exec = node.WCET
 	default:
 		warm := s.prevCore[j.taskIdx][v] == c
-		for _, p := range j.task.Pred(v) {
-			e, _ := j.task.Edge(p, v)
+		pe := j.task.PredEdges(v)
+		for k, p := range j.task.Pred(v) {
+			e := j.task.Edges[pe[k]]
 			cost := s.plat.CommCost(e, j.task.Node(p), j.coreOf[p] == c, busyFrac)
 			fetch += cost
 			s.rec.Emit(flight.Event{Kind: flight.KindEdge, Time: s.now,
@@ -738,7 +868,7 @@ func (s *sim) place(rn readyNode, idle []int) {
 		Core: int32(c), Cluster: int32(cl), Wave: -1,
 		A: fetch, B: exec, C: float64(j.granted[v])})
 	s.freeAt[c] = s.now + dur
-	heap.Push(&s.events, event{at: s.now + dur, j: j, v: v})
+	pushEvent(&s.events, event{at: s.now + dur, j: j, v: v})
 }
 
 // chooseCore picks among idle cores: baselines with affinity prefer the

@@ -141,9 +141,16 @@ func waveSchedule(t *dag.Task, zeta int, wayBytes int64, allocate bool, rec *fli
 		Job: -1, Node: -1, Core: -1, Cluster: -1, Wave: -1,
 		A: float64(zeta), B: float64(wayBytes), C: allocFlag})
 	examined := make([]bool, len(t.Nodes))
+	remaining := make([]int, len(t.Nodes)) // unexamined predecessors per node
+	for id := range t.Nodes {
+		remaining[id] = len(t.Pred(dag.NodeID(id)))
+	}
 	var omega []WayGroup // Ω
+	used := 0            // ΣΩ, maintained incrementally
 	pri := len(t.Nodes)  // pri = |V_i|
-	lambda := t.LongestThrough(dag.RawCost)
+	var pbuf dag.PathBuf // scratch reused by every λ recomputation
+	lambda := t.LongestThroughInto(dag.RawCost, &pbuf)
+	weight := res.Model.Weight()
 
 	waveIdx := int32(0)
 	q := []dag.NodeID{t.Source()} // Q = {v_src}
@@ -164,6 +171,8 @@ func waveSchedule(t *dag.Task, zeta int, wayBytes int64, allocate bool, rec *fli
 						Node: int32(w.Owner), Core: -1, Cluster: -1,
 						Wave: waveIdx, A: float64(w.Size)})
 					next = append(next, w)
+				} else {
+					used -= w.Size
 				}
 			}
 			omega = next
@@ -180,37 +189,39 @@ func waveSchedule(t *dag.Task, zeta int, wayBytes int64, allocate bool, rec *fli
 		rec.Emit(flight.Event{Kind: flight.KindWave,
 			Time: float64(waveIdx), Task: task, Job: -1, Node: -1,
 			Core: -1, Cluster: -1, Wave: waveIdx,
-			A: float64(len(wave)), B: float64(groupsSize(omega))})
+			A: float64(len(wave)), B: float64(used)})
 		for _, vj := range wave {
 			// Local ways hold dependent data for suc(v_j); a node
 			// with no successors needs none (Fig. 6: the sink only
 			// reads global ways).
-			if allocate && len(t.Succ(vj)) > 0 {
-				if used := groupsSize(omega); used < zeta {
-					size := fWays(t.Node(vj), res.Model, omega, zeta)
-					if size > 0 {
-						omega = append(omega, WayGroup{Size: size, Owner: vj})
-						res.LocalWays[vj] = size
-						res.Model.Ways[vj] = size
-						mWayGrants.Add(uint64(size))
-						rec.Emit(flight.Event{Kind: flight.KindPlanWays,
-							Time: float64(waveIdx), Task: task, Job: -1,
-							Node: int32(vj), Core: -1, Cluster: -1,
-							Wave: waveIdx, A: float64(size),
-							B: float64(groupsSize(omega)), C: float64(zeta)})
-					}
+			if allocate && len(t.Succ(vj)) > 0 && used < zeta {
+				size := fWays(t.Node(vj), res.Model, used, zeta)
+				if size > 0 {
+					omega = append(omega, WayGroup{Size: size, Owner: vj})
+					used += size
+					res.LocalWays[vj] = size
+					res.Model.Ways[vj] = size
+					mWayGrants.Add(uint64(size))
+					rec.Emit(flight.Event{Kind: flight.KindPlanWays,
+						Time: float64(waveIdx), Task: task, Job: -1,
+						Node: int32(vj), Core: -1, Cluster: -1,
+						Wave: waveIdx, A: float64(size),
+						B: float64(used), C: float64(zeta)})
 				}
 			}
 			t.Node(vj).Priority = pri
 			pri--
 			examined[vj] = true
+			for _, s := range t.Succ(vj) {
+				remaining[s]--
+			}
 		}
 		res.Waves = append(res.Waves, wave)
 		mWaves.Inc()
 		mNodes.Add(uint64(len(wave)))
 
 		// Line 20: refresh λ_j under the new allocation.
-		lambda = t.LongestThrough(res.Model.Weight())
+		lambda = t.LongestThroughInto(weight, &pbuf)
 		mLambda.Inc()
 		maxLambda := 0.0
 		for _, l := range lambda {
@@ -224,21 +235,11 @@ func waveSchedule(t *dag.Task, zeta int, wayBytes int64, allocate bool, rec *fli
 		waveIdx++
 
 		// Line 21: Q := unexamined nodes whose predecessors are all
-		// examined.
+		// examined (remaining counter at zero).
 		q = q[:0]
 		for id := range t.Nodes {
 			v := dag.NodeID(id)
-			if examined[v] {
-				continue
-			}
-			ready := true
-			for _, p := range t.Pred(v) {
-				if !examined[p] {
-					ready = false
-					break
-				}
-			}
-			if ready {
+			if !examined[v] && remaining[v] == 0 {
 				q = append(q, v)
 			}
 		}
@@ -246,22 +247,14 @@ func waveSchedule(t *dag.Task, zeta int, wayBytes int64, allocate bool, rec *fli
 	return res, nil
 }
 
-// fWays is F(v_j, Ω, ζ) = min(⌈δ_j/κ⌉, ζ − ΣΩ).
-func fWays(v *dag.Node, m *etm.Model, omega []WayGroup, zeta int) int {
+// fWays is F(v_j, Ω, ζ) = min(⌈δ_j/κ⌉, ζ − ΣΩ); used is ΣΩ.
+func fWays(v *dag.Node, m *etm.Model, used, zeta int) int {
 	need := etm.WaysNeeded(v.Data, m.WayBytes)
-	free := zeta - groupsSize(omega)
+	free := zeta - used
 	if need < free {
 		return need
 	}
 	return free
-}
-
-func groupsSize(omega []WayGroup) int {
-	var s int
-	for _, w := range omega {
-		s += w.Size
-	}
-	return s
 }
 
 // TopologicalPriority assigns priorities by plain topological order

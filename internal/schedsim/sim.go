@@ -8,6 +8,7 @@ import (
 
 	"l15cache/internal/dag"
 	"l15cache/internal/flight"
+	"l15cache/internal/kernel"
 	"l15cache/internal/metrics"
 	"l15cache/internal/sched"
 )
@@ -44,6 +45,12 @@ type Options struct {
 	// RecordTask is the task index stamped on recorded events (single-
 	// task runs leave it 0).
 	RecordTask int
+
+	// Kernel selects the dispatch kernel. The zero value, kernel.Events,
+	// is the allocation-free event kernel; kernel.Ticked keeps the legacy
+	// container/heap dispatcher so the equivalence harness can byte-diff
+	// the two (DESIGN.md §11).
+	Kernel kernel.Mode
 }
 
 func (o *Options) fill() {
@@ -96,6 +103,7 @@ func Run(alloc *sched.Result, plat Platform, opt Options) ([]InstanceStats, erro
 		return nil, err
 	}
 	stats := make([]InstanceStats, 0, opt.Instances)
+	var sc scratch
 	var prevCore []int
 	for i := 0; i < opt.Instances; i++ {
 		var observe dispatchFunc
@@ -105,8 +113,15 @@ func Run(alloc *sched.Result, plat Platform, opt Options) ([]InstanceStats, erro
 				opt.OnDispatch(inst, core, v, start, fetchEnd, end)
 			}
 		}
-		s, cores := runInstance(alloc, plat, opt.Cores, i == 0, prevCore, observe,
-			opt.Recorder, int32(opt.RecordTask), int32(i))
+		var s InstanceStats
+		var cores []int
+		if opt.Kernel == kernel.Ticked {
+			s, cores = runInstance(alloc, plat, opt.Cores, i == 0, prevCore, observe,
+				opt.Recorder, int32(opt.RecordTask), int32(i))
+		} else {
+			s, cores = runInstanceEvents(alloc, plat, opt.Cores, i == 0, prevCore, observe,
+				opt.Recorder, int32(opt.RecordTask), int32(i), &sc)
+		}
 		stats = append(stats, s)
 		prevCore = cores
 	}
@@ -258,6 +273,226 @@ func runInstance(alloc *sched.Result, plat Platform, m int, cold bool, prevCore 
 			stats.Makespan = ev.at
 		}
 	}
+	// The makespan check closes the instance; with no workload deadline
+	// the event records A=0, B=0 (met).
+	rec.Emit(flight.Event{Kind: flight.KindDeadline, Time: stats.Makespan,
+		Task: task, Job: job, Node: -1, Core: -1, Cluster: -1, Wave: -1})
+	return stats, coreOf
+}
+
+// scratch holds the per-instance arrays of the events kernel so that
+// consecutive instances reuse one allocation. coreOf is double-buffered:
+// the previous instance's placement must stay readable (affinity, warm-up)
+// while the current instance writes the other buffer.
+type scratch struct {
+	coreOf  [2][]int
+	flip    int
+	startAt []float64
+	indeg   []int
+	freeAt  []float64
+	ready   []dag.NodeID
+	events  []completion
+}
+
+func growInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+// lessCompletion is the completionHeap order: earliest finish first, ties
+// broken by node ID. Node IDs are unique per instance, so this is a strict
+// total order and both kernels pop completions in the identical sequence.
+func lessCompletion(a, b completion) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.node < b.node
+}
+
+func pushCompletion(h *[]completion, c completion) {
+	*h = append(*h, c)
+	i := len(*h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !lessCompletion((*h)[i], (*h)[p]) {
+			break
+		}
+		(*h)[i], (*h)[p] = (*h)[p], (*h)[i]
+		i = p
+	}
+}
+
+func popCompletion(h *[]completion) completion {
+	old := *h
+	top := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	*h = old[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && lessCompletion(old[l], old[small]) {
+			small = l
+		}
+		if r < n && lessCompletion(old[r], old[small]) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		old[i], old[small] = old[small], old[i]
+		i = small
+	}
+	return top
+}
+
+// runInstanceEvents is the events-kernel twin of runInstance: the same
+// work-conserving dispatch over the same strict event order, with the
+// container/heap boxing and per-iteration idle-core slices replaced by a
+// hand-rolled heap and scratch reuse. It must emit byte-identical flight
+// events — the kernel-equivalence CI job diffs the two.
+func runInstanceEvents(alloc *sched.Result, plat Platform, m int, cold bool, prevCore []int, observe dispatchFunc, rec *flight.Recorder, task, job int32, sc *scratch) (InstanceStats, []int) {
+	mInstances.Inc()
+	t := alloc.Task
+	n := len(t.Nodes)
+
+	rec.Emit(flight.Event{Kind: flight.KindRelease, Task: task, Job: job,
+		Node: -1, Core: -1, Cluster: -1, Wave: -1})
+
+	sc.flip ^= 1
+	coreOf := growInts(sc.coreOf[sc.flip], n)
+	sc.coreOf[sc.flip] = coreOf
+	for i := range coreOf {
+		coreOf[i] = -1
+	}
+	startAt := growFloats(sc.startAt, n)
+	sc.startAt = startAt
+	indeg := growInts(sc.indeg, n)
+	sc.indeg = indeg
+	for id := range t.Nodes {
+		indeg[id] = len(t.Pred(dag.NodeID(id)))
+	}
+	freeAt := growFloats(sc.freeAt, m)
+	sc.freeAt = freeAt
+	for i := range freeAt {
+		freeAt[i] = 0
+	}
+	ready := sc.ready[:0]
+	ready = append(ready, t.Source())
+	events := sc.events[:0]
+
+	var stats InstanceStats
+	now := 0.0
+	done := 0
+	affinity := plat.Affinity()
+
+	for done < n {
+		// Dispatch while an idle core and a ready node exist
+		// (work-conserving).
+		for len(ready) > 0 {
+			// Lowest-numbered idle core, as idleCores()[0] did.
+			c := -1
+			for cc := 0; cc < m; cc++ {
+				if freeAt[cc] <= now {
+					c = cc
+					break
+				}
+			}
+			if c < 0 {
+				break
+			}
+			best := 0
+			for i := 1; i < len(ready); i++ {
+				pi, pb := t.Node(ready[i]).Priority, t.Node(ready[best]).Priority
+				if pi > pb || (pi == pb && ready[i] < ready[best]) {
+					best = i
+				}
+			}
+			v := ready[best]
+			ready = append(ready[:best], ready[best+1:]...)
+			if affinity && prevCore != nil {
+				if pc := prevCore[v]; pc >= 0 && freeAt[pc] <= now {
+					c = pc
+				}
+			}
+			busy := 0
+			for c2 := 0; c2 < m; c2++ {
+				if c2 != c && freeAt[c2] > now {
+					busy++
+				}
+			}
+			busyFrac := 0.0
+			if m > 1 {
+				busyFrac = float64(busy) / float64(m-1)
+			}
+			warm := !cold && prevCore != nil && prevCore[v] == c
+
+			var fetch float64
+			pe := t.PredEdges(v)
+			for k, p := range t.Pred(v) {
+				e := t.Edges[pe[k]]
+				cost := plat.CommCost(e, t.Node(p), coreOf[p] == c, busyFrac)
+				fetch += cost
+				rec.Emit(flight.Event{Kind: flight.KindEdge, Time: now,
+					Task: task, Job: job, Node: int32(v), Core: int32(c),
+					Cluster: -1, Wave: -1,
+					A: float64(p), B: e.Cost, C: cost})
+			}
+			exec := plat.ExecTime(t.Node(v), warm, busyFrac)
+
+			coreOf[v] = c
+			startAt[v] = now
+			finish := now + fetch + exec
+			freeAt[c] = finish
+			mDispatches.Inc()
+			rec.Emit(flight.Event{Kind: flight.KindDispatch, Time: now,
+				Task: task, Job: job, Node: int32(v), Core: int32(c),
+				Cluster: -1, Wave: -1,
+				A: fetch, B: exec, C: float64(alloc.LocalWays[v])})
+			stats.Comm += fetch
+			stats.Exec += exec
+			if observe != nil {
+				observe(c, v, now, now+fetch, finish)
+			}
+			pushCompletion(&events, completion{at: finish, node: v})
+		}
+
+		if len(events) == 0 {
+			// No running node but undone work: the graph must be
+			// disconnected or cyclic — Validate precludes both.
+			panic("schedsim: deadlock with " + fmt.Sprint(n-done) + " nodes pending")
+		}
+
+		// Advance to the next completion; release successors.
+		ev := popCompletion(&events)
+		now = math.Max(now, ev.at)
+		done++
+		rec.Emit(flight.Event{Kind: flight.KindFinish, Time: ev.at,
+			Task: task, Job: job, Node: int32(ev.node),
+			Core: int32(coreOf[ev.node]), Cluster: -1, Wave: -1,
+			A: ev.at - startAt[ev.node]})
+		for _, s := range t.Succ(ev.node) {
+			indeg[s]--
+			if indeg[s] == 0 {
+				ready = append(ready, s)
+			}
+		}
+		if ev.at > stats.Makespan {
+			stats.Makespan = ev.at
+		}
+	}
+	sc.ready = ready[:0]
+	sc.events = events[:0]
 	// The makespan check closes the instance; with no workload deadline
 	// the event records A=0, B=0 (met).
 	rec.Emit(flight.Event{Kind: flight.KindDeadline, Time: stats.Makespan,

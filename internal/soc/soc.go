@@ -15,6 +15,7 @@ import (
 	"l15cache/internal/cpu"
 	"l15cache/internal/flight"
 	"l15cache/internal/isa"
+	"l15cache/internal/kernel"
 	"l15cache/internal/l15"
 	"l15cache/internal/mem"
 	"l15cache/internal/metrics"
@@ -55,6 +56,12 @@ type Config struct {
 	// budget (2 models the L1.5's ported front end).
 	IssueWidth int
 	MemPorts   int
+
+	// Kernel selects the simulator kernel. kernel.Events (the zero
+	// value) jumps each cluster's SDU clock across idle stretches;
+	// kernel.Ticked advances it cycle by cycle. Both land on the same
+	// counter values, so recordings are byte-identical (DESIGN.md §11).
+	Kernel kernel.Mode
 }
 
 // DefaultConfig is the 8-core (two cluster) configuration of §5.
@@ -254,14 +261,16 @@ func (s *SoC) IdentityPageTable(tid uint16) *tlb.PageTable {
 func (s *SoC) Run(maxInstrs uint64, handler func(*cpu.Core, cpu.Trap) bool) (cpu.Trap, error) {
 	retired := make([]uint64, len(s.Cores))
 	for {
-		// Pick the earliest non-halted core.
+		// Pick the core with the earliest wakeup (its local clock;
+		// halted cores report kernel.Never and drop out).
 		best := -1
+		bestWake := kernel.Never
 		for i, c := range s.Cores {
-			if c.Halted || retired[i] >= maxInstrs {
+			if retired[i] >= maxInstrs {
 				continue
 			}
-			if best < 0 || c.Cycles < s.Cores[best].Cycles {
-				best = i
+			if w := c.NextWakeup(); w < bestWake {
+				best, bestWake = i, w
 			}
 		}
 		if best < 0 {
@@ -293,7 +302,11 @@ func (s *SoC) Run(maxInstrs uint64, handler func(*cpu.Core, cpu.Trap) bool) (cpu
 }
 
 // tickSDUs advances every cluster's Walloc to the global time (the minimum
-// core-local clock), preserving the one-way-per-cycle constraint.
+// core-local clock), preserving the one-way-per-cycle constraint. Under the
+// events kernel a cluster whose SDU reports no wakeup (kernel.Never) jumps
+// its counter straight to the global time instead of idling through the
+// gap cycle by cycle; both kernels reach the same counter value, so every
+// tick-stamped event is identical.
 func (s *SoC) tickSDUs() {
 	var global uint64
 	first := true
@@ -315,8 +328,12 @@ func (s *SoC) tickSDUs() {
 		}
 	}
 	for _, cl := range s.Clusters {
-		for cl.L15.Ticks() < global {
-			cl.L15.Tick()
+		if s.Cfg.Kernel == kernel.Ticked {
+			for cl.L15.Ticks() < global {
+				cl.L15.Tick()
+			}
+		} else {
+			cl.L15.AdvanceTo(global)
 		}
 	}
 }
@@ -325,8 +342,12 @@ func (s *SoC) tickSDUs() {
 // halted program to let pending demands finish in tests).
 func (s *SoC) SettleSDU(n int) {
 	for _, cl := range s.Clusters {
-		for i := 0; i < n; i++ {
-			cl.L15.Tick()
+		if s.Cfg.Kernel == kernel.Ticked {
+			for i := 0; i < n; i++ {
+				cl.L15.Tick()
+			}
+		} else {
+			cl.L15.AdvanceTo(cl.L15.Ticks() + uint64(n))
 		}
 	}
 }
