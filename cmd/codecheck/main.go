@@ -1,27 +1,40 @@
 // Command codecheck runs the repository's custom static-analysis suite
 // (internal/lint) over the given package patterns and exits non-zero on
-// any unsuppressed finding. It is the blocking CI gate that keeps the
-// simulator's hand-written invariants — determinism (syntactic and
-// interprocedural), exhaustive FSM switches, lock discipline, way-bitmap
+// any unsuppressed, unbaselined finding. It is the blocking CI gate that
+// keeps the simulator's hand-written invariants — determinism (syntactic
+// and interprocedural), the kernel's zero-alloc hot path and wakeup
+// protocol, exhaustive FSM switches, lock discipline, way-bitmap
 // hygiene, metrics atomicity, error handling — machine-checked:
 //
 //	go run ./cmd/codecheck ./...
 //	go run ./cmd/codecheck -analyzers detmap,bitmask ./internal/...
 //	go run ./cmd/codecheck -json ./... > codecheck.json
+//	go run ./cmd/codecheck -sarif codecheck.sarif ./...
+//	go run ./cmd/codecheck -baseline lint.baseline.json ./...
+//	go run ./cmd/codecheck -baseline lint.baseline.json -update-baseline ./...
 //	go run ./cmd/codecheck -ignores ./...
 //
-// All packages load together so the interprocedural analyzers (puritycheck)
-// see cross-package call chains. Text output prints unsuppressed findings
-// one per line as file:line:col: analyzer: message; -json emits every
-// finding — suppressed ones included, marked with their justification — as
-// a JSON array with the stable schema in internal/lint.DiagnosticJSON.
-// -ignores lists every //lint:ignore directive with its file, analyzers and
-// justification, the audit trail of what the suppressions hide.
+// All packages load together so the interprocedural analyzers
+// (puritycheck, hotalloc, wakeupsafe) see cross-package call chains.
+// Text output prints unsuppressed findings one per line as
+// file:line:col: analyzer: message; -json emits every finding —
+// suppressed and baselined ones included, marked as such — as a JSON
+// array with the stable schema in internal/lint.DiagnosticJSON. -sarif
+// additionally writes the same findings as a SARIF 2.1.0 log to the
+// given path (use - for stdout), the format GitHub code scanning
+// ingests. -ignores lists every //lint:ignore directive with its file,
+// analyzers and justification, the audit trail of what the suppressions
+// hide.
 //
 // A finding is suppressed by a `//lint:ignore <analyzer> <justification>`
 // comment on the flagged line or the line above it; the justification is
-// mandatory and an ignore without one is itself reported. The exit code is
-// 1 only when unsuppressed findings remain, 2 on usage or load errors.
+// mandatory and an ignore without one is itself reported. -baseline
+// points at a committed accepted-debt file (see internal/lint/baseline.go
+// for the line-independent key scheme): findings it covers are reported
+// in machine output but do not block. -update-baseline rewrites that
+// file from the current findings and exits 0 — the one-command flow for
+// accepting new debt deliberately. The exit code is 1 only when
+// unsuppressed, unbaselined findings remain, 2 on usage or load errors.
 package main
 
 import (
@@ -37,6 +50,9 @@ func main() {
 	names := flag.String("analyzers", "", "comma-separated subset of analyzers to run (default: all)")
 	list := flag.Bool("list", false, "list the available analyzers and exit")
 	asJSON := flag.Bool("json", false, "emit every finding (suppressed included) as JSON on stdout")
+	sarifPath := flag.String("sarif", "", "also write findings as a SARIF 2.1.0 log to this path (- for stdout)")
+	baselinePath := flag.String("baseline", "", "committed accepted-debt file; findings it covers do not block")
+	updateBaseline := flag.Bool("update-baseline", false, "rewrite the -baseline file from the current findings and exit 0")
 	ignores := flag.Bool("ignores", false, "list every //lint:ignore directive instead of running analyzers")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: codecheck [flags] [packages]\n\n")
@@ -49,6 +65,9 @@ func main() {
 			fmt.Printf("%-13s %s\n", a.Name, a.Doc)
 		}
 		return
+	}
+	if *updateBaseline && *baselinePath == "" {
+		fatal(fmt.Errorf("-update-baseline requires -baseline <path>"))
 	}
 
 	analyzers, err := lint.ByName(*names)
@@ -93,25 +112,76 @@ func main() {
 		fatal(err)
 	}
 
-	findings := 0
+	if *updateBaseline {
+		data, err := lint.NewBaseline(diags, cwd).Marshal()
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*baselinePath, data, 0o644); err != nil {
+			fatal(err)
+		}
+		kept := 0
+		for _, d := range diags {
+			if !d.Suppressed {
+				kept++
+			}
+		}
+		fmt.Fprintf(os.Stderr, "codecheck: baseline %s rewritten with %d accepted finding(s)\n", *baselinePath, kept)
+		return
+	}
+	if *baselinePath != "" {
+		data, err := os.ReadFile(*baselinePath)
+		if err != nil {
+			fatal(err)
+		}
+		b, err := lint.ParseBaseline(data)
+		if err != nil {
+			fatal(err)
+		}
+		b.Apply(diags, cwd)
+	}
+
+	blocking := 0
+	baselined := 0
 	for _, d := range diags {
-		if !d.Suppressed {
-			findings++
+		switch {
+		case d.Suppressed:
+		case d.Baselined:
+			baselined++
+		default:
+			blocking++
 		}
 	}
 	if *asJSON {
 		emitJSON(lint.ToJSON(diags, cwd))
 	} else {
 		for _, d := range diags {
-			if d.Suppressed {
+			if d.Suppressed || d.Baselined {
 				continue
 			}
 			d.Pos.Filename = lint.RelPath(cwd, d.Pos.Filename)
 			fmt.Println(d)
 		}
 	}
-	if findings > 0 {
-		fmt.Fprintf(os.Stderr, "codecheck: %d finding(s) across %d package(s)\n", findings, len(pkgs))
+	if *sarifPath != "" {
+		data, err := lint.ToSARIF(diags, analyzers, cwd)
+		if err != nil {
+			fatal(err)
+		}
+		data = append(data, '\n')
+		if *sarifPath == "-" {
+			if _, err := os.Stdout.Write(data); err != nil {
+				fatal(err)
+			}
+		} else if err := os.WriteFile(*sarifPath, data, 0o644); err != nil {
+			fatal(err)
+		}
+	}
+	if baselined > 0 {
+		fmt.Fprintf(os.Stderr, "codecheck: %d baselined finding(s) tolerated\n", baselined)
+	}
+	if blocking > 0 {
+		fmt.Fprintf(os.Stderr, "codecheck: %d finding(s) across %d package(s)\n", blocking, len(pkgs))
 		os.Exit(1)
 	}
 }

@@ -244,7 +244,7 @@ func (c *Core) executeDecoded(inst isa.Inst, pc uint32) (Trap, error) {
 		c.setReg(inst.Rd, v)
 		c.lastLoadRd = inst.Rd
 	case inst.Op.IsStore():
-		size := map[isa.Op]int{isa.OpSB: 1, isa.OpSH: 2, isa.OpSW: 4}[inst.Op]
+		size := storeSize[inst.Op]
 		lat, err := c.mem.Store(c.ID, rs1+uint32(inst.Imm), size, rs2)
 		if err != nil {
 			c.Halted = true
@@ -349,11 +349,18 @@ func (c *Core) branchTaken(inst isa.Inst, rs1, rs2 uint32) bool {
 	}
 }
 
+// Access widths per memory op, hoisted to package level: building a map
+// literal per executed load/store is a heap allocation on the step path.
+var (
+	storeSize = map[isa.Op]int{isa.OpSB: 1, isa.OpSH: 2, isa.OpSW: 4}
+	loadSize  = map[isa.Op]int{
+		isa.OpLB: 1, isa.OpLBU: 1, isa.OpLH: 2, isa.OpLHU: 2, isa.OpLW: 4,
+	}
+)
+
 func (c *Core) loadValue(inst isa.Inst, rs1 uint32) (uint32, int, error) {
 	va := rs1 + uint32(inst.Imm)
-	size := map[isa.Op]int{
-		isa.OpLB: 1, isa.OpLBU: 1, isa.OpLH: 2, isa.OpLHU: 2, isa.OpLW: 4,
-	}[inst.Op]
+	size := loadSize[inst.Op]
 	v, lat, err := c.mem.Load(c.ID, va, size)
 	if err != nil {
 		return 0, 0, err

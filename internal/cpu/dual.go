@@ -114,48 +114,52 @@ func (c *Core) StepDual() (Trap, error) {
 	c.Stats.DualIssued++
 
 	var memLat int
-	exec := func(inst isa.Inst, at uint32) (Trap, bool) {
-		rs1 := c.Regs[inst.Rs1]
-		rs2 := c.Regs[inst.Rs2]
-		switch {
-		case inst.Op == isa.OpLUI:
-			c.setReg(inst.Rd, uint32(inst.Imm)<<12)
-		case inst.Op == isa.OpAUIPC:
-			c.setReg(inst.Rd, at+uint32(inst.Imm)<<12)
-		case inst.Op.IsLoad():
-			v, lat, err := c.loadValue(inst, rs1)
-			if err != nil {
-				c.Halted = true
-				return Trap{Kind: TrapMemFault, PC: at, Info: err.Error()}, false
-			}
-			if lat > memLat {
-				memLat = lat
-			}
-			c.setReg(inst.Rd, v)
-			c.lastLoadRd = inst.Rd
-		case inst.Op.IsStore():
-			size := map[isa.Op]int{isa.OpSB: 1, isa.OpSH: 2, isa.OpSW: 4}[inst.Op]
-			lat, err := c.mem.Store(c.ID, rs1+uint32(inst.Imm), size, rs2)
-			if err != nil {
-				c.Halted = true
-				return Trap{Kind: TrapMemFault, PC: at, Info: err.Error()}, false
-			}
-			if lat > memLat {
-				memLat = lat
-			}
-		default:
-			c.execALU(inst, rs1, rs2)
-		}
-		return Trap{}, true
-	}
-
-	if trap, ok := exec(instA, pc); !ok {
+	if trap, ok := c.execInGroup(instA, pc, &memLat); !ok {
 		return trap, nil
 	}
-	if trap, ok := exec(instB, pc+4); !ok {
+	if trap, ok := c.execInGroup(instB, pc+4, &memLat); !ok {
 		return trap, nil
 	}
 	c.chargeMem(memLat)
 	c.PC = pc + 8
 	return Trap{}, nil
+}
+
+// execInGroup executes one half of a dual-issued group. memLat accumulates
+// the slower memory latency across the pair (the group retires together,
+// so the two accesses overlap and only the maximum is charged). A method
+// rather than a closure: StepDual runs per instruction pair, and a
+// capturing closure there is a heap allocation on the step path.
+func (c *Core) execInGroup(inst isa.Inst, at uint32, memLat *int) (Trap, bool) {
+	rs1 := c.Regs[inst.Rs1]
+	rs2 := c.Regs[inst.Rs2]
+	switch {
+	case inst.Op == isa.OpLUI:
+		c.setReg(inst.Rd, uint32(inst.Imm)<<12)
+	case inst.Op == isa.OpAUIPC:
+		c.setReg(inst.Rd, at+uint32(inst.Imm)<<12)
+	case inst.Op.IsLoad():
+		v, lat, err := c.loadValue(inst, rs1)
+		if err != nil {
+			c.Halted = true
+			return Trap{Kind: TrapMemFault, PC: at, Info: err.Error()}, false
+		}
+		if lat > *memLat {
+			*memLat = lat
+		}
+		c.setReg(inst.Rd, v)
+		c.lastLoadRd = inst.Rd
+	case inst.Op.IsStore():
+		lat, err := c.mem.Store(c.ID, rs1+uint32(inst.Imm), storeSize[inst.Op], rs2)
+		if err != nil {
+			c.Halted = true
+			return Trap{Kind: TrapMemFault, PC: at, Info: err.Error()}, false
+		}
+		if lat > *memLat {
+			*memLat = lat
+		}
+	default:
+		c.execALU(inst, rs1, rs2)
+	}
+	return Trap{}, true
 }

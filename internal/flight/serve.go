@@ -2,6 +2,7 @@ package flight
 
 import (
 	"fmt"
+	"log"
 	"net"
 	"net/http"
 	"time"
@@ -67,7 +68,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
-	w.Write(append(data, '\n'))
+	if _, err := w.Write(append(data, '\n')); err != nil {
+		// The response is already committed; nothing to send the client
+		// but the truncation must not pass silently in the logs.
+		log.Printf("flight: metrics response write: %v", err)
+	}
 }
 
 // handleEvents streams flight events as SSE: one "event: flight" message

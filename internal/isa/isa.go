@@ -310,6 +310,21 @@ func checkImm(imm int32, bits, align int) error {
 	return nil
 }
 
+// funct-to-op decode tables, hoisted to package level: Decode runs once
+// per fetched instruction, and a map literal per call is a heap
+// allocation on the fetch hot path.
+var (
+	decBranch = map[uint32]Op{0: OpBEQ, 1: OpBNE, 4: OpBLT, 5: OpBGE, 6: OpBLTU, 7: OpBGEU}
+	decLoad   = map[uint32]Op{0: OpLB, 1: OpLH, 2: OpLW, 4: OpLBU, 5: OpLHU}
+	decStore  = map[uint32]Op{0: OpSB, 1: OpSH, 2: OpSW}
+	decALU    = map[uint32]Op{
+		0<<3 | 0: OpADD, 0x20<<3 | 0: OpSUB,
+		0<<3 | 1: OpSLL, 0<<3 | 2: OpSLT, 0<<3 | 3: OpSLTU,
+		0<<3 | 4: OpXOR, 0<<3 | 5: OpSRL, 0x20<<3 | 5: OpSRA,
+		0<<3 | 6: OpOR, 0<<3 | 7: OpAND,
+	}
+)
+
 // Decode interprets a 32-bit machine word.
 func Decode(w uint32) (Inst, error) {
 	opc := w & 0x7f
@@ -340,19 +355,19 @@ func Decode(w uint32) (Inst, error) {
 		return Inst{Op: OpJALR, Rd: rd, Rs1: rs1, Imm: iImm}, nil
 	case opcBranch:
 		imm := (w>>31&1)<<12 | (w>>7&1)<<11 | (w>>25&0x3f)<<5 | (w >> 8 & 0xf << 1)
-		op, ok := map[uint32]Op{0: OpBEQ, 1: OpBNE, 4: OpBLT, 5: OpBGE, 6: OpBLTU, 7: OpBGEU}[f3]
+		op, ok := decBranch[f3]
 		if !ok {
 			return Inst{}, fmt.Errorf("isa: bad branch funct3 %d", f3)
 		}
 		return Inst{Op: op, Rs1: rs1, Rs2: rs2, Imm: signExt(imm, 13)}, nil
 	case opcLoad:
-		op, ok := map[uint32]Op{0: OpLB, 1: OpLH, 2: OpLW, 4: OpLBU, 5: OpLHU}[f3]
+		op, ok := decLoad[f3]
 		if !ok {
 			return Inst{}, fmt.Errorf("isa: bad load funct3 %d", f3)
 		}
 		return Inst{Op: op, Rd: rd, Rs1: rs1, Imm: iImm}, nil
 	case opcStore:
-		op, ok := map[uint32]Op{0: OpSB, 1: OpSH, 2: OpSW}[f3]
+		op, ok := decStore[f3]
 		if !ok {
 			return Inst{}, fmt.Errorf("isa: bad store funct3 %d", f3)
 		}
@@ -381,13 +396,7 @@ func Decode(w uint32) (Inst, error) {
 			return Inst{Op: OpSRLI, Rd: rd, Rs1: rs1, Imm: int32(rs2)}, nil
 		}
 	case opcOp:
-		key := f7<<3 | f3
-		op, ok := map[uint32]Op{
-			0<<3 | 0: OpADD, 0x20<<3 | 0: OpSUB,
-			0<<3 | 1: OpSLL, 0<<3 | 2: OpSLT, 0<<3 | 3: OpSLTU,
-			0<<3 | 4: OpXOR, 0<<3 | 5: OpSRL, 0x20<<3 | 5: OpSRA,
-			0<<3 | 6: OpOR, 0<<3 | 7: OpAND,
-		}[key]
+		op, ok := decALU[f7<<3|f3]
 		if !ok {
 			return Inst{}, fmt.Errorf("isa: bad OP funct %#x/%d", f7, f3)
 		}

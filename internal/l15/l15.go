@@ -221,6 +221,7 @@ func (l *L15) Config() Config { return l.cfg }
 
 func (l *L15) checkCore(core int) error {
 	if core < 0 || core >= l.cfg.Cores {
+		//lint:ignore hotalloc invalid-core guard: the error is built only on a malformed request, which halts the core
 		return fmt.Errorf("l15: core %d outside cluster of %d", core, l.cfg.Cores)
 	}
 	return nil
@@ -248,6 +249,7 @@ func (l *L15) Demand(core, n int) error {
 		return err
 	}
 	if n < 0 || n > l.cfg.Ways {
+		//lint:ignore hotalloc invalid-demand guard: the error is built only on a malformed request, which halts the core
 		return fmt.Errorf("l15: demand of %d ways (ζ = %d)", n, l.cfg.Ways)
 	}
 	l.demand[core] = n
@@ -418,8 +420,11 @@ func (l *L15) observeConfigLatency(core int) {
 	if l.mSDULat != nil {
 		l.mSDULat.Observe(float64(l.satisfiedTick[core] - l.demandTick[core]))
 	}
-	l.tracer.Emit(l.ticks, l.traceName, "demand.satisfied",
-		map[string]any{"core": core, "ways": l.demand[core]})
+	if l.tracer != nil {
+		l.tracer.Emit(l.ticks, l.traceName, "demand.satisfied",
+			//lint:ignore hotalloc tracer payload, built only when instrumented; trace runs are diagnostic, not timing-measured
+			map[string]any{"core": core, "ways": l.demand[core]})
+	}
 }
 
 func (l *L15) assignWay(core, w int) {
@@ -427,7 +432,10 @@ func (l *L15) assignWay(core, w int) {
 	l.ow[core] = l.ow[core].Set(w)
 	l.masksDirty = true
 	l.Events = append(l.Events, ConfigEvent{Tick: l.ticks, Core: core, Way: w, Assigned: true})
-	l.tracer.Emit(l.ticks, l.traceName, "way.assign", map[string]any{"core": core, "way": w})
+	if l.tracer != nil {
+		//lint:ignore hotalloc tracer payload, built only when instrumented; trace runs are diagnostic, not timing-measured
+		l.tracer.Emit(l.ticks, l.traceName, "way.assign", map[string]any{"core": core, "way": w})
+	}
 	if l.frec != nil {
 		l.frec.Emit(flight.Event{Kind: flight.KindSDU,
 			Time: float64(l.ticks), Task: -1, Job: -1, Node: int32(w),
@@ -451,8 +459,11 @@ func (l *L15) revokeWay(core, w int) {
 	l.gv[core] = l.gv[core].Clear(w)
 	l.masksDirty = true
 	l.Events = append(l.Events, ConfigEvent{Tick: l.ticks, Core: core, Way: w, Assigned: false})
-	l.tracer.Emit(l.ticks, l.traceName, "way.revoke",
-		map[string]any{"core": core, "way": w, "dirty": dirty})
+	if l.tracer != nil {
+		l.tracer.Emit(l.ticks, l.traceName, "way.revoke",
+			//lint:ignore hotalloc tracer payload, built only when instrumented; trace runs are diagnostic, not timing-measured
+			map[string]any{"core": core, "way": w, "dirty": dirty})
+	}
 	if l.frec != nil {
 		l.frec.Emit(flight.Event{Kind: flight.KindSDU,
 			Time: float64(l.ticks), Task: -1, Job: -1, Node: int32(w),

@@ -1,0 +1,125 @@
+package lint
+
+// Accepted-debt baselining: a committed lint.baseline.json records the
+// findings the team has decided to live with, so codecheck can gate on
+// "no NEW findings" instead of "zero findings" — the only way to turn a
+// new analyzer on as a blocking check over a codebase that already has
+// history with it.
+//
+// Entries are keyed by (analyzer, file, message) with a count, not by
+// line: a baseline that pins line numbers rots on every unrelated edit
+// above the finding, and re-accepting the same debt after each refactor
+// teaches people to regenerate the file blindly. Message text is stable
+// (it names the functions and the hazard, not positions), so the
+// line-free key tolerates drift while still catching the thing that
+// matters — a second instance of an accepted finding, or a reworded
+// (i.e. changed) one. Counts make N accepted instances of an identical
+// message in one file distinguishable from N+1.
+//
+// Suppressed findings never enter the baseline: //lint:ignore already
+// carries an in-source justification, and double-booking them would let
+// a deleted directive go unnoticed.
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// baselineVersion is bumped only if the key scheme changes incompatibly.
+const baselineVersion = 1
+
+// BaselineEntry is one accepted finding class in the baseline file.
+type BaselineEntry struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Message  string `json:"message"`
+	Count    int    `json:"count"`
+}
+
+// Baseline is the committed accepted-debt file.
+type Baseline struct {
+	Version  int             `json:"version"`
+	Findings []BaselineEntry `json:"findings"`
+}
+
+type baselineKey struct {
+	analyzer, file, message string
+}
+
+// NewBaseline aggregates the non-suppressed diagnostics into a baseline,
+// deterministically sorted. base relativises paths the same way -json
+// output does, so the file is stable across checkouts.
+func NewBaseline(diags []Diagnostic, base string) *Baseline {
+	counts := map[baselineKey]int{}
+	for _, d := range diags {
+		if d.Suppressed {
+			continue
+		}
+		counts[baselineKey{d.Analyzer, relTo(base, d.Pos.Filename), d.Message}]++
+	}
+	b := &Baseline{Version: baselineVersion}
+	for k, n := range counts {
+		b.Findings = append(b.Findings, BaselineEntry{
+			Analyzer: k.analyzer, File: k.file, Message: k.message, Count: n,
+		})
+	}
+	sort.Slice(b.Findings, func(i, j int) bool {
+		x, y := b.Findings[i], b.Findings[j]
+		if x.Analyzer != y.Analyzer {
+			return x.Analyzer < y.Analyzer
+		}
+		if x.File != y.File {
+			return x.File < y.File
+		}
+		return x.Message < y.Message
+	})
+	return b
+}
+
+// Marshal renders the baseline as indented JSON with a trailing newline,
+// ready to commit.
+func (b *Baseline) Marshal() ([]byte, error) {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// ParseBaseline decodes a baseline file, rejecting unknown versions.
+func ParseBaseline(data []byte) (*Baseline, error) {
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("parsing baseline: %w", err)
+	}
+	if b.Version != baselineVersion {
+		return nil, fmt.Errorf("baseline version %d not supported (want %d); regenerate with -update-baseline", b.Version, baselineVersion)
+	}
+	return &b, nil
+}
+
+// Apply marks diagnostics covered by the baseline (Baselined = true),
+// consuming at most Count instances per entry: the N+1th identical
+// finding stays new. Suppressed findings are never consumed against the
+// baseline. Returns the number of findings marked.
+func (b *Baseline) Apply(diags []Diagnostic, base string) int {
+	remaining := map[baselineKey]int{}
+	for _, e := range b.Findings {
+		remaining[baselineKey{e.Analyzer, e.File, e.Message}] += e.Count
+	}
+	marked := 0
+	for i := range diags {
+		d := &diags[i]
+		if d.Suppressed {
+			continue
+		}
+		k := baselineKey{d.Analyzer, relTo(base, d.Pos.Filename), d.Message}
+		if remaining[k] > 0 {
+			remaining[k]--
+			d.Baselined = true
+			marked++
+		}
+	}
+	return marked
+}

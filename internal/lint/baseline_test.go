@@ -1,0 +1,115 @@
+package lint
+
+// Tests for the accepted-debt baseline: the line-independent key, the
+// per-entry count budget, the suppression interaction, and the
+// marshal/parse round trip codecheck relies on.
+
+import (
+	"go/token"
+	"testing"
+)
+
+func baselineDiag(analyzer, file string, line int, msg string) Diagnostic {
+	return Diagnostic{
+		Pos:      token.Position{Filename: file, Line: line, Column: 1},
+		Analyzer: analyzer,
+		Message:  msg,
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	diags := []Diagnostic{
+		baselineDiag("hotalloc", "/work/a.go", 10, "alloc in Tick"),
+		baselineDiag("hotalloc", "/work/a.go", 30, "alloc in Tick"), // same key, second instance
+		baselineDiag("wakeupsafe", "/work/b.go", 5, "impure probe"),
+	}
+	sup := baselineDiag("errdrop", "/work/c.go", 1, "dropped error")
+	sup.Suppressed = true
+	diags = append(diags, sup)
+
+	b := NewBaseline(diags, "/work")
+	if len(b.Findings) != 2 {
+		t.Fatalf("baseline has %d entries, want 2 (duplicates collapse, suppressed excluded)", len(b.Findings))
+	}
+	if e := b.Findings[0]; e.Analyzer != "hotalloc" || e.File != "a.go" || e.Count != 2 {
+		t.Errorf("first entry = %+v, want hotalloc/a.go count 2", e)
+	}
+
+	data, err := b.Marshal()
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	parsed, err := ParseBaseline(data)
+	if err != nil {
+		t.Fatalf("ParseBaseline: %v", err)
+	}
+	if len(parsed.Findings) != 2 || parsed.Findings[0].Count != 2 {
+		t.Fatalf("round trip lost entries: %+v", parsed.Findings)
+	}
+}
+
+func TestBaselineApplyIsLineIndependent(t *testing.T) {
+	old := []Diagnostic{baselineDiag("hotalloc", "/work/a.go", 10, "alloc in Tick")}
+	b := NewBaseline(old, "/work")
+
+	// Same finding, shifted 90 lines by an unrelated edit: still covered.
+	moved := []Diagnostic{baselineDiag("hotalloc", "/work/a.go", 100, "alloc in Tick")}
+	if n := b.Apply(moved, "/work"); n != 1 || !moved[0].Baselined {
+		t.Errorf("moved finding not baselined (marked %d)", n)
+	}
+}
+
+func TestBaselineApplyCountBudget(t *testing.T) {
+	old := []Diagnostic{baselineDiag("hotalloc", "/work/a.go", 10, "alloc in Tick")}
+	b := NewBaseline(old, "/work")
+
+	// A second instance of the accepted finding appears: only one is
+	// covered, the new one blocks.
+	now := []Diagnostic{
+		baselineDiag("hotalloc", "/work/a.go", 10, "alloc in Tick"),
+		baselineDiag("hotalloc", "/work/a.go", 50, "alloc in Tick"),
+	}
+	if n := b.Apply(now, "/work"); n != 1 {
+		t.Fatalf("marked %d findings, want 1 (count budget exceeded)", n)
+	}
+	if !now[0].Baselined || now[1].Baselined {
+		t.Errorf("budget consumed out of order: %v %v", now[0].Baselined, now[1].Baselined)
+	}
+}
+
+func TestBaselineDoesNotCoverSuppressed(t *testing.T) {
+	old := []Diagnostic{baselineDiag("hotalloc", "/work/a.go", 10, "alloc in Tick")}
+	b := NewBaseline(old, "/work")
+
+	sup := baselineDiag("hotalloc", "/work/a.go", 10, "alloc in Tick")
+	sup.Suppressed = true
+	fresh := baselineDiag("hotalloc", "/work/a.go", 20, "alloc in Tick")
+	diags := []Diagnostic{sup, fresh}
+	if n := b.Apply(diags, "/work"); n != 1 {
+		t.Fatalf("marked %d, want 1", n)
+	}
+	if diags[0].Baselined {
+		t.Error("suppressed finding consumed a baseline slot")
+	}
+	if !diags[1].Baselined {
+		t.Error("unsuppressed finding should take the slot")
+	}
+}
+
+func TestBaselineRejectsUnknownVersion(t *testing.T) {
+	if _, err := ParseBaseline([]byte(`{"version": 99, "findings": []}`)); err == nil {
+		t.Fatal("version 99 accepted")
+	}
+	if _, err := ParseBaseline([]byte(`not json`)); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestBaselineMessageChangeIsNew(t *testing.T) {
+	old := []Diagnostic{baselineDiag("hotalloc", "/work/a.go", 10, "alloc in Tick")}
+	b := NewBaseline(old, "/work")
+	reworded := []Diagnostic{baselineDiag("hotalloc", "/work/a.go", 10, "alloc in Step")}
+	if n := b.Apply(reworded, "/work"); n != 0 || reworded[0].Baselined {
+		t.Error("reworded finding must not match the baseline")
+	}
+}

@@ -1,0 +1,424 @@
+package lint
+
+// The dataflow layer's foundation: a per-function control-flow graph built
+// directly over go/ast, the stdlib-only stand-in for
+// golang.org/x/tools/go/cfg (unavailable offline, like the rest of the
+// analysis API this package mirrors). Each function body becomes basic
+// blocks of statements in evaluation order, with edges for branches,
+// loops (including labeled break/continue and goto), switch/type-switch
+// dispatch with fallthrough, select, and the short-circuit operators —
+// `a && b` evaluates its operands in separate blocks, so a definition
+// inside `b` is correctly seen as conditional.
+//
+// Two deliberate simplifications, both conservative for the analyses
+// built on top (reaching definitions, the hotalloc/wakeupsafe passes):
+//
+//   - switch case dispatch is modelled as the tag block branching to
+//     every case at once rather than testing clauses sequentially; this
+//     only adds edges, never hides one;
+//   - deferred calls are recorded in Defers and replayed into the Exit
+//     block (they run at function exit); a defer registered inside a loop
+//     appears once in Defers although it may run many times — traversals
+//     that care count registrations, not executions.
+//
+// Panics and runtime aborts are not modelled: every block that can
+// complete falls through to its syntactic successor.
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Block is one basic block: nodes executed in order (statements, plus
+// bare condition expressions for decomposed short-circuit operands),
+// then a branch to one of Succs.
+type Block struct {
+	Index int
+	Kind  string // "entry", "exit", "body", "if.then", "for.head", ... for debugging
+	Nodes []ast.Node
+	Succs []*Block
+	Preds []*Block
+	Live  bool // reachable from Entry
+}
+
+// CFG is the control-flow graph of one function body.
+type CFG struct {
+	Entry  *Block
+	Exit   *Block
+	Blocks []*Block
+	// Defers lists every defer statement in source order. Their call
+	// expressions are also appended to Exit's nodes, where they execute.
+	Defers []*ast.DeferStmt
+}
+
+// builder carries the construction state.
+type cfgBuilder struct {
+	cfg    *CFG
+	cur    *Block
+	labels map[string]*labelFrame
+	gotos  []pendingGoto
+	// frames is the stack of enclosing breakable/continuable constructs.
+	frames []*ctrlFrame
+}
+
+// ctrlFrame is one enclosing loop/switch/select: where break and continue
+// jump, and the label naming it (if any).
+type ctrlFrame struct {
+	label      string
+	breakTo    *Block
+	continueTo *Block // nil for switch/select (continue skips them)
+	// nextCase, set while building a switch clause, is where fallthrough
+	// jumps.
+	nextCase *Block
+}
+
+type labelFrame struct {
+	target *Block // goto target
+}
+
+type pendingGoto struct {
+	from  *Block
+	label string
+}
+
+// NewCFG builds the graph for body. A nil body (declaration without a
+// body) yields a two-block graph with no statements.
+func NewCFG(body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{
+		cfg:    &CFG{},
+		labels: map[string]*labelFrame{},
+	}
+	b.cfg.Entry = b.newBlock("entry")
+	b.cfg.Exit = b.newBlock("exit")
+	b.cur = b.cfg.Entry
+	if body != nil {
+		b.stmtList(body.List)
+	}
+	if b.cur != nil {
+		b.edge(b.cur, b.cfg.Exit)
+	}
+	for _, g := range b.gotos {
+		if lf, ok := b.labels[g.label]; ok && lf.target != nil {
+			b.edge(g.from, lf.target)
+		}
+	}
+	// Deferred calls run at exit, in reverse registration order; reverse
+	// order does not matter for the flow-insensitive consumers, so they
+	// are appended in source order.
+	for _, d := range b.cfg.Defers {
+		b.cfg.Exit.Nodes = append(b.cfg.Exit.Nodes, d.Call)
+	}
+	b.markLive()
+	return b.cfg
+}
+
+func (b *cfgBuilder) newBlock(kind string) *Block {
+	blk := &Block{Index: len(b.cfg.Blocks), Kind: kind}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) edge(from, to *Block) {
+	if from == nil || to == nil {
+		return
+	}
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+// startDead begins an unreachable block (after return/break/goto), so
+// syntactically-dead statements still land in the graph, marked !Live.
+func (b *cfgBuilder) startDead() {
+	b.cur = b.newBlock("dead")
+}
+
+func (b *cfgBuilder) add(n ast.Node) {
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s, "")
+	}
+}
+
+// frameFor finds the innermost frame, or the one carrying label.
+func (b *cfgBuilder) frameFor(label string, needContinue bool) *ctrlFrame {
+	for i := len(b.frames) - 1; i >= 0; i-- {
+		f := b.frames[i]
+		if needContinue && f.continueTo == nil {
+			continue
+		}
+		if label == "" || f.label == label {
+			return f
+		}
+	}
+	return nil
+}
+
+// stmt wires one statement. label is the pending label when the statement
+// is the body of a LabeledStmt (so `L: for ...` registers L on the loop's
+// frame).
+func (b *cfgBuilder) stmt(s ast.Stmt, label string) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.LabeledStmt:
+		target := b.newBlock("label." + s.Label.Name)
+		b.edge(b.cur, target)
+		b.cur = target
+		b.labels[s.Label.Name] = &labelFrame{target: target}
+		b.stmt(s.Stmt, s.Label.Name)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		then := b.newBlock("if.then")
+		done := b.newBlock("if.done")
+		els := done
+		if s.Else != nil {
+			els = b.newBlock("if.else")
+		}
+		b.cond(s.Cond, then, els)
+		b.cur = then
+		b.stmtList(s.Body.List)
+		b.edge(b.cur, done)
+		if s.Else != nil {
+			b.cur = els
+			b.stmt(s.Else, "")
+			b.edge(b.cur, done)
+		}
+		b.cur = done
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		head := b.newBlock("for.head")
+		body := b.newBlock("for.body")
+		done := b.newBlock("for.done")
+		post := head
+		if s.Post != nil {
+			post = b.newBlock("for.post")
+			b.cur2(post).add(s.Post)
+			b.edge(post, head)
+		}
+		b.edge(b.cur, head)
+		b.cur = head
+		if s.Cond != nil {
+			b.cond(s.Cond, body, done)
+		} else {
+			b.edge(head, body)
+		}
+		b.frames = append(b.frames, &ctrlFrame{label: label, breakTo: done, continueTo: post})
+		b.cur = body
+		b.stmtList(s.Body.List)
+		b.edge(b.cur, post)
+		b.frames = b.frames[:len(b.frames)-1]
+		b.cur = done
+
+	case *ast.RangeStmt:
+		head := b.newBlock("range.head")
+		body := b.newBlock("range.body")
+		done := b.newBlock("range.done")
+		b.edge(b.cur, head)
+		head.Nodes = append(head.Nodes, s) // the iteration (and Key/Value defs) lives here
+		b.edge(head, body)
+		b.edge(head, done)
+		b.frames = append(b.frames, &ctrlFrame{label: label, breakTo: done, continueTo: head})
+		b.cur = body
+		b.stmtList(s.Body.List)
+		b.edge(b.cur, head)
+		b.frames = b.frames[:len(b.frames)-1]
+		b.cur = done
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		if s.Tag != nil {
+			b.add(s.Tag)
+		}
+		b.caseClauses(s.Body.List, label, false)
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Assign)
+		b.caseClauses(s.Body.List, label, false)
+
+	case *ast.SelectStmt:
+		b.caseClauses(s.Body.List, label, true)
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.edge(b.cur, b.cfg.Exit)
+		b.startDead()
+
+	case *ast.BranchStmt:
+		lbl := ""
+		if s.Label != nil {
+			lbl = s.Label.Name
+		}
+		switch s.Tok {
+		case token.BREAK:
+			if f := b.frameFor(lbl, false); f != nil {
+				b.edge(b.cur, f.breakTo)
+			}
+			b.startDead()
+		case token.CONTINUE:
+			if f := b.frameFor(lbl, true); f != nil {
+				b.edge(b.cur, f.continueTo)
+			}
+			b.startDead()
+		case token.GOTO:
+			b.gotos = append(b.gotos, pendingGoto{from: b.cur, label: lbl})
+			b.startDead()
+		case token.FALLTHROUGH:
+			if f := b.frameFor("", false); f != nil && f.nextCase != nil {
+				b.edge(b.cur, f.nextCase)
+			}
+			b.startDead()
+		}
+
+	case *ast.DeferStmt:
+		b.cfg.Defers = append(b.cfg.Defers, s)
+		b.add(s)
+
+	default:
+		// Assignments, declarations, expression statements, go, send,
+		// inc/dec, empty: straight-line nodes.
+		b.add(s)
+	}
+}
+
+// cur2 temporarily redirects add() to blk; used for for-post statements.
+type blockAdder struct{ blk *Block }
+
+func (b *cfgBuilder) cur2(blk *Block) blockAdder { return blockAdder{blk} }
+func (a blockAdder) add(n ast.Node)              { a.blk.Nodes = append(a.blk.Nodes, n) }
+
+// caseClauses wires a switch/type-switch/select body: the current block
+// branches to every clause (sequential tag tests are over-approximated as
+// one fan-out), each clause falls out to done, fallthrough jumps to the
+// next clause's body.
+func (b *cfgBuilder) caseClauses(clauses []ast.Stmt, label string, isSelect bool) {
+	done := b.newBlock("switch.done")
+	dispatch := b.cur
+	blocks := make([]*Block, len(clauses))
+	hasDefault := false
+	for i, c := range clauses {
+		kind := "case"
+		if isSelect {
+			kind = "select.case"
+		}
+		blocks[i] = b.newBlock(kind)
+		b.edge(dispatch, blocks[i])
+		switch cc := c.(type) {
+		case *ast.CaseClause:
+			if cc.List == nil {
+				hasDefault = true
+			}
+		case *ast.CommClause:
+			if cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+	}
+	// With no default, the tag may match nothing (or the select parks
+	// until a case is ready — same join).
+	if !hasDefault || len(clauses) == 0 {
+		b.edge(dispatch, done)
+	}
+	frame := &ctrlFrame{label: label, breakTo: done}
+	b.frames = append(b.frames, frame)
+	for i, c := range clauses {
+		if i+1 < len(blocks) {
+			frame.nextCase = blocks[i+1]
+		} else {
+			frame.nextCase = nil
+		}
+		b.cur = blocks[i]
+		switch cc := c.(type) {
+		case *ast.CaseClause:
+			b.stmtList(cc.Body)
+		case *ast.CommClause:
+			if cc.Comm != nil {
+				b.stmt(cc.Comm, "")
+			}
+			b.stmtList(cc.Body)
+		}
+		b.edge(b.cur, done)
+	}
+	b.frames = b.frames[:len(b.frames)-1]
+	b.cur = done
+}
+
+// cond wires the evaluation of a boolean expression with true/false
+// targets, splitting short-circuit operators so each operand evaluates in
+// its own block.
+func (b *cfgBuilder) cond(expr ast.Expr, t, f *Block) {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.BinaryExpr:
+		switch e.Op {
+		case token.LAND:
+			mid := b.newBlock("cond.and")
+			b.cond(e.X, mid, f)
+			b.cur = mid
+			b.cond(e.Y, t, f)
+			return
+		case token.LOR:
+			mid := b.newBlock("cond.or")
+			b.cond(e.X, t, mid)
+			b.cur = mid
+			b.cond(e.Y, t, f)
+			return
+		}
+	case *ast.UnaryExpr:
+		if e.Op == token.NOT {
+			b.cond(e.X, f, t)
+			return
+		}
+	}
+	b.add(expr)
+	b.edge(b.cur, t)
+	b.edge(b.cur, f)
+}
+
+// markLive computes reachability from Entry.
+func (b *cfgBuilder) markLive() {
+	var visit func(*Block)
+	visit = func(blk *Block) {
+		if blk.Live {
+			return
+		}
+		blk.Live = true
+		for _, s := range blk.Succs {
+			visit(s)
+		}
+	}
+	visit(b.cfg.Entry)
+}
+
+// ContainingBlock returns the block holding the node whose source span
+// covers pos, preferring live blocks (a position can only be in one
+// statement, but dead blocks replay defers into Exit).
+func (c *CFG) ContainingBlock(pos token.Pos) *Block {
+	var dead *Block
+	for _, blk := range c.Blocks {
+		for _, n := range blk.Nodes {
+			if n.Pos() <= pos && pos <= n.End() {
+				if blk.Live {
+					return blk
+				}
+				if dead == nil {
+					dead = blk
+				}
+			}
+		}
+	}
+	return dead
+}

@@ -1,0 +1,340 @@
+package lint
+
+// Tests for the CFG/dataflow layer, pinning exactly the shapes the
+// analyzers lean on: dead code after return, labeled break/continue,
+// defer-in-loop, switch fallthrough, select dispatch, short-circuit
+// operand splitting and reaching-definitions joins.
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// buildTestCFG parses and type-checks src (one file, no imports), builds
+// the CFG of the named function and returns the pieces tests poke at.
+func buildTestCFG(t *testing.T, src, fn string) (*CFG, *ast.FuncDecl, *types.Info) {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "cfg_test_src.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := newInfo()
+	conf := types.Config{}
+	if _, err := conf.Check("cfgtest", fset, []*ast.File{file}, info); err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == fn {
+			return NewCFG(fd.Body), fd, info
+		}
+	}
+	t.Fatalf("function %s not found", fn)
+	return nil, nil, nil
+}
+
+// findIdent locates the identifier spelled name at its nth occurrence
+// (0-based) inside fd.
+func findIdent(t *testing.T, fd *ast.FuncDecl, name string, nth int) *ast.Ident {
+	t.Helper()
+	var found *ast.Ident
+	seen := 0
+	ast.Inspect(fd, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && id.Name == name {
+			if seen == nth {
+				found = id
+				return false
+			}
+			seen++
+		}
+		return true
+	})
+	if found == nil {
+		t.Fatalf("ident %s (occurrence %d) not found", name, nth)
+	}
+	return found
+}
+
+// findCall locates the call whose callee identifier is name.
+func findCall(t *testing.T, fd *ast.FuncDecl, name string) *ast.CallExpr {
+	t.Helper()
+	var found *ast.CallExpr
+	ast.Inspect(fd, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := call.Fun.(*ast.Ident); ok && id.Name == name {
+			found = call
+			return false
+		}
+		return true
+	})
+	if found == nil {
+		t.Fatalf("call %s(...) not found", name)
+	}
+	return found
+}
+
+func TestCFGDeadCodeAfterReturn(t *testing.T) {
+	cfg, fd, _ := buildTestCFG(t, `package p
+func mark() {}
+func f() int {
+	x := 1
+	return x
+	mark()
+	return 0
+}`, "f")
+	call := findCall(t, fd, "mark")
+	blk := cfg.ContainingBlock(call.Pos())
+	if blk == nil {
+		t.Fatal("dead statement not placed in any block")
+	}
+	if blk.Live {
+		t.Error("statement after return marked live")
+	}
+	if !cfg.Exit.Live {
+		t.Error("exit unreachable")
+	}
+}
+
+func TestCFGLabeledBreakContinue(t *testing.T) {
+	cfg, fd, info := buildTestCFG(t, `package p
+func dead() {}
+func f() int {
+	x := 0
+outer:
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if j == 1 {
+				x = 1
+				continue outer
+			}
+			if j == 2 {
+				x = 2
+				break outer
+			}
+			dead()
+		}
+	}
+	return x
+}`, "f")
+	// Both labeled jumps terminate their blocks; the return joins the
+	// zero def, the continue-outer def and the break-outer def.
+	rd := cfg.ReachingDefs(info, fd)
+	// Occurrences of "x": decl x:=0 (0), x=1 (1), x=2 (2), return x (3).
+	ret := findIdent(t, fd, "x", 3)
+	defs := rd.DefsReaching(ret)
+	if len(defs) != 3 {
+		t.Fatalf("return x sees %d defs, want 3 (x:=0, x=1 via continue outer, x=2 via break outer)", len(defs))
+	}
+	// dead() is reachable (runs when j is 0), so the labeled jumps must
+	// not have severed the straight-line path.
+	if blk := cfg.ContainingBlock(findCall(t, fd, "dead").Pos()); blk == nil || !blk.Live {
+		t.Error("statement between labeled jumps should be live")
+	}
+}
+
+func TestCFGUnlabeledContinueTargetsInnerLoop(t *testing.T) {
+	cfg, fd, info := buildTestCFG(t, `package p
+func f() int {
+	x := 0
+	for i := 0; i < 2; i++ {
+		if i == 0 {
+			x = 1
+			continue
+		}
+		x = 2
+	}
+	return x
+}`, "f")
+	rd := cfg.ReachingDefs(info, fd)
+	ret := findIdent(t, fd, "x", 3)
+	defs := rd.DefsReaching(ret)
+	if len(defs) != 3 {
+		t.Fatalf("return x sees %d defs, want 3", len(defs))
+	}
+}
+
+func TestCFGDeferInLoop(t *testing.T) {
+	cfg, fd, _ := buildTestCFG(t, `package p
+func cleanup(i int) {}
+func f() {
+	for i := 0; i < 3; i++ {
+		defer cleanup(i)
+	}
+}`, "f")
+	if len(cfg.Defers) != 1 {
+		t.Fatalf("got %d defer registrations, want 1", len(cfg.Defers))
+	}
+	// The deferred call executes at exit: the exit block replays it.
+	found := false
+	for _, n := range cfg.Exit.Nodes {
+		if n == cfg.Defers[0].Call {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("deferred call not replayed into the exit block")
+	}
+	_ = fd
+}
+
+func TestCFGSwitchFallthrough(t *testing.T) {
+	cfg, fd, info := buildTestCFG(t, `package p
+func f(k int) int {
+	x := 0
+	switch k {
+	case 0:
+		x = 1
+		fallthrough
+	case 1:
+		return x
+	}
+	return x
+}`, "f")
+	rd := cfg.ReachingDefs(info, fd)
+	// The x in `return x` inside case 1 must see both the initial def
+	// (dispatch straight to case 1) and x = 1 (fallthrough from case 0).
+	ret := findIdent(t, fd, "x", 2)
+	defs := rd.DefsReaching(ret)
+	if len(defs) != 2 {
+		t.Fatalf("case-1 return sees %d defs, want 2 (x:=0 via dispatch, x=1 via fallthrough)", len(defs))
+	}
+}
+
+func TestCFGSwitchNoDefaultFallsOut(t *testing.T) {
+	cfg, fd, info := buildTestCFG(t, `package p
+func f(k int) int {
+	x := 0
+	switch k {
+	case 0:
+		x = 1
+	}
+	return x
+}`, "f")
+	rd := cfg.ReachingDefs(info, fd)
+	ret := findIdent(t, fd, "x", 2)
+	defs := rd.DefsReaching(ret)
+	if len(defs) != 2 {
+		t.Fatalf("return sees %d defs, want 2 (no-match path keeps x:=0)", len(defs))
+	}
+}
+
+func TestCFGSelect(t *testing.T) {
+	cfg, fd, info := buildTestCFG(t, `package p
+func f(ch chan int) int {
+	x := 0
+	select {
+	case v := <-ch:
+		x = v
+	default:
+	}
+	return x
+}`, "f")
+	rd := cfg.ReachingDefs(info, fd)
+	ret := findIdent(t, fd, "x", 2)
+	defs := rd.DefsReaching(ret)
+	if len(defs) != 2 {
+		t.Fatalf("return sees %d defs, want 2 (received and default paths)", len(defs))
+	}
+	// Every clause block must be live.
+	for _, blk := range cfg.Blocks {
+		if blk.Kind == "select.case" && !blk.Live {
+			t.Error("select clause unreachable")
+		}
+	}
+}
+
+func TestCFGShortCircuitOperandsSplit(t *testing.T) {
+	cfg, fd, _ := buildTestCFG(t, `package p
+func a(x int) bool { return x > 0 }
+func b(x int) bool { return x < 10 }
+func f(x int) int {
+	if a(x) && b(x) {
+		return 1
+	}
+	return 0
+}`, "f")
+	ablk := cfg.ContainingBlock(findCall(t, fd, "a").Pos())
+	bblk := cfg.ContainingBlock(findCall(t, fd, "b").Pos())
+	if ablk == nil || bblk == nil {
+		t.Fatal("operand blocks not found")
+	}
+	if ablk == bblk {
+		t.Fatal("short-circuit operands share a block; && must split them")
+	}
+	// b's block is entered only from a's block (the true edge).
+	foundPred := false
+	for _, p := range bblk.Preds {
+		if p == ablk {
+			foundPred = true
+		}
+	}
+	if !foundPred {
+		t.Error("second && operand not dominated by the first")
+	}
+	// a's block must also branch around b (the false edge): two distinct
+	// successors.
+	if len(ablk.Succs) < 2 {
+		t.Errorf("first && operand has %d successors, want 2 (true and false edges)", len(ablk.Succs))
+	}
+}
+
+func TestCFGGotoSkipsDeadDefs(t *testing.T) {
+	cfg, fd, info := buildTestCFG(t, `package p
+func f() int {
+	x := 0
+	goto L
+	x = 1
+L:
+	return x
+}`, "f")
+	rd := cfg.ReachingDefs(info, fd)
+	ret := findIdent(t, fd, "x", 2)
+	defs := rd.DefsReaching(ret)
+	if len(defs) != 1 {
+		t.Fatalf("return sees %d defs, want 1 (the dead x=1 must not flow)", len(defs))
+	}
+	if rhs := defs[0].RHS; rhs == nil || !strings.Contains(exprText(rhs), "0") {
+		t.Errorf("surviving def is not x := 0")
+	}
+}
+
+func TestCFGTypeSwitch(t *testing.T) {
+	cfg, fd, info := buildTestCFG(t, `package p
+func f(v any) int {
+	x := 0
+	switch v.(type) {
+	case int:
+		x = 1
+	case string:
+		x = 2
+	}
+	return x
+}`, "f")
+	rd := cfg.ReachingDefs(info, fd)
+	ret := findIdent(t, fd, "x", 3)
+	defs := rd.DefsReaching(ret)
+	if len(defs) != 3 {
+		t.Fatalf("return sees %d defs, want 3", len(defs))
+	}
+}
+
+// exprText renders a small expression for assertions (positions-free).
+func exprText(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.BasicLit:
+		return e.Value
+	case *ast.Ident:
+		return e.Name
+	}
+	return ""
+}

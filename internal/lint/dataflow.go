@@ -1,0 +1,251 @@
+package lint
+
+// Reaching definitions over the cfg.go graph: which assignments of a
+// variable can still be "the" value at a given use. This is the pass the
+// wakeupsafe analyzer leans on (is the cycle handed to AdvanceTo derived
+// from an unclamped NextWakeup result?) and the hotalloc append heuristic
+// consults (does a fresh make/nil definition reach this self-append, or
+// only reused scratch?).
+//
+// Granularity is the statement: each block's node list is interpreted in
+// order with gen/kill sets, block inputs join over predecessors, and a
+// standard worklist iterates to fixpoint. Definitions tracked are plain
+// assignments (including op-assignments and :=), var declarations,
+// inc/dec, range variables, and the function's own parameters/receiver
+// (seeded in the entry block with a nil RHS). Variables captured and
+// reassigned inside nested function literals are not tracked — a nested
+// literal is its own function with its own graph — which is conservative
+// for the current consumers (an untracked def simply never appears, and
+// the analyses treat "no defining RHS" as unknown).
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// Def is one reaching definition: Var acquires a value at Site; RHS is
+// the defining expression when the statement pairs names with values
+// one-to-one (nil for parameters, multi-value assignments, range
+// variables and zero-value declarations).
+type Def struct {
+	Var  *types.Var
+	Site ast.Node
+	RHS  ast.Expr
+}
+
+type defSet map[*Def]bool
+
+// ReachingDefs is the fixpoint result for one function.
+type ReachingDefs struct {
+	cfg    *CFG
+	info   *types.Info
+	in     map[*Block]defSet
+	defsAt map[ast.Node][]*Def // memo: stable *Def identity across fixpoint rounds
+}
+
+// ReachingDefs computes the reaching-definitions solution for the
+// function whose body this graph was built from. decl supplies the
+// parameter/receiver/result declarations seeded in the entry block; it
+// may be nil for bodies without one (function literals).
+func (c *CFG) ReachingDefs(info *types.Info, decl *ast.FuncDecl) *ReachingDefs {
+	rd := &ReachingDefs{cfg: c, info: info, in: map[*Block]defSet{}}
+
+	entryDefs := defSet{}
+	if decl != nil {
+		seedField := func(fl *ast.FieldList) {
+			if fl == nil {
+				return
+			}
+			for _, f := range fl.List {
+				for _, name := range f.Names {
+					if v, ok := info.Defs[name].(*types.Var); ok {
+						entryDefs[&Def{Var: v, Site: f}] = true
+					}
+				}
+			}
+		}
+		if decl.Recv != nil {
+			seedField(decl.Recv)
+		}
+		if decl.Type != nil {
+			seedField(decl.Type.Params)
+			seedField(decl.Type.Results)
+		}
+	}
+
+	// out[b] caches the block's computed output set.
+	out := map[*Block]defSet{}
+	for _, blk := range c.Blocks {
+		rd.in[blk] = defSet{}
+		out[blk] = defSet{}
+	}
+	for d := range entryDefs {
+		rd.in[c.Entry][d] = true
+	}
+
+	// Worklist in deterministic index order.
+	work := make([]*Block, len(c.Blocks))
+	copy(work, c.Blocks)
+	for len(work) > 0 {
+		blk := work[0]
+		work = work[1:]
+		newIn := defSet{}
+		if blk == c.Entry {
+			for d := range entryDefs {
+				newIn[d] = true
+			}
+		}
+		for _, p := range blk.Preds {
+			if !p.Live {
+				// A dead block can still have an edge out (dead code
+				// falling into a label); its definitions never execute.
+				continue
+			}
+			for d := range out[p] {
+				newIn[d] = true
+			}
+		}
+		rd.in[blk] = newIn
+		newOut := rd.apply(newIn, blk.Nodes, 0, len(blk.Nodes))
+		if !sameDefSet(newOut, out[blk]) {
+			out[blk] = newOut
+			for _, s := range blk.Succs {
+				work = append(work, s)
+			}
+		}
+	}
+	return rd
+}
+
+func sameDefSet(a, b defSet) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for d := range a {
+		if !b[d] {
+			return false
+		}
+	}
+	return true
+}
+
+// apply interprets nodes[from:to] over set, returning the new set.
+func (rd *ReachingDefs) apply(set defSet, nodes []ast.Node, from, to int) defSet {
+	cur := defSet{}
+	for d := range set {
+		cur[d] = true
+	}
+	for i := from; i < to; i++ {
+		for _, def := range rd.nodeDefs(nodes[i]) {
+			for d := range cur {
+				if d.Var == def.Var {
+					delete(cur, d)
+				}
+			}
+			cur[def] = true
+		}
+	}
+	return cur
+}
+
+// nodeDefs returns the definitions a node generates, memoized so a
+// re-interpreted block yields identical *Def identities across fixpoint
+// rounds.
+func (rd *ReachingDefs) nodeDefs(n ast.Node) []*Def {
+	if rd.defsAt == nil {
+		rd.defsAt = map[ast.Node][]*Def{}
+	}
+	if defs, ok := rd.defsAt[n]; ok {
+		return defs
+	}
+	var defs []*Def
+	addIdent := func(id *ast.Ident, site ast.Node, rhs ast.Expr) {
+		var v *types.Var
+		if obj, ok := rd.info.Defs[id].(*types.Var); ok {
+			v = obj
+		} else if obj, ok := rd.info.Uses[id].(*types.Var); ok {
+			v = obj
+		}
+		if v == nil {
+			return
+		}
+		defs = append(defs, &Def{Var: v, Site: site, RHS: rhs})
+	}
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		for i, lhs := range n.Lhs {
+			id, ok := ast.Unparen(lhs).(*ast.Ident)
+			if !ok {
+				continue // field/index writes are not variable defs
+			}
+			var rhs ast.Expr
+			if len(n.Lhs) == len(n.Rhs) {
+				rhs = n.Rhs[i]
+			}
+			addIdent(id, n, rhs)
+		}
+	case *ast.IncDecStmt:
+		if id, ok := ast.Unparen(n.X).(*ast.Ident); ok {
+			addIdent(id, n, nil)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := n.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					var rhs ast.Expr
+					if len(vs.Values) == len(vs.Names) {
+						rhs = vs.Values[i]
+					}
+					addIdent(name, vs, rhs)
+				}
+			}
+		}
+	case *ast.RangeStmt:
+		if id, ok := n.Key.(*ast.Ident); ok {
+			addIdent(id, n, nil)
+		}
+		if id, ok := n.Value.(*ast.Ident); ok {
+			addIdent(id, n, nil)
+		}
+	}
+	rd.defsAt[n] = defs
+	return defs
+}
+
+// DefsReaching returns the definitions of use's variable that can reach
+// it, in source order. It returns nil when use does not resolve to a
+// tracked variable or lies outside the graph (e.g. inside a nested
+// function literal).
+func (rd *ReachingDefs) DefsReaching(use *ast.Ident) []*Def {
+	v, ok := rd.info.Uses[use].(*types.Var)
+	if !ok {
+		return nil
+	}
+	blk := rd.cfg.ContainingBlock(use.Pos())
+	if blk == nil {
+		return nil
+	}
+	// Interpret the block up to (not including) the node containing the
+	// use: the use observes the state before its own statement executes.
+	upto := len(blk.Nodes)
+	for i, n := range blk.Nodes {
+		if n.Pos() <= use.Pos() && use.Pos() <= n.End() {
+			upto = i
+			break
+		}
+	}
+	set := rd.apply(rd.in[blk], blk.Nodes, 0, upto)
+	var defs []*Def
+	for d := range set {
+		if d.Var == v {
+			defs = append(defs, d)
+		}
+	}
+	sort.Slice(defs, func(i, j int) bool { return defs[i].Site.Pos() < defs[j].Site.Pos() })
+	return defs
+}

@@ -17,7 +17,7 @@ import (
 // the real findings).
 var ErrDrop = &Analyzer{
 	Name: "errdrop",
-	Doc:  "flags discarded error returns in cmd/* tools and in Close/Flush/Sync calls everywhere; write through _ = only as a deliberate, visible choice",
+	Doc:  "flags discarded error returns in cmd/* tools, in the flight recorder's export/codec paths (Write, io.Copy), and in Close/Flush/Sync calls everywhere; write through _ = only as a deliberate, visible choice",
 	Run:  runErrDrop,
 }
 
@@ -27,6 +27,15 @@ var flushNames = map[string]bool{"Close": true, "Flush": true, "Sync": true}
 // cmdOnlyNames are additionally checked inside cmd/* main packages, where
 // a lost write truncates the tool's output.
 var cmdOnlyNames = map[string]bool{"Write": true, "WriteString": true, "WriteFile": true, "WriteFiles": true}
+
+// exportNames are additionally checked inside the flight recorder's
+// export/codec paths: those functions stream binary ring state to files
+// and HTTP responses, and a dropped Write or io.Copy error there means a
+// truncated artifact that still reports success. io.Copy's (n, err)
+// shape evades the single-error heuristic, so it is named explicitly.
+var exportNames = map[string]bool{
+	"Write": true, "WriteString": true, "WriteTo": true, "Copy": true, "CopyN": true,
+}
 
 // neverFails lists receiver types documented to always return a nil error;
 // flagging them would only teach people to ignore the analyzer.
@@ -38,6 +47,8 @@ var neverFailsRecv = map[string]bool{
 func runErrDrop(pass *Pass) error {
 	strict := pass.Pkg.Name() == "main" &&
 		(pass.Path == "" || strings.Contains(pass.Path, "/cmd/"))
+	exportStrict := pass.Pkg.Name() == "flight" ||
+		strings.HasSuffix(pass.Path, "internal/flight")
 	for _, file := range pass.Files {
 		ast.Inspect(file, func(n ast.Node) bool {
 			stmt, ok := n.(*ast.ExprStmt)
@@ -56,7 +67,8 @@ func runErrDrop(pass *Pass) error {
 				return true
 			}
 			interesting := flushNames[name] ||
-				(strict && (cmdOnlyNames[name] || singleErrorResult(pass, call)))
+				(strict && (cmdOnlyNames[name] || singleErrorResult(pass, call))) ||
+				(exportStrict && (exportNames[name] || singleErrorResult(pass, call)))
 			if !interesting {
 				return true
 			}

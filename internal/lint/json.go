@@ -17,6 +17,7 @@ type DiagnosticJSON struct {
 	Chain         []ChainEntryJSON `json:"chain,omitempty"`
 	Suppressed    bool             `json:"suppressed"`
 	Justification string           `json:"justification,omitempty"`
+	Baselined     bool             `json:"baselined"`
 }
 
 // ChainEntryJSON is one hop of interprocedural evidence in -json output.
@@ -44,6 +45,7 @@ func ToJSON(diags []Diagnostic, base string) []DiagnosticJSON {
 			Message:       d.Message,
 			Suppressed:    d.Suppressed,
 			Justification: d.Justification,
+			Baselined:     d.Baselined,
 		}
 		for _, e := range d.Chain {
 			ce := ChainEntryJSON{Func: e.Func}

@@ -76,6 +76,7 @@ type Diagnostic struct {
 	Chain         []ChainEntry
 	Suppressed    bool
 	Justification string // the //lint:ignore justification, when suppressed
+	Baselined     bool   // matched an accepted-debt entry in the committed baseline
 }
 
 // String renders the diagnostic in the conventional file:line:col form.
@@ -109,7 +110,7 @@ func (mp *ModulePass) ReportAt(pos token.Position, chain []ChainEntry, format st
 func All() []*Analyzer {
 	return []*Analyzer{
 		DetMap, WallTime, BitMask, AtomicHandle, ErrDrop, DocComment,
-		Exhaustive, PurityCheck, LockGuard,
+		Exhaustive, PurityCheck, LockGuard, HotAlloc, WakeupSafe,
 	}
 }
 

@@ -33,6 +33,7 @@ func TestAtomicHandleClean(t *testing.T)   { runAnalyzerTest(t, AtomicHandle, "a
 
 func TestErrDropFlagged(t *testing.T) { runAnalyzerTest(t, ErrDrop, "errdrop/flagged") }
 func TestErrDropClean(t *testing.T)   { runAnalyzerTest(t, ErrDrop, "errdrop/clean") }
+func TestErrDropFlight(t *testing.T)  { runAnalyzerTest(t, ErrDrop, "errdrop/flight") }
 
 func TestDocCommentFlagged(t *testing.T) { runAnalyzerTest(t, DocComment, "doccomment/flagged") }
 func TestDocCommentClean(t *testing.T)   { runAnalyzerTest(t, DocComment, "doccomment/clean") }
@@ -69,6 +70,12 @@ func TestPurityCheckFlightRecorder(t *testing.T) {
 
 func TestLockGuardFlagged(t *testing.T) { runAnalyzerTest(t, LockGuard, "lockguard/flagged") }
 func TestLockGuardClean(t *testing.T)   { runAnalyzerTest(t, LockGuard, "lockguard/clean") }
+
+func TestHotAllocFlagged(t *testing.T) { runAnalyzerTest(t, HotAlloc, "hotalloc/flagged") }
+func TestHotAllocClean(t *testing.T)   { runAnalyzerTest(t, HotAlloc, "hotalloc/clean") }
+
+func TestWakeupSafeFlagged(t *testing.T) { runAnalyzerTest(t, WakeupSafe, "wakeupsafe/flagged") }
+func TestWakeupSafeClean(t *testing.T)   { runAnalyzerTest(t, WakeupSafe, "wakeupsafe/clean") }
 
 // TestIgnoreDirectives exercises suppression end to end: justified ignores
 // silence findings, malformed ones are themselves reported.

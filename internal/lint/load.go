@@ -3,6 +3,7 @@ package lint
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"go/ast"
 	"go/importer"
@@ -13,8 +14,16 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"sort"
 	"strings"
 )
+
+// ErrMissingExport is the sentinel wrapped into any loader error caused by
+// `go list -export` reporting a package without compiler export data. The
+// usual cause is a cold or read-only build cache; `go build ./...` first
+// repopulates it. Callers match it with errors.Is and can distinguish this
+// recoverable condition from genuine type-check failures.
+var ErrMissingExport = errors.New("package has no compiler export data")
 
 // Package is one type-checked package ready for analysis.
 type Package struct {
@@ -68,10 +77,29 @@ func exportLookup(exports map[string]string) func(path string) (io.ReadCloser, e
 	return func(path string) (io.ReadCloser, error) {
 		file, ok := exports[path]
 		if !ok || file == "" {
-			return nil, fmt.Errorf("lint: no export data for %q", path)
+			return nil, fmt.Errorf("lint: %w: %q", ErrMissingExport, path)
 		}
 		return os.Open(file)
 	}
+}
+
+// checkExports verifies that every package `go list -export` emitted carries
+// export data, so a cold build cache fails fast with ErrMissingExport instead
+// of surfacing later as an opaque type-check error on some unlucky import.
+// The pseudo-package unsafe never has export data and is exempt.
+func checkExports(entries []listEntry) error {
+	var missing []string
+	for _, e := range entries {
+		if e.Export == "" && e.ImportPath != "unsafe" {
+			missing = append(missing, e.ImportPath)
+		}
+	}
+	if len(missing) == 0 {
+		return nil
+	}
+	sort.Strings(missing)
+	return fmt.Errorf("lint: %w: %s (run `go build ./...` to repopulate the build cache)",
+		ErrMissingExport, strings.Join(missing, ", "))
 }
 
 func newInfo() *types.Info {
@@ -101,6 +129,9 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 	depArgs := append([]string{"list", "-export", "-deps", "-json=ImportPath,Export,Standard"}, patterns...)
 	deps, err := goList(dir, depArgs...)
 	if err != nil {
+		return nil, err
+	}
+	if err := checkExports(deps); err != nil {
 		return nil, err
 	}
 	exports := make(map[string]string, len(deps))
@@ -176,6 +207,9 @@ func LoadDir(dir string) (*Package, error) {
 		}
 		entries, err := goList("", args...)
 		if err != nil {
+			return nil, err
+		}
+		if err := checkExports(entries); err != nil {
 			return nil, err
 		}
 		for _, e := range entries {

@@ -1,6 +1,7 @@
 package lint
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
@@ -88,6 +89,41 @@ func TestLoadDirTypeCheckError(t *testing.T) {
 	}
 	if !strings.Contains(err.Error(), "type-checking") || !strings.Contains(err.Error(), dir) {
 		t.Errorf("LoadDir error = %v, want a type-checking error naming %s", err, dir)
+	}
+}
+
+// TestMissingExportSentinel pins the contract of checkExports: packages that
+// `go list -export` emitted without export data surface as ErrMissingExport
+// (matchable with errors.Is), the pseudo-package unsafe is exempt, and the
+// message names every offender so the fix is one `go build` away.
+func TestMissingExportSentinel(t *testing.T) {
+	if err := checkExports([]listEntry{
+		{ImportPath: "unsafe"},
+		{ImportPath: "fmt", Export: "/cache/fmt.a"},
+	}); err != nil {
+		t.Errorf("checkExports with only unsafe lacking export data: %v, want nil", err)
+	}
+
+	err := checkExports([]listEntry{
+		{ImportPath: "tmpmod/b"},
+		{ImportPath: "unsafe"},
+		{ImportPath: "tmpmod/a"},
+		{ImportPath: "fmt", Export: "/cache/fmt.a"},
+	})
+	if !errors.Is(err, ErrMissingExport) {
+		t.Fatalf("checkExports error = %v, want errors.Is(err, ErrMissingExport)", err)
+	}
+	for _, want := range []string{"tmpmod/a", "tmpmod/b", "go build"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("checkExports error %q does not mention %q", err, want)
+		}
+	}
+
+	// The importer-side lookup carries the same sentinel, so a package that
+	// slips past the up-front check still fails with a matchable error.
+	_, lookupErr := exportLookup(map[string]string{})("example.com/gone")
+	if !errors.Is(lookupErr, ErrMissingExport) {
+		t.Errorf("exportLookup miss = %v, want errors.Is(err, ErrMissingExport)", lookupErr)
 	}
 }
 

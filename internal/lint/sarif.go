@@ -1,0 +1,165 @@
+package lint
+
+// SARIF 2.1.0 rendering of the suite's diagnostics, the interchange
+// format GitHub code scanning ingests. The mapping keeps every piece of
+// evidence the -json schema carries: interprocedural chains become
+// relatedLocations (one per hop, labelled with the function), in-source
+// //lint:ignore directives become suppressions with their justification,
+// and baseline membership is expressed through the spec's own
+// baselineState property ("unchanged" for baselined findings, "new"
+// otherwise) so a viewer can filter accepted debt without a side channel.
+//
+// Only the slice of the spec we emit is modelled; the structs marshal to
+// valid SARIF per the 2.1.0 schema's required properties, which
+// TestSARIFSchema pins structurally (no JSON-Schema validator ships with
+// the stdlib, so the test asserts the schema's requirements directly).
+
+import (
+	"encoding/json"
+	"path/filepath"
+)
+
+// sarifSchemaURI is the canonical 2.1.0 schema location, embedded in the
+// log's $schema property.
+const sarifSchemaURI = "https://docs.oasis-open.org/sarif/sarif/v2.1.0/errata01/os/schemas/sarif-schema-2.1.0.json"
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID           string             `json:"ruleId"`
+	RuleIndex        int                `json:"ruleIndex"`
+	Level            string             `json:"level"`
+	Message          sarifMessage       `json:"message"`
+	Locations        []sarifLocation    `json:"locations"`
+	RelatedLocations []sarifLocation    `json:"relatedLocations,omitempty"`
+	Suppressions     []sarifSuppression `json:"suppressions,omitempty"`
+	BaselineState    string             `json:"baselineState,omitempty"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+	Message          *sarifMessage `json:"message,omitempty"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           *sarifRegion  `json:"region,omitempty"`
+}
+
+type sarifArtifact struct {
+	URI       string `json:"uri"`
+	URIBaseID string `json:"uriBaseId,omitempty"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+type sarifSuppression struct {
+	Kind          string `json:"kind"`
+	Justification string `json:"justification,omitempty"`
+}
+
+// ToSARIF renders diagnostics as an indented SARIF 2.1.0 log. analyzers
+// is the list that actually ran (each becomes a rule; results reference
+// rules by index), base relativises file URIs the same way -json does.
+func ToSARIF(diags []Diagnostic, analyzers []*Analyzer, base string) ([]byte, error) {
+	driver := sarifDriver{
+		Name:           "codecheck",
+		InformationURI: "https://github.com/l15cache/l15cache",
+	}
+	ruleIndex := map[string]int{}
+	for i, a := range analyzers {
+		ruleIndex[a.Name] = i
+		driver.Rules = append(driver.Rules, sarifRule{
+			ID:               a.Name,
+			ShortDescription: sarifMessage{Text: a.Doc},
+		})
+	}
+
+	results := make([]sarifResult, 0, len(diags))
+	for _, d := range diags {
+		res := sarifResult{
+			RuleID:  d.Analyzer,
+			Level:   "error",
+			Message: sarifMessage{Text: d.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysical{
+					ArtifactLocation: sarifArtifact{
+						URI:       filepath.ToSlash(relTo(base, d.Pos.Filename)),
+						URIBaseID: "%SRCROOT%",
+					},
+					Region: &sarifRegion{StartLine: d.Pos.Line, StartColumn: d.Pos.Column},
+				},
+			}},
+			BaselineState: "new",
+		}
+		if idx, ok := ruleIndex[d.Analyzer]; ok {
+			res.RuleIndex = idx
+		}
+		for _, e := range d.Chain {
+			if !e.Site.IsValid() {
+				continue
+			}
+			res.RelatedLocations = append(res.RelatedLocations, sarifLocation{
+				PhysicalLocation: sarifPhysical{
+					ArtifactLocation: sarifArtifact{
+						URI:       filepath.ToSlash(relTo(base, e.Site.Filename)),
+						URIBaseID: "%SRCROOT%",
+					},
+					Region: &sarifRegion{StartLine: e.Site.Line, StartColumn: e.Site.Column},
+				},
+				Message: &sarifMessage{Text: e.Func},
+			})
+		}
+		if d.Suppressed {
+			res.Suppressions = []sarifSuppression{{
+				Kind:          "inSource",
+				Justification: d.Justification,
+			}}
+		}
+		if d.Baselined {
+			res.BaselineState = "unchanged"
+		}
+		results = append(results, res)
+	}
+
+	log := sarifLog{
+		Schema:  sarifSchemaURI,
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: driver},
+			Results: results,
+		}},
+	}
+	return json.MarshalIndent(log, "", "  ")
+}

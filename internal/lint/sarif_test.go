@@ -1,0 +1,215 @@
+package lint
+
+// TestSARIFSchema validates ToSARIF output against SARIF 2.1.0
+// structurally: no JSON-Schema validator ships with the stdlib, so the
+// test decodes the emitted log generically and asserts the schema's
+// required properties and enumerations directly — version, run/tool/
+// driver shape, rule references, location shape, suppression kinds and
+// baselineState values. TestSARIFRoundTrip pins the evidence mapping.
+
+import (
+	"encoding/json"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func sampleDiags() []Diagnostic {
+	return []Diagnostic{
+		{
+			Pos:      token.Position{Filename: "/work/internal/l15/l15.go", Line: 42, Column: 7},
+			Analyzer: "hotalloc",
+			Message:  "heap allocation on the hot path from (*l15.L15).sduIdle: make",
+			Chain: []ChainEntry{
+				{Func: "(*l15.L15).sduIdle", Site: token.Position{Filename: "/work/internal/l15/l15.go", Line: 40, Column: 2}},
+				{Func: "(*l15.L15).checkIdle", Site: token.Position{Filename: "/work/internal/l15/l15.go", Line: 42, Column: 7}},
+			},
+		},
+		{
+			Pos:           token.Position{Filename: "/work/internal/cpu/cpu.go", Line: 9, Column: 1},
+			Analyzer:      "wakeupsafe",
+			Message:       "suppressed finding",
+			Suppressed:    true,
+			Justification: "trap path is cold by construction",
+		},
+		{
+			Pos:       token.Position{Filename: "/work/internal/soc/soc.go", Line: 3, Column: 2},
+			Analyzer:  "hotalloc",
+			Message:   "accepted debt",
+			Baselined: true,
+		},
+	}
+}
+
+// decodeSARIF unmarshals the log generically for structural assertions.
+func decodeSARIF(t *testing.T, data []byte) map[string]any {
+	t.Helper()
+	var log map[string]any
+	if err := json.Unmarshal(data, &log); err != nil {
+		t.Fatalf("emitted SARIF is not valid JSON: %v", err)
+	}
+	return log
+}
+
+func TestSARIFSchema(t *testing.T) {
+	data, err := ToSARIF(sampleDiags(), All(), "/work")
+	if err != nil {
+		t.Fatalf("ToSARIF: %v", err)
+	}
+	log := decodeSARIF(t, data)
+
+	// §3.13: sarifLog requires version (fixed "2.1.0") and runs.
+	if v, _ := log["version"].(string); v != "2.1.0" {
+		t.Errorf("version = %v, want 2.1.0", log["version"])
+	}
+	if s, _ := log["$schema"].(string); !strings.Contains(s, "sarif-schema-2.1.0") {
+		t.Errorf("$schema = %q does not reference the 2.1.0 schema", s)
+	}
+	runs, ok := log["runs"].([]any)
+	if !ok || len(runs) != 1 {
+		t.Fatalf("runs is %T of len %d, want array of 1", log["runs"], len(runs))
+	}
+	run := runs[0].(map[string]any)
+
+	// §3.14: run requires tool; §3.18: tool requires driver with a name.
+	tool, ok := run["tool"].(map[string]any)
+	if !ok {
+		t.Fatal("run.tool missing")
+	}
+	driver, ok := tool["driver"].(map[string]any)
+	if !ok {
+		t.Fatal("run.tool.driver missing")
+	}
+	if name, _ := driver["name"].(string); name == "" {
+		t.Error("driver.name empty")
+	}
+
+	// §3.19: every rule needs an id; rules must cover the suite.
+	rules, ok := driver["rules"].([]any)
+	if !ok || len(rules) != len(All()) {
+		t.Fatalf("driver.rules has %d entries, want %d (one per analyzer)", len(rules), len(All()))
+	}
+	ruleIDs := map[string]int{}
+	for i, r := range rules {
+		rule := r.(map[string]any)
+		id, _ := rule["id"].(string)
+		if id == "" {
+			t.Fatalf("rule %d has no id", i)
+		}
+		if sd, ok := rule["shortDescription"].(map[string]any); !ok || sd["text"] == "" {
+			t.Errorf("rule %s: shortDescription.text missing", id)
+		}
+		ruleIDs[id] = i
+	}
+
+	// §3.27: result requires message; ruleIndex must agree with ruleId.
+	results, ok := run["results"].([]any)
+	if !ok || len(results) != len(sampleDiags()) {
+		t.Fatalf("results has %d entries, want %d", len(results), len(sampleDiags()))
+	}
+	validLevels := map[string]bool{"none": true, "note": true, "warning": true, "error": true}
+	validBaseline := map[string]bool{"new": true, "unchanged": true, "updated": true, "absent": true}
+	validSuppression := map[string]bool{"inSource": true, "external": true}
+	for i, r := range results {
+		res := r.(map[string]any)
+		msg, ok := res["message"].(map[string]any)
+		if !ok || msg["text"] == "" {
+			t.Fatalf("result %d: message.text missing", i)
+		}
+		id, _ := res["ruleId"].(string)
+		idx, haveRule := ruleIDs[id]
+		if !haveRule {
+			t.Errorf("result %d: ruleId %q not in driver.rules", i, id)
+		}
+		if ri, ok := res["ruleIndex"].(float64); ok && int(ri) != idx {
+			t.Errorf("result %d: ruleIndex %d disagrees with ruleId %q at %d", i, int(ri), id, idx)
+		}
+		if lv, _ := res["level"].(string); !validLevels[lv] {
+			t.Errorf("result %d: level %q not in the §3.27.10 enumeration", i, lv)
+		}
+		if bs, ok := res["baselineState"].(string); ok && !validBaseline[bs] {
+			t.Errorf("result %d: baselineState %q not in the §3.27.25 enumeration", i, bs)
+		}
+		// §3.28/§3.29/§3.4: locations carry physicalLocation with an
+		// artifactLocation uri and a region with a positive startLine.
+		locs, ok := res["locations"].([]any)
+		if !ok || len(locs) == 0 {
+			t.Fatalf("result %d: locations missing", i)
+		}
+		rel, _ := res["relatedLocations"].([]any)
+		for _, l := range append(locs, rel...) {
+			phys, ok := l.(map[string]any)["physicalLocation"].(map[string]any)
+			if !ok {
+				t.Fatalf("result %d: physicalLocation missing", i)
+			}
+			art, ok := phys["artifactLocation"].(map[string]any)
+			if !ok || art["uri"] == "" {
+				t.Fatalf("result %d: artifactLocation.uri missing", i)
+			}
+			if uri := art["uri"].(string); strings.Contains(uri, "\\") {
+				t.Errorf("result %d: uri %q not slash-separated", i, uri)
+			}
+			region, ok := phys["region"].(map[string]any)
+			if !ok {
+				t.Fatalf("result %d: region missing", i)
+			}
+			if sl, _ := region["startLine"].(float64); sl < 1 {
+				t.Errorf("result %d: startLine %v not positive", i, region["startLine"])
+			}
+		}
+		// §3.35: suppression requires kind from the enumeration.
+		if sups, ok := res["suppressions"].([]any); ok {
+			for _, s := range sups {
+				if kind, _ := s.(map[string]any)["kind"].(string); !validSuppression[kind] {
+					t.Errorf("result %d: suppression kind %q invalid", i, kind)
+				}
+			}
+		}
+	}
+}
+
+func TestSARIFRoundTrip(t *testing.T) {
+	data, err := ToSARIF(sampleDiags(), All(), "/work")
+	if err != nil {
+		t.Fatalf("ToSARIF: %v", err)
+	}
+	log := decodeSARIF(t, data)
+	results := log["runs"].([]any)[0].(map[string]any)["results"].([]any)
+
+	// Finding 0: chain becomes relatedLocations labelled with functions,
+	// and the URI is relativised against base.
+	r0 := results[0].(map[string]any)
+	uri := r0["locations"].([]any)[0].(map[string]any)["physicalLocation"].(map[string]any)["artifactLocation"].(map[string]any)["uri"].(string)
+	if uri != "internal/l15/l15.go" {
+		t.Errorf("finding 0 uri = %q, want internal/l15/l15.go", uri)
+	}
+	rel := r0["relatedLocations"].([]any)
+	if len(rel) != 2 {
+		t.Fatalf("finding 0 has %d relatedLocations, want 2 chain hops", len(rel))
+	}
+	if text := rel[0].(map[string]any)["message"].(map[string]any)["text"]; text != "(*l15.L15).sduIdle" {
+		t.Errorf("first hop label = %v", text)
+	}
+	if bs := r0["baselineState"]; bs != "new" {
+		t.Errorf("finding 0 baselineState = %v, want new", bs)
+	}
+
+	// Finding 1: in-source suppression with its justification.
+	r1 := results[1].(map[string]any)
+	sups, ok := r1["suppressions"].([]any)
+	if !ok || len(sups) != 1 {
+		t.Fatalf("finding 1: suppressions = %v, want 1 entry", r1["suppressions"])
+	}
+	if j := sups[0].(map[string]any)["justification"]; j != "trap path is cold by construction" {
+		t.Errorf("finding 1 justification = %v", j)
+	}
+
+	// Finding 2: baselined findings carry baselineState unchanged.
+	r2 := results[2].(map[string]any)
+	if bs := r2["baselineState"]; bs != "unchanged" {
+		t.Errorf("finding 2 baselineState = %v, want unchanged", bs)
+	}
+	if _, hasSup := r2["suppressions"]; hasSup {
+		t.Error("finding 2 should have no suppressions")
+	}
+}

@@ -1,0 +1,65 @@
+// Package kernelok is wakeupsafe testdata for the sanctioned shapes: pure
+// probes over receiver state with local scratch writes, Never reported on
+// idle, delegation through the Earliest clamp, and AdvanceTo fed only
+// clamped or probe-independent cycles. No findings expected.
+package kernelok
+
+// Never mirrors kernel.Never.
+const Never = ^uint64(0)
+
+// Earliest mirrors the kernel clamp.
+func Earliest(wakeups ...uint64) uint64 {
+	best := Never
+	for _, w := range wakeups {
+		if w < best {
+			best = w
+		}
+	}
+	return best
+}
+
+// sdu scans receiver state read-only; writes go to locals only.
+type sdu struct {
+	pending []uint64
+	head    int
+}
+
+func (s *sdu) NextWakeup() uint64 {
+	best := Never
+	for _, w := range s.pending[s.head:] {
+		if w < best {
+			best = w
+		}
+	}
+	return best
+}
+
+// cluster delegates: no literal Never, but the Earliest clamp and the
+// child probes count as handling idleness.
+type cluster struct {
+	a, b *sdu
+}
+
+func (c *cluster) NextWakeup() uint64 {
+	return Earliest(c.a.NextWakeup(), c.b.NextWakeup())
+}
+
+// clock is the AdvanceTo target; mutating inside AdvanceTo itself is the
+// whole point of the method.
+type clock struct{ now uint64 }
+
+func (c *clock) AdvanceTo(cycle uint64) { c.now = cycle }
+
+// run clamps the probe before jumping.
+func run(c *clock, cl *cluster, horizon uint64) {
+	w := Earliest(cl.NextWakeup(), horizon)
+	if w == Never {
+		return
+	}
+	c.AdvanceTo(w)
+}
+
+// step jumps to a cycle that never came from a probe.
+func step(c *clock) {
+	c.AdvanceTo(c.now + 1)
+}

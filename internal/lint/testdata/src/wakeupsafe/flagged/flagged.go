@@ -1,0 +1,94 @@
+// Package sim is wakeupsafe testdata: each NextWakeup implementation or
+// AdvanceTo caller here violates exactly one clause of the wakeup
+// protocol. The local Never constant and Earliest clamp stand in for
+// the kernel package (the analyzer matches them by name so testdata and
+// helper packages participate).
+package sim
+
+import "time"
+
+// Never mirrors kernel.Never.
+const Never = ^uint64(0)
+
+// Earliest mirrors the kernel clamp.
+func Earliest(wakeups ...uint64) uint64 {
+	best := Never
+	for _, w := range wakeups {
+		if w < best {
+			best = w
+		}
+	}
+	return best
+}
+
+// unit mutates its own state inside the probe: the probe itself advances
+// the simulation.
+type unit struct {
+	next   uint64
+	probes int
+}
+
+func (u *unit) NextWakeup() uint64 {
+	u.probes++ // want "..sim.unit..NextWakeup must be pure over its receiver but reaches a write to receiver state .u.probes."
+	if u.next == 0 {
+		return Never
+	}
+	return u.next
+}
+
+// lazy hides the mutation one helper down: the chain names the hop.
+type lazy struct {
+	cache uint64
+	dirty bool
+}
+
+func (z *lazy) NextWakeup() uint64 {
+	if z.dirty {
+		z.refresh()
+	}
+	if z.cache == 0 {
+		return Never
+	}
+	return z.cache
+}
+
+func (z *lazy) refresh() {
+	z.cache = 7     // want "..sim.lazy..NextWakeup must be pure over its receiver but reaches a write to receiver state .z.cache.: ..sim.lazy..NextWakeup -> ..sim.lazy..refresh"
+	z.dirty = false // want "..sim.lazy..NextWakeup must be pure over its receiver but reaches a write to receiver state .z.dirty."
+}
+
+// busy can never report idleness: time-skipping is forbidden system-wide.
+type busy struct{ next uint64 }
+
+func (b *busy) NextWakeup() uint64 { // want "..sim.busy..NextWakeup never reports kernel.Never"
+	return b.next + 1
+}
+
+// hosty consults the wall clock: the wakeup depends on host state.
+type hosty struct{ next uint64 }
+
+func (h *hosty) NextWakeup() uint64 {
+	if time.Now().UnixNano()%2 == 0 { // want "..sim.hosty..NextWakeup must not consult host state but reaches time.Now .wall-clock."
+		return Never
+	}
+	return h.next
+}
+
+// clock is the AdvanceTo target.
+type clock struct{ now uint64 }
+
+func (c *clock) AdvanceTo(cycle uint64) { c.now = cycle }
+
+// runDirect feeds a raw probe result straight into the jump.
+func runDirect(c *clock, u *unit) {
+	c.AdvanceTo(u.NextWakeup()) // want "AdvanceTo receives a NextWakeup result without the kernel.Earliest clamp"
+}
+
+// runIndirect launders the raw result through a local first; the
+// reaching-definitions pass traces it back.
+func runIndirect(c *clock, u *unit) {
+	w := u.NextWakeup()
+	if w > c.now {
+		c.AdvanceTo(w) // want "AdvanceTo receives a cycle derived from an unclamped NextWakeup .defined at line \d+."
+	}
+}

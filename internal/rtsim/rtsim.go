@@ -672,7 +672,7 @@ func (s *sim) dispatchTicked() {
 			continue
 		}
 		placed := false
-		taken := make(map[int]bool)
+		taken := make(map[int]bool) //lint:ignore hotalloc legacy ticked dispatcher, kept verbatim for the kernel-equivalence harness
 		for !placed {
 			ri := s.pickReadyExcluding(taken)
 			if ri < 0 {

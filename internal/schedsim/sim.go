@@ -144,18 +144,18 @@ func runInstance(alloc *sched.Result, plat Platform, m int, cold bool, prevCore 
 	rec.Emit(flight.Event{Kind: flight.KindRelease, Task: task, Job: job,
 		Node: -1, Core: -1, Cluster: -1, Wave: -1})
 
-	coreOf := make([]int, n)
+	coreOf := make([]int, n) //lint:ignore hotalloc legacy ticked-path instance setup: runs once per release outside the per-event loop; the events kernel reuses scratch
 	for i := range coreOf {
 		coreOf[i] = -1
 	}
-	startAt := make([]float64, n)
-	finished := make([]bool, n)
-	indeg := make([]int, n)
+	startAt := make([]float64, n) //lint:ignore hotalloc legacy ticked-path instance setup: runs once per release outside the per-event loop; the events kernel reuses scratch
+	finished := make([]bool, n)   //lint:ignore hotalloc legacy ticked-path instance setup: runs once per release outside the per-event loop; the events kernel reuses scratch
+	indeg := make([]int, n)       //lint:ignore hotalloc legacy ticked-path instance setup: runs once per release outside the per-event loop; the events kernel reuses scratch
 	for id := range t.Nodes {
 		indeg[id] = len(t.Pred(dag.NodeID(id)))
 	}
 
-	freeAt := make([]float64, m)
+	freeAt := make([]float64, m) //lint:ignore hotalloc legacy ticked-path instance setup: runs once per release outside the per-event loop; the events kernel reuses scratch
 	var ready []dag.NodeID
 	ready = append(ready, t.Source())
 
@@ -164,7 +164,7 @@ func runInstance(alloc *sched.Result, plat Platform, m int, cold bool, prevCore 
 	now := 0.0
 	done := 0
 
-	popReady := func() dag.NodeID {
+	popReady := func() dag.NodeID { //lint:ignore hotalloc legacy ticked-path instance setup: runs once per release outside the per-event loop; the events kernel reuses scratch
 		best := 0
 		for i := 1; i < len(ready); i++ {
 			pi, pb := t.Node(ready[i]).Priority, t.Node(ready[best]).Priority
@@ -177,7 +177,7 @@ func runInstance(alloc *sched.Result, plat Platform, m int, cold bool, prevCore 
 		return v
 	}
 
-	idleCores := func() []int {
+	idleCores := func() []int { //lint:ignore hotalloc legacy ticked-path instance setup: runs once per release outside the per-event loop; the events kernel reuses scratch
 		var idle []int
 		for c := 0; c < m; c++ {
 			if freeAt[c] <= now {
@@ -251,6 +251,7 @@ func runInstance(alloc *sched.Result, plat Platform, m int, cold bool, prevCore 
 		if events.Len() == 0 {
 			// No running node but undone work: the graph must be
 			// disconnected or cyclic — Validate precludes both.
+			//lint:ignore hotalloc deadlock diagnostic: built only on a disconnected or cyclic graph, which Validate precludes
 			panic("schedsim: deadlock with " + fmt.Sprint(n-done) + " nodes pending")
 		}
 
@@ -296,6 +297,7 @@ type scratch struct {
 
 func growInts(s []int, n int) []int {
 	if cap(s) < n {
+		//lint:ignore hotalloc amortized grow: allocates only when capacity is exceeded, then reused across instances
 		return make([]int, n)
 	}
 	return s[:n]
@@ -303,6 +305,7 @@ func growInts(s []int, n int) []int {
 
 func growFloats(s []float64, n int) []float64 {
 	if cap(s) < n {
+		//lint:ignore hotalloc amortized grow: allocates only when capacity is exceeded, then reused across instances
 		return make([]float64, n)
 	}
 	return s[:n]
@@ -470,6 +473,7 @@ func runInstanceEvents(alloc *sched.Result, plat Platform, m int, cold bool, pre
 		if len(events) == 0 {
 			// No running node but undone work: the graph must be
 			// disconnected or cyclic — Validate precludes both.
+			//lint:ignore hotalloc deadlock diagnostic: built only on a disconnected or cyclic graph, which Validate precludes
 			panic("schedsim: deadlock with " + fmt.Sprint(n-done) + " nodes pending")
 		}
 

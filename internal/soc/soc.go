@@ -480,6 +480,7 @@ func (p *port) Load(core int, va uint32, size int) (uint32, int, error) {
 		}
 		v = w
 	default:
+		//lint:ignore hotalloc impossible-size guard: built only on a malformed access, which halts the core
 		return 0, 0, fmt.Errorf("soc: bad load size %d", size)
 	}
 	return v, lat, nil
@@ -508,6 +509,7 @@ func (p *port) Store(core int, va uint32, size int, value uint32) (int, error) {
 	case 4:
 		err = p.soc.Mem.WriteWord(pa, value)
 	default:
+		//lint:ignore hotalloc impossible-size guard: built only on a malformed access, which halts the core
 		err = fmt.Errorf("soc: bad store size %d", size)
 	}
 	if err != nil {
@@ -540,6 +542,7 @@ func (p *port) L15Op(core int, op isa.Op, operand uint32) (uint32, int, error) {
 	case isa.OpIPSET:
 		return 0, lat, cl.IPSet(local, bitmapFrom(operand, cl.Config().Ways))
 	default:
+		//lint:ignore hotalloc impossible-op guard: executeDecoded routes only L1.5 ops here; the error halts the core
 		return 0, 0, fmt.Errorf("soc: not an L1.5 op: %v", op)
 	}
 }
