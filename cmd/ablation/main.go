@@ -8,11 +8,15 @@
 // Usage:
 //
 //	ablation [-dags N] [-trials N] [-seed S] [-which zeta|kappa|prio|delay|etm|all]
-//	         [-workers N] [-checkpoint file.json] [-kernel events|ticked]
+//	         [-workers N] [-checkpoint file.json] [-memo] [-memo-dir DIR]
+//	         [-kernel events|ticked]
 //
 // Trials fan out on the internal/runner pool: -workers caps the
 // concurrency (0 = NumCPU) without changing any result, -checkpoint makes
-// an interrupted run (Ctrl-C) resumable at trial granularity.
+// an interrupted run (Ctrl-C) resumable at trial granularity, and
+// -memo/-memo-dir enable the content-addressed trial result cache
+// (internal/memo): a -memo-dir shared between runs serves every
+// previously computed trial from disk, byte-identically.
 package main
 
 import (
@@ -23,6 +27,7 @@ import (
 
 	"l15cache/internal/experiments"
 	"l15cache/internal/kernel"
+	"l15cache/internal/memo"
 	"l15cache/internal/metrics"
 	"l15cache/internal/runner"
 )
@@ -37,6 +42,8 @@ func main() {
 	which := flag.String("which", "all", "zeta, kappa, prio, delay, etm or all")
 	workers := flag.Int("workers", 0, "max concurrent trials (0 = NumCPU; never changes results)")
 	checkpoint := flag.String("checkpoint", "", "JSON checkpoint file; an interrupted sweep resumes from it")
+	memoFlag := flag.Bool("memo", false, "enable the in-memory trial result cache (never changes results)")
+	memoDir := flag.String("memo-dir", "", "on-disk trial cache directory, shareable across runs (implies -memo)")
 	metricsOut := flag.String("metrics", "", "write a metrics-registry JSON snapshot to this file")
 	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON file (chrome://tracing)")
 	kernelFlag := flag.String("kernel", "events", "simulator kernel: events (time-skipping) or ticked (legacy; identical results)")
@@ -60,7 +67,12 @@ func main() {
 		log.Fatal(err)
 	}
 
-	run := runner.Options{Workers: *workers, Checkpoint: *checkpoint}
+	cache, err := memo.FromFlags(*memoFlag, *memoDir)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	run := runner.Options{Workers: *workers, Checkpoint: *checkpoint, Memo: cache}
 	cfg := experiments.DefaultMakespanConfig()
 	cfg.DAGs = *dags
 	cfg.Seed = *seed

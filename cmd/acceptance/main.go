@@ -7,11 +7,14 @@
 // Usage:
 //
 //	acceptance [-dags N] [-cores M] [-seed S] [-workers N] [-checkpoint file.json]
-//	           [-kernel events|ticked]
+//	           [-memo] [-memo-dir DIR] [-kernel events|ticked]
 //
 // Trials fan out on the internal/runner pool: -workers caps the
 // concurrency (0 = NumCPU) without changing any result, -checkpoint makes
-// an interrupted run (Ctrl-C) resumable at trial granularity.
+// an interrupted run (Ctrl-C) resumable at trial granularity, and
+// -memo/-memo-dir enable the content-addressed trial result cache
+// (internal/memo): a -memo-dir shared between runs serves every
+// previously computed trial from disk, byte-identically.
 package main
 
 import (
@@ -22,6 +25,7 @@ import (
 
 	"l15cache/internal/experiments"
 	"l15cache/internal/kernel"
+	"l15cache/internal/memo"
 	"l15cache/internal/metrics"
 	"l15cache/internal/runner"
 )
@@ -35,6 +39,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "base RNG seed")
 	workers := flag.Int("workers", 0, "max concurrent trials (0 = NumCPU; never changes results)")
 	checkpoint := flag.String("checkpoint", "", "JSON checkpoint file; an interrupted sweep resumes from it")
+	memoFlag := flag.Bool("memo", false, "enable the in-memory trial result cache (never changes results)")
+	memoDir := flag.String("memo-dir", "", "on-disk trial cache directory, shareable across runs (implies -memo)")
 	csv := flag.Bool("csv", false, "emit CSV instead of the formatted table")
 	metricsOut := flag.String("metrics", "", "write a metrics-registry JSON snapshot to this file")
 	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON file (chrome://tracing)")
@@ -63,7 +69,11 @@ func main() {
 	cfg.DAGs = *dags
 	cfg.Cores = *cores
 	cfg.Seed = *seed
-	cfg.Run = runner.Options{Workers: *workers, Checkpoint: *checkpoint}
+	cache, err := memo.FromFlags(*memoFlag, *memoDir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg.Run = runner.Options{Workers: *workers, Checkpoint: *checkpoint, Memo: cache}
 	cfg.Kernel = kern
 
 	utils := []float64{0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0}

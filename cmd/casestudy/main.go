@@ -5,11 +5,15 @@
 // Usage:
 //
 //	casestudy [-cores 8|16] [-trials N] [-step pct] [-seed S]
-//	          [-workers N] [-checkpoint file.json] [-kernel events|ticked]
+//	          [-workers N] [-checkpoint file.json] [-memo] [-memo-dir DIR]
+//	          [-kernel events|ticked]
 //
 // Trials fan out on the internal/runner pool: -workers caps the
 // concurrency (0 = NumCPU) without changing any result, -checkpoint makes
-// an interrupted run (Ctrl-C) resumable at trial granularity. -flight
+// an interrupted run (Ctrl-C) resumable at trial granularity, and
+// -memo/-memo-dir enable the content-addressed trial result cache
+// (internal/memo): a -memo-dir shared between runs serves every
+// previously computed trial from disk, byte-identically. -flight
 // additionally records one representative trial (the configured core
 // count, 60% utilisation, proposed system) into a flight recording that
 // cmd/explain can dissect. An interrupt still flushes the partial
@@ -26,6 +30,7 @@ import (
 	"l15cache/internal/experiments"
 	"l15cache/internal/flight"
 	"l15cache/internal/kernel"
+	"l15cache/internal/memo"
 	"l15cache/internal/metrics"
 	"l15cache/internal/rtsim"
 	"l15cache/internal/runner"
@@ -42,6 +47,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "base RNG seed")
 	workers := flag.Int("workers", 0, "max concurrent trials (0 = NumCPU; never changes results)")
 	checkpoint := flag.String("checkpoint", "", "JSON checkpoint file; an interrupted sweep resumes from it")
+	memoFlag := flag.Bool("memo", false, "enable the in-memory trial result cache (never changes results)")
+	memoDir := flag.String("memo-dir", "", "on-disk trial cache directory, shareable across runs (implies -memo)")
 	csv := flag.Bool("csv", false, "emit CSV instead of the formatted table")
 	partitioned := flag.Bool("partitioned", false, "partition tasks to clusters instead of global scheduling")
 	metricsOut := flag.String("metrics", "", "write a metrics-registry JSON snapshot to this file")
@@ -86,7 +93,11 @@ func main() {
 	cfg.Seed = *seed
 	cfg.RT.Partitioned = *partitioned
 	cfg.RT.Kernel = kern
-	cfg.Run = runner.Options{Workers: *workers, Checkpoint: *checkpoint}
+	cache, err := memo.FromFlags(*memoFlag, *memoDir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg.Run = runner.Options{Workers: *workers, Checkpoint: *checkpoint, Memo: cache}
 
 	if rec != nil {
 		if err := recordTrial(*seed, *cores, rec, kern); err != nil {

@@ -6,13 +6,17 @@
 // Usage:
 //
 //	makespan [-sweep u|p|cpr|all] [-dags N] [-instances N] [-cores N]
-//	         [-seed S] [-workers N] [-checkpoint file.json] [-kernel events|ticked]
+//	         [-seed S] [-workers N] [-checkpoint file.json] [-memo]
+//	         [-memo-dir DIR] [-kernel events|ticked]
 //
 // With the defaults (500 DAGs × 10 instances, as in §5.1) a full run takes
 // a few minutes; use -dags 100 for a quick pass. Trials fan out on the
 // internal/runner pool: -workers caps the concurrency (0 = NumCPU) without
 // changing any result, -checkpoint makes an interrupted run (Ctrl-C)
-// resumable at trial granularity.
+// resumable at trial granularity, and -memo/-memo-dir enable the
+// content-addressed trial result cache (internal/memo): a -memo-dir
+// shared between runs serves every previously computed trial from disk,
+// byte-identically.
 package main
 
 import (
@@ -23,6 +27,7 @@ import (
 
 	"l15cache/internal/experiments"
 	"l15cache/internal/kernel"
+	"l15cache/internal/memo"
 	"l15cache/internal/metrics"
 	"l15cache/internal/runner"
 )
@@ -38,6 +43,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "base RNG seed")
 	workers := flag.Int("workers", 0, "max concurrent trials (0 = NumCPU; never changes results)")
 	checkpoint := flag.String("checkpoint", "", "JSON checkpoint file; an interrupted sweep resumes from it")
+	memoFlag := flag.Bool("memo", false, "enable the in-memory trial result cache (never changes results)")
+	memoDir := flag.String("memo-dir", "", "on-disk trial cache directory, shareable across runs (implies -memo)")
 	csv := flag.Bool("csv", false, "emit CSV instead of the formatted tables")
 	metricsOut := flag.String("metrics", "", "write a metrics-registry JSON snapshot to this file")
 	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON file (chrome://tracing)")
@@ -67,7 +74,11 @@ func main() {
 	cfg.Instances = *instances
 	cfg.Cores = *cores
 	cfg.Seed = *seed
-	cfg.Run = runner.Options{Workers: *workers, Checkpoint: *checkpoint}
+	cache, err := memo.FromFlags(*memoFlag, *memoDir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg.Run = runner.Options{Workers: *workers, Checkpoint: *checkpoint, Memo: cache}
 	cfg.Kernel = kern
 
 	type sweepRun struct {

@@ -6,15 +6,17 @@
 // Usage:
 //
 //	repro [-quick] [-o report.md] [-seed S] [-workers N] [-checkpoint cp.json]
-//	      [-metrics m.json] [-trace t.json] [-flight rec.jsonl]
-//	      [-kernel events|ticked]
+//	      [-memo] [-memo-dir DIR] [-metrics m.json] [-trace t.json]
+//	      [-flight rec.jsonl] [-kernel events|ticked]
 //
 // -quick runs reduced sample sizes (~30 s); the default runs the paper's
 // full sizes (500 DAGs × 10 instances, 200 trials — several minutes).
 // Every randomized sweep fans out on the internal/runner pool: -workers
-// caps the concurrency (0 = NumCPU) without changing any result, and
+// caps the concurrency (0 = NumCPU) without changing any result,
 // -checkpoint makes an interrupted run (Ctrl-C) resumable at trial
-// granularity.
+// granularity, and -memo/-memo-dir enable the content-addressed trial
+// result cache (internal/memo): a -memo-dir shared between runs serves
+// every previously computed trial from disk, byte-identically.
 // -metrics serialises the unified metrics registry (scheduler wave counts,
 // rtsim counters, and the cycle-accurate smoke run's L1/L1.5/L2 hit+miss
 // counters and SDU latency histograms) as stable JSON — the artifact the CI
@@ -39,6 +41,7 @@ import (
 	"l15cache/internal/experiments"
 	"l15cache/internal/flight"
 	"l15cache/internal/kernel"
+	"l15cache/internal/memo"
 	"l15cache/internal/metrics"
 	"l15cache/internal/monitor"
 	"l15cache/internal/rtsim"
@@ -132,6 +135,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "base RNG seed")
 	workers := flag.Int("workers", 0, "max concurrent trials (0 = NumCPU; never changes results)")
 	checkpoint := flag.String("checkpoint", "", "JSON checkpoint file; an interrupted run resumes from it")
+	memoFlag := flag.Bool("memo", false, "enable the in-memory trial result cache (never changes results)")
+	memoDir := flag.String("memo-dir", "", "on-disk trial cache directory, shareable across runs (implies -memo)")
 	metricsOut := flag.String("metrics", "", "write a metrics-registry JSON snapshot to this file")
 	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON file (chrome://tracing)")
 	flightOut := flag.String("flight", "", "write a flight recording (.jsonl or .bin) of a representative trial")
@@ -145,7 +150,11 @@ func main() {
 
 	ctx, stop := runner.SignalContext(context.Background())
 	defer stop()
-	run := runner.Options{Workers: *workers, Checkpoint: *checkpoint}
+	cache, err := memo.FromFlags(*memoFlag, *memoDir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	run := runner.Options{Workers: *workers, Checkpoint: *checkpoint, Memo: cache}
 
 	var rec *flight.Recorder
 	if *flightOut != "" {

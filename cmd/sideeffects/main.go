@@ -6,11 +6,14 @@
 // Usage:
 //
 //	sideeffects [-trials N] [-seed S] [-workers N] [-checkpoint file.json]
-//	            [-kernel events|ticked]
+//	            [-memo] [-memo-dir DIR] [-kernel events|ticked]
 //
 // Trials fan out on the internal/runner pool: -workers caps the
 // concurrency (0 = NumCPU) without changing any result, -checkpoint makes
-// an interrupted run (Ctrl-C) resumable at trial granularity.
+// an interrupted run (Ctrl-C) resumable at trial granularity, and
+// -memo/-memo-dir enable the content-addressed trial result cache
+// (internal/memo): a -memo-dir shared between runs serves every
+// previously computed trial from disk, byte-identically.
 package main
 
 import (
@@ -21,6 +24,7 @@ import (
 
 	"l15cache/internal/experiments"
 	"l15cache/internal/kernel"
+	"l15cache/internal/memo"
 	"l15cache/internal/metrics"
 	"l15cache/internal/rtsim"
 	"l15cache/internal/runner"
@@ -35,6 +39,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "base RNG seed")
 	workers := flag.Int("workers", 0, "max concurrent trials (0 = NumCPU; never changes results)")
 	checkpoint := flag.String("checkpoint", "", "JSON checkpoint file; an interrupted sweep resumes from it")
+	memoFlag := flag.Bool("memo", false, "enable the in-memory trial result cache (never changes results)")
+	memoDir := flag.String("memo-dir", "", "on-disk trial cache directory, shareable across runs (implies -memo)")
 	csv := flag.Bool("csv", false, "emit CSV instead of the formatted table")
 	metricsOut := flag.String("metrics", "", "write a metrics-registry JSON snapshot to this file")
 	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON file (chrome://tracing)")
@@ -59,6 +65,11 @@ func main() {
 		log.Fatal(err)
 	}
 
+	cache, err := memo.FromFlags(*memoFlag, *memoDir)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	rt := rtsim.DefaultConfig()
 	rt.Kernel = kern
 	cfg := experiments.SideEffectsConfig{
@@ -66,7 +77,7 @@ func main() {
 		Seed:   *seed,
 		RT:     rt,
 		Set:    workload.DefaultTaskSetParams(),
-		Run:    runner.Options{Workers: *workers, Checkpoint: *checkpoint},
+		Run:    runner.Options{Workers: *workers, Checkpoint: *checkpoint, Memo: cache},
 	}
 	pts, err := experiments.RunSideEffects(ctx, cfg, []int{8, 16}, []float64{0.8, 1.0})
 	if err != nil {

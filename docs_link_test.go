@@ -1,0 +1,72 @@
+package l15cache_test
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// docFiles are the markdown documents whose intra-repo links must stay
+// valid; the docs-link CI job runs exactly this test.
+var docFiles = []string{
+	"README.md",
+	"ARCHITECTURE.md",
+	"DESIGN.md",
+	"EXPERIMENTS.md",
+	"ROADMAP.md",
+	"CHANGES.md",
+}
+
+// mdLink matches inline markdown links [text](target). Reference-style
+// links are not used in this repository's docs.
+var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// TestDocLinksResolve checks every relative link in the tracked markdown
+// files points at a path that exists in the repository, so renames and
+// deletions cannot silently strand the documentation cross-references.
+func TestDocLinksResolve(t *testing.T) {
+	for _, doc := range docFiles {
+		raw, err := os.ReadFile(doc)
+		if err != nil {
+			t.Errorf("%s: %v", doc, err)
+			continue
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(raw), -1) {
+			target := m[1]
+			switch {
+			case strings.HasPrefix(target, "http://"),
+				strings.HasPrefix(target, "https://"),
+				strings.HasPrefix(target, "mailto:"):
+				continue // external; availability is not this test's concern
+			case strings.HasPrefix(target, "#"):
+				continue // same-file anchor
+			}
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			if target == "" {
+				continue
+			}
+			if _, err := os.Stat(filepath.FromSlash(target)); err != nil {
+				t.Errorf("%s: broken link %q: %v", doc, m[1], err)
+			}
+		}
+	}
+}
+
+// TestDocsMentionMemoFlags pins the README/EXPERIMENTS documentation of
+// the result cache to the flags the tools actually expose, so a flag
+// rename breaks the build instead of the docs.
+func TestDocsMentionMemoFlags(t *testing.T) {
+	for _, doc := range []string{"README.md", "EXPERIMENTS.md", "DESIGN.md"} {
+		raw, err := os.ReadFile(doc)
+		if err != nil {
+			t.Fatalf("%s: %v", doc, err)
+		}
+		if !strings.Contains(string(raw), "-memo-dir") {
+			t.Errorf("%s: no mention of -memo-dir; result-cache docs missing or stale", doc)
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package dag
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// CanonicalVersion is the format version byte leading every canonical
+// task encoding. Bump it whenever the byte layout below changes; the
+// content-addressed caches built on top (internal/memo) then treat every
+// previously stored trial as a miss instead of silently reusing results
+// keyed under a different layout.
+const CanonicalVersion byte = 1
+
+// AppendCanonical appends the canonical byte encoding of the task to dst
+// and returns the extended slice. The encoding is the task's *simulation
+// identity*: two tasks with equal encodings are indistinguishable to every
+// scheduler and simulator in this module, so a content-addressed cache may
+// reuse one's results for the other.
+//
+// Layout (all integers big-endian, all floats IEEE-754 bits):
+//
+//	u8  CanonicalVersion
+//	f64 Period, f64 Deadline
+//	u32 node count, then per node in ID order:
+//	    f64 WCET, i64 Data, i64 Priority
+//	u32 edge count, then per edge in insertion order:
+//	    u32 From, u32 To, f64 Cost, f64 Alpha
+//
+// Deliberate choices, load-bearing for cache soundness:
+//
+//   - display names (Task.Name, Node.Name) are excluded: no simulator
+//     reads them, so they must not fragment the cache;
+//   - Priority is included even though schedulers overwrite it: a task
+//     submitted pre-prioritised simulates differently from the same task
+//     before prioritisation;
+//   - edges keep their insertion order rather than being sorted: the
+//     Pred/Succ adjacency lists preserve that order and dispatch
+//     tie-breaks may observe it, so "structurally equal modulo edge
+//     order" is not a safe equivalence to collapse.
+func (t *Task) AppendCanonical(dst []byte) []byte {
+	dst = append(dst, CanonicalVersion)
+	dst = appendF64(dst, t.Period)
+	dst = appendF64(dst, t.Deadline)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(t.Nodes)))
+	for _, n := range t.Nodes {
+		dst = appendF64(dst, n.WCET)
+		dst = binary.BigEndian.AppendUint64(dst, uint64(n.Data))
+		dst = binary.BigEndian.AppendUint64(dst, uint64(n.Priority))
+	}
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(t.Edges)))
+	for _, e := range t.Edges {
+		dst = binary.BigEndian.AppendUint32(dst, uint32(e.From))
+		dst = binary.BigEndian.AppendUint32(dst, uint32(e.To))
+		dst = appendF64(dst, e.Cost)
+		dst = appendF64(dst, e.Alpha)
+	}
+	return dst
+}
+
+// CanonicalBytes returns the canonical encoding as a fresh slice (see
+// AppendCanonical for the layout and its guarantees).
+func (t *Task) CanonicalBytes() []byte {
+	// 1 version + 2 task floats + per-node/edge fixed records.
+	n := 1 + 16 + 4 + 24*len(t.Nodes) + 4 + 24*len(t.Edges)
+	return t.AppendCanonical(make([]byte, 0, n))
+}
+
+// appendF64 appends the IEEE-754 bit pattern of v, big-endian. Encoding
+// the bits (not a decimal rendering) makes the canonical form exact: two
+// tasks differing in the last ulp of a cost encode differently.
+func appendF64(dst []byte, v float64) []byte {
+	return binary.BigEndian.AppendUint64(dst, math.Float64bits(v))
+}

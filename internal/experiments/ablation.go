@@ -53,23 +53,26 @@ func (a *AblationResult) Format() string {
 }
 
 // meanPropMakespan generates cfg.DAGs tasks on the runner and returns the
-// mean deadline-normalised steady makespan of the proposed system under
-// the given schedule transformer.
-func meanPropMakespan(ctx context.Context, name string, cfg MakespanConfig, schedule func(*dag.Task) (*sched.Result, *schedsim.Proposed, error)) (float64, error) {
+// mean deadline-normalised steady makespan of the proposed system at an
+// explicit (ζ, κ) point. The ζ and κ sweeps both funnel through here, so
+// their memo entries share one "prop-makespan" cache domain: a point
+// where the sweeps cross (ζ = 16, κ = 2 KB) is computed once.
+func meanPropMakespan(ctx context.Context, name string, cfg MakespanConfig, zeta int, wayBytes int64) (float64, error) {
 	values, err := runner.Map(ctx, runner.Config{
-		Name:     name,
-		RootSeed: cfg.Seed,
-		Options:  cfg.Run,
+		Name:        name,
+		RootSeed:    cfg.Seed,
+		Options:     cfg.Run,
+		Fingerprint: propMakespanFingerprint(cfg, zeta, wayBytes),
 	}, cfg.DAGs, func(_ context.Context, s runner.Shard) (float64, error) {
 		task, err := workload.Synthetic(s.RNG(), cfg.Base)
 		if err != nil {
 			return 0, err
 		}
-		alloc, plat, err := schedule(task)
+		p, err := schedsim.NewProposed(task, zeta, wayBytes)
 		if err != nil {
 			return 0, err
 		}
-		st, err := schedsim.Run(alloc, plat, schedsim.Options{Cores: cfg.Cores, Instances: 1, Kernel: cfg.Kernel})
+		st, err := schedsim.Run(p.Alloc, p, schedsim.Options{Cores: cfg.Cores, Instances: 1, Kernel: cfg.Kernel})
 		if err != nil {
 			return 0, err
 		}
@@ -91,14 +94,7 @@ func meanPropMakespan(ctx context.Context, name string, cfg MakespanConfig, sche
 func AblateZeta(ctx context.Context, cfg MakespanConfig, zetas []int) (*AblationResult, error) {
 	out := &AblationResult{Name: "zeta", Metric: "mean makespan / T"}
 	for _, z := range zetas {
-		v, err := meanPropMakespan(ctx, fmt.Sprintf("ablation/zeta=%d", z), cfg,
-			func(t *dag.Task) (*sched.Result, *schedsim.Proposed, error) {
-				p, err := schedsim.NewProposed(t, z, cfg.WayBytes)
-				if err != nil {
-					return nil, nil, err
-				}
-				return p.Alloc, p, nil
-			})
+		v, err := meanPropMakespan(ctx, fmt.Sprintf("ablation/zeta=%d", z), cfg, z, cfg.WayBytes)
 		if err != nil {
 			return nil, err
 		}
@@ -118,14 +114,7 @@ func AblateWayBytes(ctx context.Context, cfg MakespanConfig, wayBytes []int64) (
 			return nil, fmt.Errorf("experiments: way size %d does not divide %d", kb, totalBytes)
 		}
 		zeta := int(totalBytes / kb)
-		v, err := meanPropMakespan(ctx, fmt.Sprintf("ablation/kappa=%d", kb), cfg,
-			func(t *dag.Task) (*sched.Result, *schedsim.Proposed, error) {
-				p, err := schedsim.NewProposed(t, zeta, kb)
-				if err != nil {
-					return nil, nil, err
-				}
-				return p.Alloc, p, nil
-			})
+		v, err := meanPropMakespan(ctx, fmt.Sprintf("ablation/kappa=%d", kb), cfg, zeta, kb)
 		if err != nil {
 			return nil, err
 		}
@@ -161,9 +150,10 @@ type prioTrial struct {
 func AblatePriorities(ctx context.Context, cfg MakespanConfig) (PriorityAblation, error) {
 	var out PriorityAblation
 	trials, err := runner.Map(ctx, runner.Config{
-		Name:     "ablation/prio",
-		RootSeed: cfg.Seed,
-		Options:  cfg.Run,
+		Name:        "ablation/prio",
+		RootSeed:    cfg.Seed,
+		Options:     cfg.Run,
+		Fingerprint: prioAblationFingerprint(cfg),
 	}, cfg.DAGs, func(_ context.Context, s runner.Shard) (prioTrial, error) {
 		var tr prioTrial
 		task, err := workload.Synthetic(s.RNG(), cfg.Base)
@@ -252,25 +242,26 @@ func AblateConfigDelay(ctx context.Context, trials int, seed int64, run runner.O
 		return nil, fmt.Errorf("experiments: trials = %d", trials)
 	}
 	out := &AblationResult{Name: "config-delay", Metric: "phi"}
+	set := workload.DefaultTaskSetParams()
+	set.TargetUtilization = 0.8 * 8
+	set.Tasks = 16
 	for di, d := range delays {
 		if d < 0 {
 			return nil, fmt.Errorf("experiments: negative delay %g", d)
 		}
+		cfg := rtsim.DefaultConfig()
+		cfg.WayConfigDelay = d
+		cfg.Kernel = kern
 		phis, err := runner.Map(ctx, runner.Config{
-			Name:     fmt.Sprintf("ablation/delay=%g", d),
-			RootSeed: runner.Seed(seed, di),
-			Options:  run,
+			Name:        fmt.Sprintf("ablation/delay=%g", d),
+			RootSeed:    runner.Seed(seed, di),
+			Options:     run,
+			Fingerprint: taskSetTrialFingerprint("ablation/delay", set, cfg),
 		}, trials, func(_ context.Context, s runner.Shard) (float64, error) {
-			set := workload.DefaultTaskSetParams()
-			set.TargetUtilization = 0.8 * 8
-			set.Tasks = 16
 			tasks, err := workload.TaskSet(s.RNG(), set)
 			if err != nil {
 				return 0, err
 			}
-			cfg := rtsim.DefaultConfig()
-			cfg.WayConfigDelay = d
-			cfg.Kernel = kern
 			m, err := rtsim.Run(tasks, rtsim.KindProp, cfg)
 			if err != nil {
 				return 0, err

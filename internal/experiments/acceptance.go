@@ -75,14 +75,15 @@ func AcceptanceRatio(ctx context.Context, cfg AcceptanceConfig, utils []float64)
 	}
 	var out []AcceptancePoint
 	for ui, u := range utils {
+		p := cfg.Base
+		p.Utilization = u
 		trials, err := runner.Map(ctx, runner.Config{
-			Name:     fmt.Sprintf("acceptance/U=%g", u),
-			RootSeed: runner.Seed(cfg.Seed, ui),
-			Options:  cfg.Run,
+			Name:        fmt.Sprintf("acceptance/U=%g", u),
+			RootSeed:    runner.Seed(cfg.Seed, ui),
+			Options:     cfg.Run,
+			Fingerprint: acceptanceFingerprint(cfg, p),
 		}, cfg.DAGs, func(_ context.Context, s runner.Shard) (acceptanceTrial, error) {
 			var tr acceptanceTrial
-			p := cfg.Base
-			p.Utilization = u
 			task, err := workload.Synthetic(s.RNG(), p)
 			if err != nil {
 				return tr, err

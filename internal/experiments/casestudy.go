@@ -68,12 +68,16 @@ func RunCaseStudy(ctx context.Context, cfg CaseStudyConfig, utils []float64) (*C
 	}
 	out := &CaseStudyResult{Cores: cfg.Cores}
 	for ui, util := range utils {
+		set := cfg.Set
+		set.TargetUtilization = util * float64(cfg.Cores)
+		set.Tasks = cfg.Tasks
 		successes, err := runner.Map(ctx, runner.Config{
-			Name:     fmt.Sprintf("casestudy/%dc/u=%g", cfg.Cores, util),
-			RootSeed: runner.Seed(cfg.Seed, ui),
-			Options:  cfg.Run,
+			Name:        fmt.Sprintf("casestudy/%dc/u=%g", cfg.Cores, util),
+			RootSeed:    runner.Seed(cfg.Seed, ui),
+			Options:     cfg.Run,
+			Fingerprint: taskSetTrialFingerprint("casestudy", set, cfg.RT),
 		}, cfg.Trials, func(_ context.Context, s runner.Shard) (map[string]bool, error) {
-			return runCaseTrial(cfg, util, s.Seed)
+			return runCaseTrial(cfg.RT, set, s.Seed)
 		})
 		if err != nil {
 			return nil, err
@@ -94,18 +98,15 @@ func RunCaseStudy(ctx context.Context, cfg CaseStudyConfig, utils []float64) (*C
 	return out, nil
 }
 
-func runCaseTrial(cfg CaseStudyConfig, util float64, seed int64) (map[string]bool, error) {
+func runCaseTrial(rt rtsim.Config, set workload.TaskSetParams, seed int64) (map[string]bool, error) {
 	r := rand.New(rand.NewSource(seed))
-	set := cfg.Set
-	set.TargetUtilization = util * float64(cfg.Cores)
-	set.Tasks = cfg.Tasks
 	tasks, err := workload.TaskSet(r, set)
 	if err != nil {
 		return nil, err
 	}
 	res := make(map[string]bool, 4)
 	for _, kind := range CaseStudySystems() {
-		m, err := rtsim.Run(tasks, kind, cfg.RT)
+		m, err := rtsim.Run(tasks, kind, rt)
 		if err != nil {
 			return nil, err
 		}
@@ -181,16 +182,16 @@ func RunSideEffects(ctx context.Context, cfg SideEffectsConfig, cores []int, uti
 			if tasks <= 0 {
 				tasks = c
 			}
+			set := cfg.Set
+			set.TargetUtilization = util * float64(c)
+			set.Tasks = tasks
 			trials, err := runner.Map(ctx, runner.Config{
-				Name:     fmt.Sprintf("sideeffects/%dc/u=%g", c, util),
-				RootSeed: runner.Seed(cfg.Seed, ci*len(utils)+ui),
-				Options:  cfg.Run,
+				Name:        fmt.Sprintf("sideeffects/%dc/u=%g", c, util),
+				RootSeed:    runner.Seed(cfg.Seed, ci*len(utils)+ui),
+				Options:     cfg.Run,
+				Fingerprint: taskSetTrialFingerprint("sideeffects", set, rt),
 			}, cfg.Trials, func(_ context.Context, s runner.Shard) (sideTrial, error) {
-				r := s.RNG()
-				set := cfg.Set
-				set.TargetUtilization = util * float64(c)
-				set.Tasks = tasks
-				ts, err := workload.TaskSet(r, set)
+				ts, err := workload.TaskSet(s.RNG(), set)
 				if err != nil {
 					return sideTrial{}, err
 				}

@@ -100,9 +100,10 @@ func runPoint(ctx context.Context, cfg MakespanConfig, p workload.SynthParams, n
 		Worst: map[string]float64{},
 	}
 	results, err := runner.Map(ctx, runner.Config{
-		Name:     name,
-		RootSeed: pointSeed,
-		Options:  cfg.Run,
+		Name:        name,
+		RootSeed:    pointSeed,
+		Options:     cfg.Run,
+		Fingerprint: makespanFingerprint(cfg, p),
 	}, cfg.DAGs, func(_ context.Context, s runner.Shard) (dagResult, error) {
 		return runOneDAG(cfg, p, s.Seed)
 	})

@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+
+	"l15cache/internal/flight"
+	"l15cache/internal/memo"
+	"l15cache/internal/metrics"
+	"l15cache/internal/runner"
+)
+
+// The memo soundness gate at the experiments level: every sweep family
+// must produce byte-identical artifacts with the cache off, cold and
+// warm, at differing worker counts — a cache hit must be observationally
+// indistinguishable from a recomputation (DESIGN.md §12).
+
+func marshal(t *testing.T, v any) []byte {
+	t.Helper()
+	raw, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+// TestMemoMakespanByteIdentity runs a small utilisation sweep memo-off,
+// memo-cold and memo-warm and byte-compares the three results.
+func TestMemoMakespanByteIdentity(t *testing.T) {
+	run := func(cache *memo.Cache, workers int) []byte {
+		cfg := DefaultMakespanConfig()
+		cfg.DAGs = 8
+		cfg.Instances = 2
+		cfg.Run = runner.Options{Workers: workers, Memo: cache}
+		s, err := SweepUtilization(context.Background(), cfg, []float64{0.4, 0.8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return marshal(t, s)
+	}
+	off := run(nil, 1)
+	reg := metrics.NewRegistry()
+	cache, err := memo.New(memo.Options{Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(run(cache, 3), off) {
+		t.Error("memo-cold sweep differs from memo-off sweep")
+	}
+	if !bytes.Equal(run(cache, 2), off) {
+		t.Error("memo-warm sweep differs from memo-off sweep")
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["memo.hits"] == 0 || snap.Counters["memo.stores"] == 0 {
+		t.Errorf("cache never exercised: %v", snap.Counters)
+	}
+}
+
+// TestMemoCaseStudyByteIdentity covers the periodic-simulator path
+// (rtsim fingerprints) the makespan test does not reach.
+func TestMemoCaseStudyByteIdentity(t *testing.T) {
+	run := func(cache *memo.Cache, workers int) []byte {
+		cfg := DefaultCaseStudyConfig(8)
+		cfg.Trials = 3
+		cfg.Tasks = 4
+		cfg.Run = runner.Options{Workers: workers, Memo: cache}
+		res, err := RunCaseStudy(context.Background(), cfg, []float64{0.5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return marshal(t, res)
+	}
+	off := run(nil, 1)
+	reg := metrics.NewRegistry()
+	cache, err := memo.New(memo.Options{Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(run(cache, 2), off) {
+		t.Error("memo-cold case study differs from memo-off")
+	}
+	if !bytes.Equal(run(cache, 1), off) {
+		t.Error("memo-warm case study differs from memo-off")
+	}
+	if got := reg.Snapshot().Counters["memo.hits"]; got != 3 {
+		t.Errorf("warm run hits = %d, want 3", got)
+	}
+}
+
+// TestMemoZetaKappaShareEntries pins the shared "prop-makespan" domain:
+// the ζ sweep at ζ=16 and the κ sweep at κ=2048 (so ζ=32768/2048=16)
+// evaluate the same trial function, so the second sweep must be served
+// entirely from the first sweep's entries.
+func TestMemoZetaKappaShareEntries(t *testing.T) {
+	reg := metrics.NewRegistry()
+	cache, err := memo.New(memo.Options{Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultMakespanConfig()
+	cfg.DAGs = 6
+	cfg.Run = runner.Options{Workers: 2, Memo: cache}
+	zres, err := AblateZeta(context.Background(), cfg, []int{16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kres, err := AblateWayBytes(context.Background(), cfg, []int64{2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zres.Points[0].Value != kres.Points[0].Value {
+		t.Errorf("ζ=16 and κ=2KB disagree: %v vs %v",
+			zres.Points[0].Value, kres.Points[0].Value)
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters["memo.hits"]; got != 6 {
+		t.Errorf("κ sweep hits = %d, want all 6 from the ζ sweep", got)
+	}
+}
+
+// TestMemoRecorderDisables pins the observability carve-out: a config
+// carrying a flight recorder must not be memoized (a hit would skip the
+// event stream), which taskSetTrialFingerprint signals with nil.
+func TestMemoRecorderDisables(t *testing.T) {
+	cfg := DefaultCaseStudyConfig(8)
+	set := cfg.Set
+	if fp := taskSetTrialFingerprint("casestudy", set, cfg.RT); fp == nil {
+		t.Fatal("recorder-free config not memoizable")
+	}
+	rec := cfg.RT
+	rec.Recorder = flight.New()
+	if fp := taskSetTrialFingerprint("casestudy", set, rec); fp != nil {
+		t.Error("recorder-bearing config produced a fingerprint")
+	}
+}

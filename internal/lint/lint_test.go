@@ -216,3 +216,26 @@ func TestSuiteCleanOnOwnPackage(t *testing.T) {
 		}
 	}
 }
+
+// TestPurityCheckMemoCarveOut loads the real experiments/runner/memo
+// packages and asserts the interprocedural purity check accepts the
+// content-addressed cache chain (experiments sweep -> runner.Map ->
+// memo.Get -> os.ReadFile): package memo's fs-read carve-out must keep the
+// disk tier from registering as a determinism hazard, while every other
+// rule still applies to it.
+func TestPurityCheckMemoCarveOut(t *testing.T) {
+	pkgs, err := Load("", "../experiments", "../runner", "../memo")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	diags, err := RunModule(pkgs, []*Analyzer{PurityCheck})
+	if err != nil {
+		t.Fatalf("RunModule: %v", err)
+	}
+	for _, d := range diags {
+		if d.Suppressed {
+			continue
+		}
+		t.Errorf("purity finding across the memo chain: %s", d)
+	}
+}

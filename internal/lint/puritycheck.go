@@ -28,6 +28,12 @@ import (
 //   - package flight keeps the matching wall-clock carve-out only: its
 //     recorded events are cycle-stamped sim-time, and the clock merely
 //     paces the live /events SSE polling loop;
+//   - package memo keeps a filesystem-read carve-out: the content-addressed
+//     trial cache (DESIGN.md §12) keys disk entries by a hash of the full
+//     trial input, so a verified read only ever replaces a computation with
+//     that computation's own bytes — it can change how a result is obtained,
+//     never which result. Wall-clock, global-rand and map-order rules still
+//     apply there;
 //   - only filesystem/env *reads* are sinks. Writes (reports, CSVs,
 //     checkpoints) do not feed results back into the simulation.
 var PurityCheck = &Analyzer{
@@ -121,6 +127,7 @@ func runPurityCheck(mp *ModulePass) error {
 		}
 		runnerExempt := node.Pkg.Types.Name() == "runner"
 		flightExempt := node.Pkg.Types.Name() == "flight"
+		memoExempt := node.Pkg.Types.Name() == "memo"
 		for _, edge := range node.Calls {
 			callee := g.Nodes[edge.Callee]
 			kind := classifySink(callee.Fn)
@@ -132,6 +139,9 @@ func runPurityCheck(mp *ModulePass) error {
 			}
 			if flightExempt && kind == "wall-clock" {
 				continue // SSE poll pacing; events are cycle-stamped (see doc)
+			}
+			if memoExempt && kind == "fs-read" {
+				continue // content-addressed cache: a hit replays the trial's own bytes (see doc)
 			}
 			fs.Seed(id, Fact{
 				Kind:   kind,

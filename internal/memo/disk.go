@@ -1,0 +1,111 @@
+package memo
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// The disk tier stores one JSON envelope per key, named <hex(key)>.json.
+// The envelope carries the format version, the key itself and a checksum
+// of the value, so a read can verify the entry end to end:
+//
+//	{"format":1,"key":"<hex64>","sum":"<hex sha256(value)>","value":...}
+//
+// The key in the filename is untrusted (files get copied and renamed);
+// the key *inside* the envelope is what binds the value to the trial
+// input, and the sum is what detects a damaged value that still parses
+// as JSON. Any verification failure deletes the file and reads as a
+// miss — the recomputed result then repairs the entry.
+
+// diskEnvelope is the on-disk JSON shape.
+type diskEnvelope struct {
+	Format int             `json:"format"`
+	Key    string          `json:"key"`
+	Sum    string          `json:"sum"`
+	Value  json.RawMessage `json:"value"`
+}
+
+// path returns the entry file for key.
+func (c *Cache) path(key Key) string {
+	return filepath.Join(c.dir, key.String()+".json")
+}
+
+// readDisk loads and verifies the entry for key. Verification failures
+// (unparsable, wrong format, wrong key, bad checksum) delete the file,
+// count memo.corrupt and report a miss; a missing file is a plain miss.
+func (c *Cache) readDisk(key Key) ([]byte, bool) {
+	data, err := os.ReadFile(c.path(key))
+	if err != nil {
+		if !os.IsNotExist(err) {
+			c.corrupt.Inc() // unreadable is as good as corrupt
+		}
+		return nil, false
+	}
+	var env diskEnvelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		c.dropCorrupt(key)
+		return nil, false
+	}
+	if env.Format != int(FormatVersion) || env.Key != key.String() || len(env.Value) == 0 {
+		c.dropCorrupt(key)
+		return nil, false
+	}
+	sum := sha256.Sum256(env.Value)
+	want, err := hex.DecodeString(env.Sum)
+	if err != nil || !bytes.Equal(sum[:], want) {
+		c.dropCorrupt(key)
+		return nil, false
+	}
+	return env.Value, true
+}
+
+// dropCorrupt removes a failed entry so the next computed result can
+// repair it, and counts the corruption.
+func (c *Cache) dropCorrupt(key Key) {
+	if err := os.Remove(c.path(key)); err != nil && !os.IsNotExist(err) {
+		c.storeErrs.Inc()
+	}
+	c.corrupt.Inc()
+}
+
+// writeDisk persists the envelope via temp file + atomic rename: a
+// concurrent reader sees either the old complete entry or the new
+// complete entry, never a torn write, and two concurrent writers of the
+// same key rename identical bytes over each other harmlessly.
+func (c *Cache) writeDisk(key Key, value []byte) error {
+	sum := sha256.Sum256(value)
+	env := diskEnvelope{
+		Format: int(FormatVersion),
+		Key:    key.String(),
+		Sum:    hex.EncodeToString(sum[:]),
+		Value:  json.RawMessage(value),
+	}
+	data, err := json.Marshal(env)
+	if err != nil {
+		return fmt.Errorf("memo: encoding entry: %w", err)
+	}
+	tmp, err := os.CreateTemp(c.dir, ".memo-*")
+	if err != nil {
+		return fmt.Errorf("memo: writing entry: %w", err)
+	}
+	_, werr := tmp.Write(append(data, '\n'))
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		if rerr := os.Remove(tmp.Name()); rerr != nil {
+			return fmt.Errorf("memo: cleaning up entry temp file: %w", rerr)
+		}
+		if werr != nil {
+			return fmt.Errorf("memo: writing entry: %w", werr)
+		}
+		return fmt.Errorf("memo: writing entry: %w", cerr)
+	}
+	if err := os.Rename(tmp.Name(), c.path(key)); err != nil {
+		return fmt.Errorf("memo: writing entry: %w", err)
+	}
+	return nil
+}

@@ -19,8 +19,11 @@
 // old ad-hoc goroutine fan-outs lacked: concurrency capped at
 // Options.Workers (default runtime.NumCPU()), cooperative cancellation
 // (SignalContext wires SIGINT) with a partial-result summary, per-trial
-// JSON checkpointing so a killed sweep resumes where it stopped, and
-// progress/ETA gauges published through the internal/metrics registry
+// JSON checkpointing so a killed sweep resumes where it stopped,
+// content-addressed trial memoization (Options.Memo, keyed off
+// Config.Fingerprint; see internal/memo and DESIGN.md §12) so previously
+// computed trials are served from cache, and progress/ETA gauges
+// published through the internal/metrics registry
 // (runner.<name>.progress, runner.<name>.eta_seconds,
 // runner.<name>.trials_completed, runner.<name>.trials_total).
 //
@@ -41,11 +44,13 @@ import (
 	"sync"
 	"time"
 
+	"l15cache/internal/memo"
 	"l15cache/internal/metrics"
 )
 
 // Options is the operator-facing knob set every experiment config embeds;
-// the cmd/ tools map their -workers and -checkpoint flags onto it.
+// the cmd/ tools map their -workers, -checkpoint and -memo/-memo-dir
+// flags onto it.
 type Options struct {
 	// Workers caps the number of concurrent shard evaluations. Zero or
 	// negative means runtime.NumCPU(). The value never influences
@@ -55,6 +60,15 @@ type Options struct {
 	// shards at trial granularity. A rerun with the same Config resumes
 	// from it, recomputing only the missing shards.
 	Checkpoint string
+	// Memo, when non-nil, is the content-addressed trial result cache
+	// (internal/memo). Before dispatching a shard, Map looks up the key
+	// derived from Config.Fingerprint and the shard identity; hits skip
+	// the computation entirely, and every computed shard is stored back.
+	// Reuse is sound because the determinism contract above makes a
+	// shard's result a pure function of exactly what the key hashes
+	// (DESIGN.md §12). Like Workers, a cache can change only wall-clock
+	// time, never a result.
+	Memo *memo.Cache
 }
 
 // workers resolves the effective pool size for n shards.
@@ -78,8 +92,18 @@ type Config struct {
 	Name string
 	// RootSeed roots the per-shard seed derivation (see Seed).
 	RootSeed int64
-	// Options carries the worker-pool and checkpoint settings.
+	// Options carries the worker-pool, checkpoint and memo settings.
 	Options
+	// Fingerprint is the canonical encoding (built with memo.Encoder) of
+	// every trial input other than the shard identity: the experiment
+	// config, workload parameters and kernel mode the shard function
+	// closes over. It is the caller's half of the memo soundness
+	// contract — every input that can influence a shard's result must be
+	// encoded, and DESIGN.md §12 spells out the rules. nil disables
+	// memoization for this Map call even when Options.Memo is set (the
+	// right choice for side-effect-bearing trials, e.g. ones that emit
+	// flight recordings).
+	Fingerprint []byte
 	// Registry receives the progress instruments; nil means
 	// metrics.Default.
 	Registry *metrics.Registry
@@ -205,6 +229,42 @@ func Map[T any](ctx context.Context, cfg Config, n int, fn func(context.Context,
 		restored = restoreCheckpoint(cp, results, finished)
 	}
 
+	// Memo lookup pass: any shard whose key is already in the trial
+	// cache is restored without computing. Hits deliberately do not feed
+	// the checkpoint — the checkpoint records what *this run* computed,
+	// and a resume consults the cache again anyway.
+	var memoKeys []memo.Key
+	if cfg.Memo != nil {
+		if cfg.Fingerprint == nil {
+			cfg.Memo.Skipped()
+		} else {
+			memoKeys = make([]memo.Key, n)
+			for i := 0; i < n; i++ {
+				memoKeys[i] = memo.TrialKey(cfg.Fingerprint, i, Seed(cfg.RootSeed, i))
+			}
+			for i := 0; i < n; i++ {
+				if finished[i] {
+					continue
+				}
+				raw, ok := cfg.Memo.Get(memoKeys[i])
+				if !ok {
+					continue
+				}
+				var v T
+				if err := json.Unmarshal(raw, &v); err != nil {
+					// The entry verified at the cache layer but does not
+					// decode as this sweep's trial type: schema drift.
+					// Drop it and recompute; the store below repairs it.
+					cfg.Memo.Discard(memoKeys[i])
+					continue
+				}
+				results[i] = v
+				finished[i] = true
+				restored++
+			}
+		}
+	}
+
 	reg := cfg.Registry
 	if reg == nil {
 		reg = metrics.Default
@@ -275,6 +335,14 @@ func Map[T any](ctx context.Context, cfg Config, n int, fn func(context.Context,
 		}
 		results[o.index] = o.value
 		finished[o.index] = true
+		if memoKeys != nil {
+			if raw, merr := json.Marshal(o.value); merr == nil {
+				// A failed store is surfaced through memo.store_errors,
+				// never allowed to fail the sweep: the cache is an
+				// optimisation, e.g. the memo dir may be read-only.
+				_ = cfg.Memo.Put(memoKeys[o.index], raw)
+			}
+		}
 		doneNew++
 		completedC.Inc()
 		progressG.Set(float64(restored+doneNew) / float64(n))

@@ -2,6 +2,7 @@ package runner
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"os"
@@ -11,6 +12,7 @@ import (
 	"syscall"
 	"testing"
 
+	"l15cache/internal/memo"
 	"l15cache/internal/metrics"
 )
 
@@ -303,5 +305,188 @@ func TestZeroShards(t *testing.T) {
 	}
 	if _, err := Map(context.Background(), Config{Name: "t/neg"}, -1, square); err == nil {
 		t.Error("negative shard count accepted")
+	}
+}
+
+// TestMemoRoundTrip runs the same sweep twice against one shared cache:
+// the second run must invoke the shard function zero times and still
+// produce identical results, at any worker count.
+func TestMemoRoundTrip(t *testing.T) {
+	cache, err := memo.New(memo.Options{Registry: metrics.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := memo.NewEncoder("runner-test").Fingerprint()
+	draw := func(_ context.Context, s Shard) (float64, error) {
+		return s.RNG().Float64(), nil
+	}
+	cfg := Config{Name: "t/memo-cold", RootSeed: 11,
+		Options: Options{Workers: 4, Memo: cache}, Fingerprint: fp}
+	cold, err := Map(context.Background(), cfg, 40, draw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 3, 8} {
+		var ran atomic.Int64
+		warm, err := Map(context.Background(),
+			Config{Name: fmt.Sprintf("t/memo-warm-w%d", workers), RootSeed: 11,
+				Options: Options{Workers: workers, Memo: cache}, Fingerprint: fp},
+			40,
+			func(c context.Context, s Shard) (float64, error) {
+				ran.Add(1)
+				return draw(c, s)
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ran.Load() != 0 {
+			t.Errorf("workers=%d: warm run recomputed %d shards", workers, ran.Load())
+		}
+		for i := range cold {
+			if warm[i] != cold[i] {
+				t.Fatalf("workers=%d shard %d: warm %v != cold %v", workers, i, warm[i], cold[i])
+			}
+		}
+	}
+}
+
+// TestMemoOnVsOffByteIdentity is the runner-level half of the memo
+// soundness gate: memo-off, memo-cold and memo-warm runs of one sweep
+// must JSON-encode to identical bytes at several worker counts.
+func TestMemoOnVsOffByteIdentity(t *testing.T) {
+	fp := memo.NewEncoder("runner-identity").Fingerprint()
+	draw := func(_ context.Context, s Shard) (float64, error) {
+		r := s.RNG()
+		sum := 0.0
+		for i := 0; i < 50; i++ {
+			sum += r.NormFloat64()
+		}
+		return sum, nil
+	}
+	encode := func(name string, workers int, cache *memo.Cache) []byte {
+		res, err := Map(context.Background(),
+			Config{Name: name, RootSeed: 3,
+				Options: Options{Workers: workers, Memo: cache}, Fingerprint: fp},
+			30, draw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return raw
+	}
+	off := encode("t/ident-off", 1, nil)
+	cache, err := memo.New(memo.Options{Registry: metrics.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4, 7} {
+		cold := encode(fmt.Sprintf("t/ident-cold-w%d", workers), workers, cache)
+		if string(cold) != string(off) {
+			t.Errorf("workers=%d: memo-on run differs from memo-off baseline", workers)
+		}
+	}
+}
+
+// TestMemoDiskReuse checks the cross-process path the CI memo-smoke job
+// exercises: a second run with a fresh Cache over the same -memo-dir
+// recomputes nothing and counts disk hits.
+func TestMemoDiskReuse(t *testing.T) {
+	dir := t.TempDir()
+	fp := memo.NewEncoder("runner-disk").Fingerprint()
+	run := func(name string, fn func(context.Context, Shard) (int, error)) *metrics.Registry {
+		reg := metrics.NewRegistry()
+		cache, err := memo.New(memo.Options{Dir: dir, Registry: reg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Map(context.Background(),
+			Config{Name: name, RootSeed: 5, Options: Options{Workers: 2, Memo: cache},
+				Fingerprint: fp, Registry: reg},
+			20, fn); err != nil {
+			t.Fatal(err)
+		}
+		return reg
+	}
+	run("t/disk-cold", square)
+	var ran atomic.Int64
+	reg := run("t/disk-warm", func(_ context.Context, s Shard) (int, error) {
+		ran.Add(1)
+		return 0, nil
+	})
+	if ran.Load() != 0 {
+		t.Errorf("warm run recomputed %d shards despite memo dir", ran.Load())
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters["memo.hits_disk"]; got != 20 {
+		t.Errorf("hits_disk = %d, want 20", got)
+	}
+}
+
+// TestMemoCorruptValueRecomputed: a stored value the runner cannot decode
+// into T must be discarded and recomputed, not crash the sweep.
+func TestMemoCorruptValueRecomputed(t *testing.T) {
+	reg := metrics.NewRegistry()
+	cache, err := memo.New(memo.Options{Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := memo.NewEncoder("runner-corrupt").Fingerprint()
+	// Poison shard 2's key with JSON that does not decode as int.
+	if err := cache.Put(memo.TrialKey(fp, 2, Seed(1, 2)), []byte(`"not an int"`)); err != nil {
+		t.Fatal(err)
+	}
+	var ran atomic.Int64
+	got, err := Map(context.Background(),
+		Config{Name: "t/memo-corrupt", RootSeed: 1,
+			Options: Options{Workers: 1, Memo: cache}, Fingerprint: fp},
+		5,
+		func(c context.Context, s Shard) (int, error) {
+			ran.Add(1)
+			return square(c, s)
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[2] != 4 {
+		t.Errorf("poisoned shard result = %d, want 4", got[2])
+	}
+	if ran.Load() != 5 {
+		t.Errorf("ran %d shards, want all 5 (cold cache + poisoned entry)", ran.Load())
+	}
+	if got := reg.Snapshot().Counters["memo.corrupt"]; got != 1 {
+		t.Errorf("corrupt = %d, want 1", got)
+	}
+}
+
+// TestMemoNilFingerprintSkips: Options.Memo without a fingerprint must
+// disable memoization and count the declined opportunity.
+func TestMemoNilFingerprintSkips(t *testing.T) {
+	reg := metrics.NewRegistry()
+	cache, err := memo.New(memo.Options{Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Name: "t/memo-skip", Options: Options{Workers: 1, Memo: cache}}
+	for i := 0; i < 2; i++ {
+		var ran atomic.Int64
+		if _, err := Map(context.Background(), cfg, 5, func(c context.Context, s Shard) (int, error) {
+			ran.Add(1)
+			return square(c, s)
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if ran.Load() != 5 {
+			t.Errorf("run %d: ran %d shards, want 5 (memo must be inert)", i, ran.Load())
+		}
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters["memo.skipped"]; got != 2 {
+		t.Errorf("skipped = %d, want 2", got)
+	}
+	if cache.Len() != 0 {
+		t.Errorf("cache populated (%d entries) without a fingerprint", cache.Len())
 	}
 }

@@ -1,0 +1,44 @@
+package workload
+
+import "l15cache/internal/memo"
+
+// The AppendFingerprint methods encode each parameter set into a memo
+// canonical encoding (DESIGN.md §12). They live here, next to the struct
+// definitions, so adding a generation parameter and forgetting to encode
+// it is a one-file review failure rather than a cross-package one: every
+// field that steers a generator below must appear here, under its own
+// name, in declaration order.
+
+// AppendFingerprint encodes the synthetic-DAG generation parameters.
+func (p SynthParams) AppendFingerprint(e *memo.Encoder) {
+	e.I64("synth.min_layers", int64(p.MinLayers))
+	e.I64("synth.max_layers", int64(p.MaxLayers))
+	e.I64("synth.max_width", int64(p.MaxWidth))
+	e.F64("synth.edge_prob", p.EdgeProb)
+	e.F64("synth.min_period", p.MinPeriod)
+	e.F64("synth.max_period", p.MaxPeriod)
+	e.F64("synth.utilization", p.Utilization)
+	e.F64("synth.cpr", p.CPR)
+	e.F64("synth.comm_ratio", p.CommRatio)
+	e.F64("synth.alpha_max", p.AlphaMax)
+	e.I64("synth.min_data", p.MinData)
+	e.I64("synth.max_data", p.MaxData)
+}
+
+// AppendFingerprint encodes the PARSEC-like kernel generation parameters.
+func (p CaseStudyParams) AppendFingerprint(e *memo.Encoder) {
+	e.I64("case.threads", int64(p.Threads))
+	e.I64("case.min_data", p.MinData)
+	e.I64("case.max_data", p.MaxData)
+	e.F64("case.alpha_max", p.AlphaMax)
+}
+
+// AppendFingerprint encodes the task-set generation parameters,
+// including the embedded per-kernel structure parameters.
+func (p TaskSetParams) AppendFingerprint(e *memo.Encoder) {
+	e.F64("set.target_utilization", p.TargetUtilization)
+	e.I64("set.tasks", int64(p.Tasks))
+	e.F64("set.min_period", p.MinPeriod)
+	e.F64("set.max_period", p.MaxPeriod)
+	p.CaseStudy.AppendFingerprint(e)
+}
