@@ -13,6 +13,7 @@
 //	go run ./cmd/codecheck -baseline lint.baseline.json ./...
 //	go run ./cmd/codecheck -baseline lint.baseline.json -update-baseline ./...
 //	go run ./cmd/codecheck -ignores ./...
+//	go run ./cmd/codecheck -parallel -timing ./...
 //
 // All packages load together so the interprocedural analyzers
 // (puritycheck, hotalloc, wakeupsafe) see cross-package call chains.
@@ -31,17 +32,31 @@
 // mandatory and an ignore without one is itself reported. -baseline
 // points at a committed accepted-debt file (see internal/lint/baseline.go
 // for the line-independent key scheme): findings it covers are reported
-// in machine output but do not block. -update-baseline rewrites that
-// file from the current findings and exits 0 — the one-command flow for
-// accepting new debt deliberately. The exit code is 1 only when
-// unsuppressed, unbaselined findings remain, 2 on usage or load errors.
+// in machine output but do not block; entries no current finding matches
+// are reported as stale on stderr (prune with -update-baseline).
+// -update-baseline rewrites that file from the current findings and
+// exits 0 — the one-command flow for accepting new debt deliberately.
+//
+// -parallel fans the per-package analyzer passes out over the
+// deterministic worker pool in internal/runner (one package per shard,
+// index-ordered reduction — output is byte-identical to the serial run
+// at any worker count); the interprocedural analyzers still run serially
+// on the shared call graph. -timing prints the per-analyzer wall-time
+// summary on stderr, largest first.
+//
+// Warning-severity findings (fingerprintcomplete's wasted-key-entropy
+// direction) are printed and carried in -json/-sarif output but never
+// block: the exit code is 1 only when unsuppressed, unbaselined
+// error-severity findings remain, 2 on usage or load errors.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
 	"l15cache/internal/lint"
 )
@@ -54,6 +69,8 @@ func main() {
 	baselinePath := flag.String("baseline", "", "committed accepted-debt file; findings it covers do not block")
 	updateBaseline := flag.Bool("update-baseline", false, "rewrite the -baseline file from the current findings and exit 0")
 	ignores := flag.Bool("ignores", false, "list every //lint:ignore directive instead of running analyzers")
+	parallel := flag.Bool("parallel", false, "run per-package analyzer passes on the internal/runner worker pool")
+	timing := flag.Bool("timing", false, "print a per-analyzer wall-time summary on stderr")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: codecheck [flags] [packages]\n\n")
 		flag.PrintDefaults()
@@ -107,7 +124,20 @@ func main() {
 		return
 	}
 
-	diags, err := lint.RunModule(pkgs, analyzers)
+	var diags []lint.Diagnostic
+	var timings []lint.AnalyzerTiming
+	if *parallel || *timing {
+		// workers 0 = runtime.NumCPU (the runner default); the serial
+		// -timing path still goes through the pool with one worker so the
+		// measurements come from one code path.
+		workers := 0
+		if !*parallel {
+			workers = 1
+		}
+		diags, timings, err = lint.RunModuleParallel(context.Background(), pkgs, analyzers, workers)
+	} else {
+		diags, err = lint.RunModule(pkgs, analyzers)
+	}
 	if err != nil {
 		fatal(err)
 	}
@@ -129,6 +159,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "codecheck: baseline %s rewritten with %d accepted finding(s)\n", *baselinePath, kept)
 		return
 	}
+	var stale []lint.BaselineEntry
 	if *baselinePath != "" {
 		data, err := os.ReadFile(*baselinePath)
 		if err != nil {
@@ -139,13 +170,17 @@ func main() {
 			fatal(err)
 		}
 		b.Apply(diags, cwd)
+		stale = b.Stale(diags, cwd)
 	}
 
 	blocking := 0
 	baselined := 0
+	warnings := 0
 	for _, d := range diags {
 		switch {
 		case d.Suppressed:
+		case d.Warning:
+			warnings++
 		case d.Baselined:
 			baselined++
 		default:
@@ -160,7 +195,11 @@ func main() {
 				continue
 			}
 			d.Pos.Filename = lint.RelPath(cwd, d.Pos.Filename)
-			fmt.Println(d)
+			if d.Warning {
+				fmt.Printf("%s [warning]\n", d)
+			} else {
+				fmt.Println(d)
+			}
 		}
 	}
 	if *sarifPath != "" {
@@ -177,6 +216,25 @@ func main() {
 			fatal(err)
 		}
 	}
+	if *timing {
+		sort.SliceStable(timings, func(i, j int) bool {
+			return timings[i].Duration > timings[j].Duration
+		})
+		fmt.Fprintln(os.Stderr, "codecheck: per-analyzer wall time (largest first):")
+		for _, t := range timings {
+			fmt.Fprintf(os.Stderr, "  %-20s %v\n", t.Analyzer, t.Duration)
+		}
+	}
+	if len(stale) > 0 {
+		fmt.Fprintf(os.Stderr, "codecheck: %d stale baseline entr%s (no current finding matches; prune with -update-baseline):\n",
+			len(stale), plural(len(stale), "y", "ies"))
+		for _, e := range stale {
+			fmt.Fprintf(os.Stderr, "  %s: %s: %s (count %d)\n", e.Analyzer, e.File, e.Message, e.Count)
+		}
+	}
+	if warnings > 0 {
+		fmt.Fprintf(os.Stderr, "codecheck: %d warning(s) (non-blocking)\n", warnings)
+	}
 	if baselined > 0 {
 		fmt.Fprintf(os.Stderr, "codecheck: %d baselined finding(s) tolerated\n", baselined)
 	}
@@ -184,6 +242,14 @@ func main() {
 		fmt.Fprintf(os.Stderr, "codecheck: %d finding(s) across %d package(s)\n", blocking, len(pkgs))
 		os.Exit(1)
 	}
+}
+
+// plural picks the singular or plural suffix for n.
+func plural(n int, one, many string) string {
+	if n == 1 {
+		return one
+	}
+	return many
 }
 
 // emitJSON writes v to stdout as indented JSON, never emitting JSON null

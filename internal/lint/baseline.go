@@ -49,11 +49,13 @@ type baselineKey struct {
 
 // NewBaseline aggregates the non-suppressed diagnostics into a baseline,
 // deterministically sorted. base relativises paths the same way -json
-// output does, so the file is stable across checkouts.
+// output does, so the file is stable across checkouts. Warning-severity
+// findings never enter the baseline: they do not block, so recording
+// them as accepted debt would only manufacture stale entries.
 func NewBaseline(diags []Diagnostic, base string) *Baseline {
 	counts := map[baselineKey]int{}
 	for _, d := range diags {
-		if d.Suppressed {
+		if d.Suppressed || d.Warning {
 			continue
 		}
 		counts[baselineKey{d.Analyzer, relTo(base, d.Pos.Filename), d.Message}]++
@@ -111,7 +113,7 @@ func (b *Baseline) Apply(diags []Diagnostic, base string) int {
 	marked := 0
 	for i := range diags {
 		d := &diags[i]
-		if d.Suppressed {
+		if d.Suppressed || d.Warning {
 			continue
 		}
 		k := baselineKey{d.Analyzer, relTo(base, d.Pos.Filename), d.Message}
@@ -122,4 +124,39 @@ func (b *Baseline) Apply(diags []Diagnostic, base string) int {
 		}
 	}
 	return marked
+}
+
+// Stale returns the baseline entries (counts reduced to the unmatched
+// excess) that no current finding justifies: accepted debt that has since
+// been paid off, or rotted keys after a refactor. A stale entry is a lie
+// waiting to mask a future regression — the N+1th instance of a finding
+// whose N accepted instances are gone would slip through unnoticed — so
+// the committed baseline must stay prunable to empty staleness, which
+// TestCommittedBaselineNotStale enforces over the real module.
+func (b *Baseline) Stale(diags []Diagnostic, base string) []BaselineEntry {
+	current := map[baselineKey]int{}
+	for _, d := range diags {
+		if d.Suppressed || d.Warning {
+			continue
+		}
+		current[baselineKey{d.Analyzer, relTo(base, d.Pos.Filename), d.Message}]++
+	}
+	accepted := map[baselineKey]int{}
+	var order []baselineKey
+	for _, e := range b.Findings {
+		k := baselineKey{e.Analyzer, e.File, e.Message}
+		if _, seen := accepted[k]; !seen {
+			order = append(order, k)
+		}
+		accepted[k] += e.Count
+	}
+	var stale []BaselineEntry
+	for _, k := range order {
+		if excess := accepted[k] - current[k]; excess > 0 {
+			stale = append(stale, BaselineEntry{
+				Analyzer: k.analyzer, File: k.file, Message: k.message, Count: excess,
+			})
+		}
+	}
+	return stale
 }

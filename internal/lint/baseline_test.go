@@ -6,6 +6,8 @@ package lint
 
 import (
 	"go/token"
+	"os"
+	"path/filepath"
 	"testing"
 )
 
@@ -111,5 +113,91 @@ func TestBaselineMessageChangeIsNew(t *testing.T) {
 	reworded := []Diagnostic{baselineDiag("hotalloc", "/work/a.go", 10, "alloc in Step")}
 	if n := b.Apply(reworded, "/work"); n != 0 || reworded[0].Baselined {
 		t.Error("reworded finding must not match the baseline")
+	}
+}
+
+func TestBaselineExcludesWarnings(t *testing.T) {
+	warn := baselineDiag("fingerprintcomplete", "/work/a.go", 10, "dead key")
+	warn.Warning = true
+	b := NewBaseline([]Diagnostic{warn}, "/work")
+	if len(b.Findings) != 0 {
+		t.Fatalf("warning entered the baseline: %+v", b.Findings)
+	}
+
+	// A warning must neither consume a slot nor count toward staleness.
+	accepted := NewBaseline([]Diagnostic{baselineDiag("hotalloc", "/work/a.go", 10, "alloc in Tick")}, "/work")
+	sameKeyWarn := baselineDiag("hotalloc", "/work/a.go", 10, "alloc in Tick")
+	sameKeyWarn.Warning = true
+	diags := []Diagnostic{sameKeyWarn}
+	if n := accepted.Apply(diags, "/work"); n != 0 || diags[0].Baselined {
+		t.Error("warning consumed a baseline slot")
+	}
+	if stale := accepted.Stale(diags, "/work"); len(stale) != 1 {
+		t.Errorf("warning satisfied a baseline entry: stale = %+v", stale)
+	}
+}
+
+func TestBaselineStale(t *testing.T) {
+	old := []Diagnostic{
+		baselineDiag("hotalloc", "/work/a.go", 10, "alloc in Tick"),
+		baselineDiag("hotalloc", "/work/a.go", 30, "alloc in Tick"),
+		baselineDiag("errdrop", "/work/b.go", 5, "dropped error"),
+	}
+	b := NewBaseline(old, "/work")
+
+	// One of the two hotalloc instances is fixed and the errdrop finding
+	// is gone entirely: the excess counts are stale.
+	now := []Diagnostic{baselineDiag("hotalloc", "/work/a.go", 10, "alloc in Tick")}
+	stale := b.Stale(now, "/work")
+	if len(stale) != 2 {
+		t.Fatalf("Stale returned %d entries, want 2: %+v", len(stale), stale)
+	}
+	byAnalyzer := map[string]int{}
+	for _, e := range stale {
+		byAnalyzer[e.Analyzer] = e.Count
+	}
+	if byAnalyzer["hotalloc"] != 1 || byAnalyzer["errdrop"] != 1 {
+		t.Errorf("stale counts = %v, want hotalloc:1 errdrop:1", byAnalyzer)
+	}
+
+	// Fully matched baseline: nothing stale.
+	if stale := b.Stale(old, "/work"); len(stale) != 0 {
+		t.Errorf("fully matched baseline reported stale entries: %+v", stale)
+	}
+}
+
+// TestCommittedBaselineNotStale runs the full suite over the real module
+// and requires every entry of the committed lint.baseline.json to still
+// match a current finding: stale accepted debt would silently absorb the
+// next regression with the same key.
+func TestCommittedBaselineNotStale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads the whole module")
+	}
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(root, "lint.baseline.json"))
+	if err != nil {
+		t.Fatalf("reading committed baseline: %v", err)
+	}
+	b, err := ParseBaseline(data)
+	if err != nil {
+		t.Fatalf("ParseBaseline: %v", err)
+	}
+	pkgs, err := Load("", "../../...")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	diags, err := RunModule(pkgs, All())
+	if err != nil {
+		t.Fatalf("RunModule: %v", err)
+	}
+	if stale := b.Stale(diags, root); len(stale) != 0 {
+		for _, e := range stale {
+			t.Errorf("stale baseline entry (prune with -update-baseline): %s: %s: %s (count %d)",
+				e.Analyzer, e.File, e.Message, e.Count)
+		}
 	}
 }

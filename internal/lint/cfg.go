@@ -288,9 +288,18 @@ func (b *cfgBuilder) stmt(s ast.Stmt, label string) {
 		b.cfg.Defers = append(b.cfg.Defers, s)
 		b.add(s)
 
+	case *ast.GoStmt:
+		// The spawned goroutine runs concurrently with everything after the
+		// statement, so control flow in this function stays straight-line —
+		// but the spawn must remain identifiable: reaching definitions
+		// treats writes to captured variables inside the literal as weak
+		// (gen-without-kill) definitions generated here, because they can
+		// land at any later point of the enclosing function.
+		b.add(s)
+
 	default:
-		// Assignments, declarations, expression statements, go, send,
-		// inc/dec, empty: straight-line nodes.
+		// Assignments, declarations, expression statements, send, inc/dec,
+		// empty: straight-line nodes.
 		b.add(s)
 	}
 }

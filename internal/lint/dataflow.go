@@ -12,26 +12,43 @@ package lint
 // standard worklist iterates to fixpoint. Definitions tracked are plain
 // assignments (including op-assignments and :=), var declarations,
 // inc/dec, range variables, and the function's own parameters/receiver
-// (seeded in the entry block with a nil RHS). Variables captured and
-// reassigned inside nested function literals are not tracked — a nested
-// literal is its own function with its own graph — which is conservative
-// for the current consumers (an untracked def simply never appears, and
-// the analyses treat "no defining RHS" as unknown).
+// (seeded in the entry block with a nil RHS).
+//
+// The pass is field-sensitive one level deep in the kill lattice:
+// `cfg.Fingerprint = rhs` generates a Def with Field "Fingerprint" that
+// kills only earlier definitions of the same (or a nested) field path,
+// while a whole-variable assignment kills every field definition of that
+// variable. Writes through pointer bases are not tracked (aliasing would
+// make kills unsound), which is conservative: an untracked def simply
+// never appears, and the analyses treat "no defining RHS" as unknown.
+//
+// Writes to captured variables inside `go` statements and deferred
+// function literals are tracked as weak definitions: they are generated
+// at the spawn site (or, for defers, at the Exit block where the call
+// replays) without killing anything, because the write races with — or
+// runs after — the rest of the function, so the prior value may still be
+// observed. Writes inside other nested function literals remain
+// untracked, as before.
 
 import (
 	"go/ast"
 	"go/types"
 	"sort"
+	"strings"
 )
 
-// Def is one reaching definition: Var acquires a value at Site; RHS is
-// the defining expression when the statement pairs names with values
-// one-to-one (nil for parameters, multi-value assignments, range
-// variables and zero-value declarations).
+// Def is one reaching definition: Var (or the Field path on Var) acquires
+// a value at Site; RHS is the defining expression when the statement pairs
+// names with values one-to-one (nil for parameters, multi-value
+// assignments, range variables and zero-value declarations). Weak
+// definitions come from concurrent or deferred writes inside function
+// literals: they are generated without killing earlier definitions.
 type Def struct {
-	Var  *types.Var
-	Site ast.Node
-	RHS  ast.Expr
+	Var   *types.Var
+	Field string // dotted field path ("" = the whole variable)
+	Site  ast.Node
+	RHS   ast.Expr
+	Weak  bool
 }
 
 type defSet map[*Def]bool
@@ -138,9 +155,19 @@ func (rd *ReachingDefs) apply(set defSet, nodes []ast.Node, from, to int) defSet
 	}
 	for i := from; i < to; i++ {
 		for _, def := range rd.nodeDefs(nodes[i]) {
-			for d := range cur {
-				if d.Var == def.Var {
-					delete(cur, d)
+			if !def.Weak {
+				for d := range cur {
+					if d.Var != def.Var {
+						continue
+					}
+					// A whole-variable def kills every field def; a field
+					// def kills the same path and anything nested below it,
+					// but never the whole-variable def (the rest of the
+					// struct keeps its value).
+					if def.Field == "" || d.Field == def.Field ||
+						strings.HasPrefix(d.Field, def.Field+".") {
+						delete(cur, d)
+					}
 				}
 			}
 			cur[def] = true
@@ -172,23 +199,30 @@ func (rd *ReachingDefs) nodeDefs(n ast.Node) []*Def {
 		}
 		defs = append(defs, &Def{Var: v, Site: site, RHS: rhs})
 	}
+	addLhs := func(lhs ast.Expr, site ast.Node, rhs ast.Expr) {
+		lhs = ast.Unparen(lhs)
+		if id, ok := lhs.(*ast.Ident); ok {
+			addIdent(id, site, rhs)
+			return
+		}
+		// Field writes on a non-pointer base variable become field-level
+		// definitions; index/star/pointer-base writes are not variable
+		// defs (aliasing would make their kills unsound).
+		if v, path, ok := fieldWritePath(rd.info, lhs); ok {
+			defs = append(defs, &Def{Var: v, Field: path, Site: site, RHS: rhs})
+		}
+	}
 	switch n := n.(type) {
 	case *ast.AssignStmt:
 		for i, lhs := range n.Lhs {
-			id, ok := ast.Unparen(lhs).(*ast.Ident)
-			if !ok {
-				continue // field/index writes are not variable defs
-			}
 			var rhs ast.Expr
 			if len(n.Lhs) == len(n.Rhs) {
 				rhs = n.Rhs[i]
 			}
-			addIdent(id, n, rhs)
+			addLhs(lhs, n, rhs)
 		}
 	case *ast.IncDecStmt:
-		if id, ok := ast.Unparen(n.X).(*ast.Ident); ok {
-			addIdent(id, n, nil)
-		}
+		addLhs(n.X, n, nil)
 	case *ast.DeclStmt:
 		if gd, ok := n.Decl.(*ast.GenDecl); ok {
 			for _, spec := range gd.Specs {
@@ -212,16 +246,111 @@ func (rd *ReachingDefs) nodeDefs(n ast.Node) []*Def {
 		if id, ok := n.Value.(*ast.Ident); ok {
 			addIdent(id, n, nil)
 		}
+	case *ast.GoStmt:
+		defs = append(defs, rd.litWeakDefs(n.Call)...)
+	case *ast.CallExpr:
+		// A bare call only appears as a block node when a deferred call is
+		// replayed into the Exit block (or as a decomposed condition
+		// operand); either way, writes to outer variables inside a literal
+		// callee are weak definitions here.
+		defs = append(defs, rd.litWeakDefs(n)...)
 	}
 	rd.defsAt[n] = defs
 	return defs
 }
 
-// DefsReaching returns the definitions of use's variable that can reach
-// it, in source order. It returns nil when use does not resolve to a
-// tracked variable or lies outside the graph (e.g. inside a nested
-// function literal).
+// litWeakDefs collects weak definitions for variables declared outside a
+// function literal that the literal's body assigns — the conservative
+// model for `go func(){...}()` and deferred literals, whose writes race
+// with or follow the enclosing function's statements.
+func (rd *ReachingDefs) litWeakDefs(call *ast.CallExpr) []*Def {
+	lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit)
+	if !ok {
+		return nil
+	}
+	outer := func(v *types.Var) bool {
+		return v != nil && (v.Pos() < lit.Pos() || v.Pos() > lit.End())
+	}
+	var defs []*Def
+	addLhs := func(lhs ast.Expr, site ast.Node) {
+		lhs = ast.Unparen(lhs)
+		if id, ok := lhs.(*ast.Ident); ok {
+			if v, ok := rd.info.Uses[id].(*types.Var); ok && outer(v) {
+				defs = append(defs, &Def{Var: v, Site: site, Weak: true})
+			}
+			return
+		}
+		if v, path, ok := fieldWritePath(rd.info, lhs); ok && outer(v) {
+			defs = append(defs, &Def{Var: v, Field: path, Site: site, Weak: true})
+		}
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				addLhs(lhs, n)
+			}
+		case *ast.IncDecStmt:
+			addLhs(n.X, n)
+		}
+		return true
+	})
+	return defs
+}
+
+// fieldWritePath decomposes a pure selector chain lvalue (base.F or
+// base.F.G, no indexing, no dereference) rooted at a non-pointer local
+// variable into (variable, dotted path). It reports false for anything
+// else — those writes are untracked.
+func fieldWritePath(info *types.Info, lhs ast.Expr) (*types.Var, string, bool) {
+	var names []string
+	for {
+		sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+		if !ok {
+			break
+		}
+		names = append([]string{sel.Sel.Name}, names...)
+		lhs = sel.X
+	}
+	if len(names) == 0 {
+		return nil, "", false
+	}
+	id, ok := ast.Unparen(lhs).(*ast.Ident)
+	if !ok {
+		return nil, "", false
+	}
+	v, ok := info.Uses[id].(*types.Var)
+	if !ok {
+		if v, ok = info.Defs[id].(*types.Var); !ok {
+			return nil, "", false
+		}
+	}
+	if _, isPtr := types.Unalias(v.Type()).(*types.Pointer); isPtr {
+		return nil, "", false
+	}
+	return v, strings.Join(names, "."), true
+}
+
+// DefsReaching returns the whole-variable definitions of use's variable
+// that can reach it, in source order. It returns nil when use does not
+// resolve to a tracked variable or lies outside the graph (e.g. inside a
+// nested function literal). Field-level definitions are not included —
+// FieldDefsReaching queries those.
 func (rd *ReachingDefs) DefsReaching(use *ast.Ident) []*Def {
+	return rd.defsReaching(use, func(d *Def) bool { return d.Field == "" })
+}
+
+// FieldDefsReaching returns the definitions that can reach use for the
+// dotted field path on use's variable: definitions of the exact path, of
+// a covering prefix (a def of "A" covers a query for "A.B"), and of the
+// whole variable.
+func (rd *ReachingDefs) FieldDefsReaching(use *ast.Ident, field string) []*Def {
+	return rd.defsReaching(use, func(d *Def) bool {
+		return d.Field == "" || d.Field == field || strings.HasPrefix(field, d.Field+".")
+	})
+}
+
+func (rd *ReachingDefs) defsReaching(use *ast.Ident, keep func(*Def) bool) []*Def {
 	v, ok := rd.info.Uses[use].(*types.Var)
 	if !ok {
 		return nil
@@ -242,7 +371,7 @@ func (rd *ReachingDefs) DefsReaching(use *ast.Ident) []*Def {
 	set := rd.apply(rd.in[blk], blk.Nodes, 0, upto)
 	var defs []*Def
 	for d := range set {
-		if d.Var == v {
+		if d.Var == v && keep(d) {
 			defs = append(defs, d)
 		}
 	}

@@ -1,0 +1,231 @@
+package lint
+
+// Tests for the field-sensitive and weak-definition extensions of the
+// reaching-definitions pass: go-statement and deferred-literal writes as
+// gen-without-kill definitions, the field kill lattice (whole kills
+// field, field kills same path and nested prefixes, sibling fields are
+// independent), joins across dead predecessors at field granularity, and
+// the empty-select CFG shape.
+
+import "testing"
+
+func TestGoLiteralWriteIsWeak(t *testing.T) {
+	cfg, fd, info := buildTestCFG(t, `package p
+func f() int {
+	x := 0
+	go func() {
+		x = 1
+	}()
+	return x
+}`, "f")
+	rd := cfg.ReachingDefs(info, fd)
+	ret := findIdent(t, fd, "x", 2)
+	defs := rd.DefsReaching(ret)
+	if len(defs) != 2 {
+		t.Fatalf("return sees %d defs, want 2 (the goroutine write must be generated without killing x := 0)", len(defs))
+	}
+	weak, strong := 0, 0
+	for _, d := range defs {
+		if d.Weak {
+			weak++
+		} else {
+			strong++
+			if d.RHS == nil || exprText(d.RHS) != "0" {
+				t.Errorf("surviving strong def is not x := 0")
+			}
+		}
+	}
+	if weak != 1 || strong != 1 {
+		t.Errorf("got %d weak / %d strong defs, want 1 / 1", weak, strong)
+	}
+}
+
+func TestGoLiteralFieldWriteIsWeak(t *testing.T) {
+	cfg, fd, info := buildTestCFG(t, `package p
+type conf struct{ A, B int }
+func f() int {
+	var c conf
+	c.A = 1
+	go func() {
+		c.A = 2
+	}()
+	return c.A
+}`, "f")
+	rd := cfg.ReachingDefs(info, fd)
+	ret := findIdent(t, fd, "c", 3)
+	defs := rd.FieldDefsReaching(ret, "A")
+	// var c (whole), c.A = 1 (strong field), c.A = 2 (weak field): the
+	// weak write must not have killed the strong one.
+	if len(defs) != 3 {
+		t.Fatalf("return sees %d defs for c.A, want 3", len(defs))
+	}
+	weakField := false
+	for _, d := range defs {
+		if d.Weak && d.Field == "A" {
+			weakField = true
+		}
+	}
+	if !weakField {
+		t.Error("goroutine's c.A write not tracked as a weak field def")
+	}
+}
+
+func TestDeferredLiteralWriteReachesExitOnly(t *testing.T) {
+	cfg, fd, info := buildTestCFG(t, `package p
+func f() int {
+	x := 0
+	defer func() {
+		x = 5
+	}()
+	return x
+}`, "f")
+	rd := cfg.ReachingDefs(info, fd)
+
+	// The deferred write runs after the return expression is evaluated,
+	// so it must not reach the return's use...
+	ret := findIdent(t, fd, "x", 2)
+	defs := rd.DefsReaching(ret)
+	if len(defs) != 1 {
+		t.Fatalf("return sees %d defs, want 1 (the deferred write runs later)", len(defs))
+	}
+	if defs[0].Weak {
+		t.Error("the def reaching the return is the deferred write, not x := 0")
+	}
+
+	// ...but the replayed call in the Exit block must generate it there,
+	// where function-exit state is observed.
+	exitOut := rd.apply(rd.in[cfg.Exit], cfg.Exit.Nodes, 0, len(cfg.Exit.Nodes))
+	foundWeak := false
+	for d := range exitOut {
+		if d.Weak && d.Var != nil && d.Var.Name() == "x" {
+			foundWeak = true
+		}
+	}
+	if !foundWeak {
+		t.Error("deferred literal's write missing from the Exit block's state")
+	}
+}
+
+func TestFieldKillLattice(t *testing.T) {
+	// Whole-variable assignment kills field defs.
+	cfg, fd, info := buildTestCFG(t, `package p
+type conf struct{ A, B int }
+func f() int {
+	var c conf
+	c.A = 1
+	c = conf{}
+	return c.A
+}`, "f")
+	rd := cfg.ReachingDefs(info, fd)
+	ret := findIdent(t, fd, "c", 3)
+	defs := rd.FieldDefsReaching(ret, "A")
+	if len(defs) != 1 {
+		t.Fatalf("after whole-var assignment, %d defs reach c.A, want 1", len(defs))
+	}
+	if defs[0].Field != "" {
+		t.Errorf("surviving def has field path %q, want the whole-var assignment", defs[0].Field)
+	}
+
+	// Same-path field def kills the earlier one; siblings are untouched.
+	cfg, fd, info = buildTestCFG(t, `package p
+type conf struct{ A, B int }
+func g() int {
+	var c conf
+	c.A = 1
+	c.B = 2
+	c.A = 3
+	return c.A + c.B
+}`, "g")
+	rd = cfg.ReachingDefs(info, fd)
+	ret = findIdent(t, fd, "c", 4)
+	defs = rd.FieldDefsReaching(ret, "A")
+	// var c (whole) + c.A = 3; c.A = 1 killed, c.B = 2 not an A def.
+	if len(defs) != 2 {
+		t.Fatalf("%d defs reach c.A, want 2", len(defs))
+	}
+	for _, d := range defs {
+		if d.Field == "A" && (d.RHS == nil || exprText(d.RHS) != "3") {
+			t.Errorf("surviving c.A def is not c.A = 3")
+		}
+	}
+	bdefs := rd.FieldDefsReaching(findIdent(t, fd, "c", 5), "B")
+	if len(bdefs) != 2 {
+		t.Fatalf("%d defs reach c.B, want 2 (sibling writes must not kill B)", len(bdefs))
+	}
+}
+
+func TestFieldPrefixKill(t *testing.T) {
+	cfg, fd, info := buildTestCFG(t, `package p
+type inner struct{ X int }
+type outer struct{ A inner }
+func f() int {
+	var o outer
+	o.A.X = 1
+	o.A = inner{}
+	return o.A.X
+}`, "f")
+	rd := cfg.ReachingDefs(info, fd)
+	ret := findIdent(t, fd, "o", 3)
+	defs := rd.FieldDefsReaching(ret, "A.X")
+	// var o (whole) + o.A (covering prefix); o.A.X = 1 killed by the
+	// prefix write.
+	if len(defs) != 2 {
+		t.Fatalf("%d defs reach o.A.X, want 2", len(defs))
+	}
+	for _, d := range defs {
+		if d.Field == "A.X" {
+			t.Error("nested field def survived its covering-prefix assignment")
+		}
+	}
+}
+
+func TestFieldDefsAcrossDeadPredecessor(t *testing.T) {
+	cfg, fd, info := buildTestCFG(t, `package p
+type conf struct{ A int }
+func one() int { return 1 }
+func two() int { return 2 }
+func f() int {
+	var c conf
+	c.A = one()
+	goto L
+	c.A = two()
+L:
+	return c.A
+}`, "f")
+	rd := cfg.ReachingDefs(info, fd)
+	ret := findIdent(t, fd, "c", 3)
+	defs := rd.FieldDefsReaching(ret, "A")
+	// var c (whole) + c.A = one(); the dead c.A = two() must not join in.
+	if len(defs) != 2 {
+		t.Fatalf("%d defs reach c.A, want 2 (the dead write must not flow)", len(defs))
+	}
+	// The surviving field def is the live one, before the goto.
+	for _, d := range defs {
+		if d.Field == "A" && d.Site.Pos() > findIdent(t, fd, "L", 0).Pos() {
+			t.Error("dead c.A = two() def reached the label's use")
+		}
+	}
+}
+
+func TestCFGEmptySelectFallsThrough(t *testing.T) {
+	// select {} parks forever at runtime; the CFG deliberately
+	// over-approximates it as falling through (only adding edges never
+	// hides a path), so the code after it must stay live.
+	cfg, fd, info := buildTestCFG(t, `package p
+func f() int {
+	x := 0
+	select {}
+	x = 1
+	return x
+}`, "f")
+	rd := cfg.ReachingDefs(info, fd)
+	ret := findIdent(t, fd, "x", 2)
+	defs := rd.DefsReaching(ret)
+	if len(defs) != 1 {
+		t.Fatalf("return sees %d defs, want 1 (x = 1 kills x := 0 on the fall-through path)", len(defs))
+	}
+	blk := cfg.ContainingBlock(ret.Pos())
+	if blk == nil || !blk.Live {
+		t.Error("statement after select{} not live; the CFG must over-approximate, not truncate")
+	}
+}

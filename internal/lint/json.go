@@ -7,13 +7,16 @@ package lint
 
 import "path/filepath"
 
-// DiagnosticJSON is one finding in `codecheck -json` output.
+// DiagnosticJSON is one finding in `codecheck -json` output. Severity is
+// "error" (blocking) or "warning" (advisory) — added with the
+// fingerprintcomplete analyzer, whose wasted-key-entropy direction warns.
 type DiagnosticJSON struct {
 	Analyzer      string           `json:"analyzer"`
 	File          string           `json:"file"`
 	Line          int              `json:"line"`
 	Col           int              `json:"col"`
 	Message       string           `json:"message"`
+	Severity      string           `json:"severity"`
 	Chain         []ChainEntryJSON `json:"chain,omitempty"`
 	Suppressed    bool             `json:"suppressed"`
 	Justification string           `json:"justification,omitempty"`
@@ -43,6 +46,7 @@ func ToJSON(diags []Diagnostic, base string) []DiagnosticJSON {
 			Line:          d.Pos.Line,
 			Col:           d.Pos.Column,
 			Message:       d.Message,
+			Severity:      severityOf(d),
 			Suppressed:    d.Suppressed,
 			Justification: d.Justification,
 			Baselined:     d.Baselined,
@@ -59,6 +63,15 @@ func ToJSON(diags []Diagnostic, base string) []DiagnosticJSON {
 		out = append(out, j)
 	}
 	return out
+}
+
+// severityOf maps the Warning flag to the stable severity vocabulary
+// shared by -json and SARIF.
+func severityOf(d Diagnostic) string {
+	if d.Warning {
+		return "warning"
+	}
+	return "error"
 }
 
 // RelPath rewrites path relative to base the same way -json output does —

@@ -61,6 +61,45 @@ func TestToJSON(t *testing.T) {
 	}
 }
 
+// TestSeverity pins the severity vocabulary shared by -json and SARIF:
+// warnings say "warning", everything else "error".
+func TestSeverity(t *testing.T) {
+	warn := Diagnostic{
+		Pos:      token.Position{Filename: "/repo/a.go", Line: 1, Column: 1},
+		Analyzer: "fingerprintcomplete",
+		Message:  "dead key",
+		Warning:  true,
+	}
+	errD := Diagnostic{
+		Pos:      token.Position{Filename: "/repo/a.go", Line: 2, Column: 1},
+		Analyzer: "fingerprintcomplete",
+		Message:  "uncovered read",
+	}
+	out := ToJSON([]Diagnostic{warn, errD}, "/repo")
+	if out[0].Severity != "warning" || out[1].Severity != "error" {
+		t.Errorf("severities = %q, %q; want warning, error", out[0].Severity, out[1].Severity)
+	}
+
+	sarif, err := ToSARIF([]Diagnostic{warn, errD}, []*Analyzer{FingerprintComplete}, "/repo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var log struct {
+		Runs []struct {
+			Results []struct {
+				Level string `json:"level"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(sarif, &log); err != nil {
+		t.Fatal(err)
+	}
+	res := log.Runs[0].Results
+	if len(res) != 2 || res[0].Level != "warning" || res[1].Level != "error" {
+		t.Errorf("SARIF levels = %+v; want warning, error", res)
+	}
+}
+
 // TestRelPath pins the boundary cases of the path rewriter.
 func TestRelPath(t *testing.T) {
 	for _, tc := range []struct{ base, path, want string }{

@@ -69,11 +69,15 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 // entry-point-to-sink path). Suppressed findings are kept — flagged, with
 // the directive's justification — so machine consumers (-json) can audit
 // what the ignores hide; the text output and the exit code skip them.
+// Warning-severity findings (fingerprintcomplete's wasted-key-entropy
+// direction) are advisory: reported in every output form but never
+// blocking, and never baseline material.
 type Diagnostic struct {
 	Pos           token.Position
 	Analyzer      string
 	Message       string
 	Chain         []ChainEntry
+	Warning       bool // advisory severity: reported, never blocking
 	Suppressed    bool
 	Justification string // the //lint:ignore justification, when suppressed
 	Baselined     bool   // matched an accepted-debt entry in the committed baseline
@@ -105,12 +109,24 @@ func (mp *ModulePass) ReportAt(pos token.Position, chain []ChainEntry, format st
 	})
 }
 
+// WarnAt records an advisory (non-blocking) module-level diagnostic.
+func (mp *ModulePass) WarnAt(pos token.Position, chain []ChainEntry, format string, args ...any) {
+	*mp.diags = append(*mp.diags, Diagnostic{
+		Pos:      pos,
+		Analyzer: mp.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+		Chain:    chain,
+		Warning:  true,
+	})
+}
+
 // All returns the full suite in stable order. cmd/codecheck runs exactly
 // this list.
 func All() []*Analyzer {
 	return []*Analyzer{
 		DetMap, WallTime, BitMask, AtomicHandle, ErrDrop, DocComment,
 		Exhaustive, PurityCheck, LockGuard, HotAlloc, WakeupSafe,
+		FingerprintComplete, SharedCapture,
 	}
 }
 
@@ -167,37 +183,75 @@ func RunModule(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 			if a.Run == nil {
 				continue
 			}
-			pass := &Pass{
-				Analyzer:  a,
-				Fset:      pkg.Fset,
-				Files:     pkg.Files,
-				Pkg:       pkg.Types,
-				TypesInfo: pkg.Info,
-				Path:      pkg.ImportPath,
-				diags:     &diags,
+			pkgDiags, err := runPackagePass(pkg, a)
+			if err != nil {
+				return nil, err
 			}
-			if err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.ImportPath, err)
-			}
+			diags = append(diags, pkgDiags...)
 		}
 	}
+	moduleDiags, err := runModulePasses(pkgs, analyzers, nil)
+	if err != nil {
+		return nil, err
+	}
+	diags = append(diags, moduleDiags...)
+	return finishDiagnostics(pkgs, diags), nil
+}
 
+// runPackagePass applies one per-package analyzer to one package.
+func runPackagePass(pkg *Package, a *Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	pass := &Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.Info,
+		Path:      pkg.ImportPath,
+		diags:     &diags,
+	}
+	if err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.ImportPath, err)
+	}
+	return diags, nil
+}
+
+// runModulePasses builds the call graph (when needed) and applies the
+// interprocedural analyzers. timeOne, when non-nil, wraps each analyzer
+// run for wall-time accounting.
+func runModulePasses(pkgs []*Package, analyzers []*Analyzer, timeOne func(name string, run func() error) error) ([]Diagnostic, error) {
 	var moduleAnalyzers []*Analyzer
 	for _, a := range analyzers {
 		if a.RunModule != nil {
 			moduleAnalyzers = append(moduleAnalyzers, a)
 		}
 	}
-	if len(moduleAnalyzers) > 0 {
-		graph := BuildCallGraph(pkgs)
-		for _, a := range moduleAnalyzers {
-			mp := &ModulePass{Analyzer: a, Pkgs: pkgs, Graph: graph, diags: &diags}
-			if err := a.RunModule(mp); err != nil {
-				return nil, fmt.Errorf("lint: %s: %w", a.Name, err)
-			}
+	if len(moduleAnalyzers) == 0 {
+		return nil, nil
+	}
+	if timeOne == nil {
+		timeOne = func(_ string, run func() error) error { return run() }
+	}
+	var diags []Diagnostic
+	var graph *CallGraph
+	if err := timeOne("(call graph)", func() error {
+		graph = BuildCallGraph(pkgs)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	for _, a := range moduleAnalyzers {
+		mp := &ModulePass{Analyzer: a, Pkgs: pkgs, Graph: graph, diags: &diags}
+		if err := timeOne(a.Name, func() error { return a.RunModule(mp) }); err != nil {
+			return nil, fmt.Errorf("lint: %s: %w", a.Name, err)
 		}
 	}
+	return diags, nil
+}
 
+// finishDiagnostics applies suppression directives and the canonical
+// position sort — the shared tail of RunModule and RunModuleParallel.
+func finishDiagnostics(pkgs []*Package, diags []Diagnostic) []Diagnostic {
 	var malformed []Diagnostic
 	for _, pkg := range pkgs {
 		malformed = append(malformed, markSuppressions(pkg, diags)...)
@@ -216,7 +270,7 @@ func RunModule(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 		}
 		return a.Message < b.Message
 	})
-	return diags, nil
+	return diags
 }
 
 // ignoreDirective is one parsed //lint:ignore comment.

@@ -77,6 +77,20 @@ func TestHotAllocClean(t *testing.T)   { runAnalyzerTest(t, HotAlloc, "hotalloc/
 func TestWakeupSafeFlagged(t *testing.T) { runAnalyzerTest(t, WakeupSafe, "wakeupsafe/flagged") }
 func TestWakeupSafeClean(t *testing.T)   { runAnalyzerTest(t, WakeupSafe, "wakeupsafe/clean") }
 
+func TestFingerprintCompleteFlagged(t *testing.T) {
+	runAnalyzerTest(t, FingerprintComplete, "fingerprintcomplete/flagged")
+}
+func TestFingerprintCompleteClean(t *testing.T) {
+	runAnalyzerTest(t, FingerprintComplete, "fingerprintcomplete/clean")
+}
+
+func TestSharedCaptureFlagged(t *testing.T) {
+	runAnalyzerTest(t, SharedCapture, "sharedcapture/flagged")
+}
+func TestSharedCaptureClean(t *testing.T) {
+	runAnalyzerTest(t, SharedCapture, "sharedcapture/clean")
+}
+
 // TestIgnoreDirectives exercises suppression end to end: justified ignores
 // silence findings, malformed ones are themselves reported.
 func TestIgnoreDirectives(t *testing.T) { runAnalyzerTest(t, WallTime, "ignore") }

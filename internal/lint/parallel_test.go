@@ -1,0 +1,70 @@
+package lint
+
+// Tests for the parallel execution path: the diagnostics must be
+// byte-identical to the serial RunModule at any worker count (the same
+// determinism contract runner.Map gives the experiments), and the timing
+// summary must account every analyzer plus the shared call graph.
+
+import (
+	"context"
+	"testing"
+)
+
+func TestRunModuleParallelMatchesSerial(t *testing.T) {
+	pkgs, err := Load("", "../bitmap", "../l15", "../memo")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	serial, err := RunModule(pkgs, All())
+	if err != nil {
+		t.Fatalf("RunModule: %v", err)
+	}
+	for _, workers := range []int{1, 4} {
+		par, timings, err := RunModuleParallel(context.Background(), pkgs, All(), workers)
+		if err != nil {
+			t.Fatalf("RunModuleParallel(workers=%d): %v", workers, err)
+		}
+		if len(par) != len(serial) {
+			t.Fatalf("workers=%d: %d diagnostics, serial has %d", workers, len(par), len(serial))
+		}
+		for i := range par {
+			if par[i].String() != serial[i].String() || par[i].Warning != serial[i].Warning ||
+				par[i].Suppressed != serial[i].Suppressed {
+				t.Errorf("workers=%d: diagnostic %d differs from serial:\n  par:    %s\n  serial: %s",
+					workers, i, par[i], serial[i])
+			}
+		}
+		if len(timings) != len(All())+1 {
+			t.Fatalf("workers=%d: %d timing entries, want %d analyzers + call graph",
+				workers, len(timings), len(All()))
+		}
+		names := map[string]bool{}
+		for _, tm := range timings {
+			if tm.Duration < 0 {
+				t.Errorf("negative duration for %s", tm.Analyzer)
+			}
+			names[tm.Analyzer] = true
+		}
+		if !names["(call graph)"] {
+			t.Error("timing summary missing the call-graph pseudo-entry")
+		}
+		for _, a := range All() {
+			if !names[a.Name] {
+				t.Errorf("timing summary missing analyzer %s", a.Name)
+			}
+		}
+	}
+}
+
+func TestRunModuleParallelEmpty(t *testing.T) {
+	diags, timings, err := RunModuleParallel(context.Background(), nil, All(), 2)
+	if err != nil {
+		t.Fatalf("RunModuleParallel on zero packages: %v", err)
+	}
+	if len(diags) != 0 {
+		t.Errorf("zero packages produced %d diagnostics", len(diags))
+	}
+	if len(timings) != len(All())+1 {
+		t.Errorf("%d timing entries, want %d", len(timings), len(All())+1)
+	}
+}

@@ -110,7 +110,7 @@ func ToSARIF(diags []Diagnostic, analyzers []*Analyzer, base string) ([]byte, er
 	for _, d := range diags {
 		res := sarifResult{
 			RuleID:  d.Analyzer,
-			Level:   "error",
+			Level:   severityOf(d),
 			Message: sarifMessage{Text: d.Message},
 			Locations: []sarifLocation{{
 				PhysicalLocation: sarifPhysical{

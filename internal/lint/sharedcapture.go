@@ -1,0 +1,333 @@
+package lint
+
+// The sharedcapture analyzer enforces the third leg of the runner's
+// determinism contract (DESIGN.md §9): a shard function may only read its
+// captured configuration and write its own return value. A closure handed
+// to runner.Map that writes captured addressable state — a captured
+// local, a field or element reached through one, or a package-level
+// variable anywhere on its call graph — makes results depend on shard
+// scheduling order (and is a data race under -workers > 1).
+//
+// One write shape is sanctioned, mirroring hotalloc's scratch-reuse
+// idiom: an element write whose index expression derives from the shard
+// parameter (`results[s.Index] = ...`) is the per-shard-slot discipline —
+// each shard owns its slot, so no two shards ever touch the same storage.
+//
+// Detection is two-layered:
+//
+//   - syntactic, on the closure body: assignments, op-assignments,
+//     inc/dec and range-clause writes whose base identifier is declared
+//     outside the literal, plus &-exposure of captured state (taking the
+//     address hands the callee license to write);
+//   - interprocedural, over the call graph: "shared-write" facts seeded
+//     on every function that writes a package-level variable propagate
+//     caller-ward (facts.go), so a closure reaching one through any call
+//     chain reports with the full chain as evidence. Receiver writes are
+//     deliberately not facts here: a method mutating its receiver is
+//     shard-local when the receiver was built inside the shard, which is
+//     the common case — but a *named* shard function that writes its own
+//     receiver shares that receiver across every shard and is flagged
+//     directly.
+//
+// Channel sends on captured channels are out of scope: the runner's
+// index-ordered reduction is the only sanctioned result path, and a send
+// is not a write to the captured variable itself.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// SharedCapture is the shard-closure determinism analyzer.
+var SharedCapture = &Analyzer{
+	Name:      "sharedcapture",
+	Doc:       "runner.Map shard functions must not write captured or package-level state",
+	RunModule: runSharedCapture,
+}
+
+const sharedWriteFact = "shared-write"
+
+func runSharedCapture(mp *ModulePass) error {
+	var sites []mapSite
+	for _, pkg := range mp.Pkgs {
+		sites = append(sites, findMapSites(pkg)...)
+	}
+	if len(sites) == 0 {
+		return nil
+	}
+
+	fs := NewFactSet(mp.Graph)
+	seedGlobalWriteFacts(mp.Graph, fs)
+	fs.Propagate()
+
+	for _, site := range sites {
+		switch fn := ast.Unparen(site.fnArg).(type) {
+		case *ast.FuncLit:
+			checkClosure(mp, fs, site, fn)
+		case *ast.Ident:
+			if f, ok := site.pkg.Info.Uses[fn].(*types.Func); ok {
+				checkNamedShardFn(mp, fs, site, f, fn.Pos())
+			}
+		case *ast.SelectorExpr:
+			if f, ok := site.pkg.Info.Uses[fn.Sel].(*types.Func); ok {
+				checkNamedShardFn(mp, fs, site, f, fn.Sel.Pos())
+			}
+		}
+	}
+	return nil
+}
+
+// seedGlobalWriteFacts attaches a shared-write fact to every function
+// whose body assigns (or exposes by address) a package-level variable.
+func seedGlobalWriteFacts(g *CallGraph, fs *FactSet) {
+	for _, id := range g.SortedIDs() {
+		node := g.Nodes[id]
+		if node.Decl == nil || node.Pkg == nil {
+			continue
+		}
+		pkgScope := node.Pkg.Types.Scope()
+		isGlobal := func(e ast.Expr) (*ast.Ident, bool) {
+			base := baseIdentOf(e)
+			if base == nil {
+				return nil, false
+			}
+			v, ok := objOf(node.Pkg, base).(*types.Var)
+			return base, ok && !v.IsField() && v.Parent() == pkgScope
+		}
+		seed := func(e ast.Expr, what string) {
+			if base, ok := isGlobal(e); ok {
+				fs.Seed(id, Fact{
+					Kind:   sharedWriteFact,
+					Sink:   what + " " + exprString(e) + " (package-level " + base.Name + ")",
+					Origin: node.Pkg.Fset.Position(e.Pos()),
+				})
+			}
+		}
+		ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if n.Tok == token.DEFINE {
+					return true
+				}
+				for _, lhs := range n.Lhs {
+					seed(lhs, "writes")
+				}
+			case *ast.IncDecStmt:
+				seed(n.X, "writes")
+			case *ast.UnaryExpr:
+				if n.Op == token.AND {
+					seed(n.X, "exposes address of")
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkClosure applies the syntactic captured-write rules to a shard
+// closure and the interprocedural shared-write facts to its callees.
+func checkClosure(mp *ModulePass, fs *FactSet, site mapSite, lit *ast.FuncLit) {
+	pkg := site.pkg
+	shardParams := shardParamVars(pkg, lit)
+
+	capturedBase := func(e ast.Expr) (*ast.Ident, *types.Var) {
+		base := baseIdentOf(e)
+		if base == nil {
+			return nil, nil
+		}
+		v, ok := objOf(pkg, base).(*types.Var)
+		if !ok || v.IsField() {
+			return nil, nil
+		}
+		// Declared inside the literal (params included): shard-local.
+		if v.Pos() >= lit.Pos() && v.Pos() <= lit.End() {
+			return nil, nil
+		}
+		return base, v
+	}
+	scope := func(v *types.Var) string {
+		if v.Parent() == pkg.Types.Scope() {
+			return "package-level variable"
+		}
+		return "captured variable"
+	}
+	report := func(e ast.Expr, base *ast.Ident, v *types.Var, what string) {
+		mp.ReportAt(pkg.Fset.Position(e.Pos()), nil,
+			"runner.Map shard closure %s %s %s: results would depend on shard scheduling order (write per-shard state, or return the value and let the runner reduce in index order)",
+			what, scope(v), exprString(e))
+	}
+	checkWrite := func(e ast.Expr) {
+		base, v := capturedBase(e)
+		if base == nil {
+			return
+		}
+		if indexedByShard(pkg, e, shardParams) {
+			return // per-shard slot: results[s.Index] = ...
+		}
+		report(e, base, v, "writes")
+	}
+
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok == token.DEFINE {
+				return true
+			}
+			for _, lhs := range n.Lhs {
+				checkWrite(lhs)
+			}
+		case *ast.RangeStmt:
+			if n.Tok == token.ASSIGN {
+				if n.Key != nil {
+					checkWrite(n.Key)
+				}
+				if n.Value != nil {
+					checkWrite(n.Value)
+				}
+			}
+		case *ast.IncDecStmt:
+			checkWrite(n.X)
+		case *ast.UnaryExpr:
+			if n.Op != token.AND {
+				return true
+			}
+			if base, v := capturedBase(n.X); base != nil {
+				if !indexedByShard(pkg, n.X, shardParams) {
+					report(n.X, base, v, "exposes the address of")
+				}
+			}
+		}
+		return true
+	})
+
+	// Interprocedural: any callee chain that writes a package-level
+	// variable, with the closure's call site as the first hop.
+	pos := pkg.Fset.Position(site.call.Pos())
+	label := "runner.Map closure (" + pos.Filename + ":" + itoaLint(pos.Line) + ")"
+	reportFactsFrom(mp, fs, pkg, label, resolveCallEdges(pkg, lit.Body))
+}
+
+// checkNamedShardFn handles a named function or method value passed as
+// the shard function: interprocedural shared-write facts on the function
+// itself, plus direct receiver writes (the receiver is one object shared
+// by every shard).
+func checkNamedShardFn(mp *ModulePass, fs *FactSet, site mapSite, fn *types.Func, argPos token.Pos) {
+	id := FuncIDOf(fn)
+	for _, f := range fs.FactsOf(id) {
+		if f.Kind != sharedWriteFact {
+			continue
+		}
+		chain := fs.Chain(id, f)
+		mp.ReportAt(site.pkg.Fset.Position(argPos), chain,
+			"runner.Map shard function %s %s: results would depend on shard scheduling order (path: %s)",
+			DisplayName(fn), f.Sink, ChainString(chain))
+	}
+
+	node := mp.Graph.Nodes[id]
+	if node == nil || node.Decl == nil || node.Decl.Recv == nil || node.Pkg == nil {
+		return
+	}
+	var recv *types.Var
+	for _, f := range node.Decl.Recv.List {
+		for _, name := range f.Names {
+			recv, _ = node.Pkg.Info.Defs[name].(*types.Var)
+		}
+	}
+	if recv == nil {
+		return
+	}
+	ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			base := baseIdentOf(lhs)
+			if base == nil || objOf(node.Pkg, base) != recv {
+				continue
+			}
+			if _, isSel := ast.Unparen(lhs).(*ast.Ident); isSel {
+				continue // rebinding the receiver variable itself is local
+			}
+			mp.ReportAt(site.pkg.Fset.Position(argPos), nil,
+				"runner.Map shard method %s writes its receiver (%s at %s): the receiver is shared by every shard",
+				DisplayName(fn), exprString(lhs), node.Pkg.Fset.Position(lhs.Pos()))
+		}
+		return true
+	})
+}
+
+// reportFactsFrom reports every shared-write fact reachable through the
+// given first-hop call edges, rootLabel first in the evidence chain.
+func reportFactsFrom(mp *ModulePass, fs *FactSet, pkg *Package, rootLabel string, edges []CallEdge) {
+	type dedup struct {
+		origin token.Position
+		sink   string
+	}
+	seen := map[dedup]bool{}
+	for _, e := range edges {
+		for _, f := range fs.FactsOf(e.Callee) {
+			if f.Kind != sharedWriteFact {
+				continue
+			}
+			if seen[dedup{f.Origin, f.Sink}] {
+				continue
+			}
+			seen[dedup{f.Origin, f.Sink}] = true
+			chain := append([]ChainEntry{{Func: rootLabel, Site: pkg.Fset.Position(e.Pos)}},
+				fs.Chain(e.Callee, f)...)
+			mp.ReportAt(pkg.Fset.Position(e.Pos), chain,
+				"runner.Map shard closure reaches code that %s: results would depend on shard scheduling order (path: %s)",
+				f.Sink, ChainString(chain))
+		}
+	}
+}
+
+// shardParamVars returns the closure's own parameters (the shard identity
+// lives here — runner.Map hands (ctx, Shard)).
+func shardParamVars(pkg *Package, lit *ast.FuncLit) map[*types.Var]bool {
+	params := map[*types.Var]bool{}
+	if lit.Type.Params == nil {
+		return params
+	}
+	for _, f := range lit.Type.Params.List {
+		for _, name := range f.Names {
+			if v, ok := pkg.Info.Defs[name].(*types.Var); ok {
+				params[v] = true
+			}
+		}
+	}
+	return params
+}
+
+// indexedByShard reports whether the lvalue chain contains an index
+// expression derived from a shard parameter (`results[s.Index]`,
+// `grid[s.Index][k]`): the per-shard-slot idiom every shard owns
+// disjointly.
+func indexedByShard(pkg *Package, e ast.Expr, params map[*types.Var]bool) bool {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.IndexExpr:
+			found := false
+			ast.Inspect(x.Index, func(n ast.Node) bool {
+				if id, ok := n.(*ast.Ident); ok {
+					if v, ok := pkg.Info.Uses[id].(*types.Var); ok && params[v] {
+						found = true
+					}
+				}
+				return !found
+			})
+			if found {
+				return true
+			}
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return false
+		}
+	}
+}
