@@ -21,11 +21,13 @@ import (
 	"math/rand"
 	"runtime"
 	"testing"
+	"time"
 
 	"l15cache/internal/area"
 	"l15cache/internal/experiments"
 	"l15cache/internal/flight"
 	"l15cache/internal/rtsim"
+	"l15cache/internal/telemetry"
 	"l15cache/internal/workload"
 )
 
@@ -301,3 +303,37 @@ func BenchmarkFlightRecorderOff(b *testing.B) { benchFlightTrial(b, false) }
 // BenchmarkFlightRecorderOn is the recording half; benchjson -overhead
 // warns when it exceeds the Off half by more than 5%.
 func BenchmarkFlightRecorderOn(b *testing.B) { benchFlightTrial(b, true) }
+
+// benchTelemetryTrial runs the same fixed trial as benchFlightTrial,
+// optionally under a live telemetry sampler over the merged default
+// registries — the pair behind the benchjson telemetry-overhead gate.
+// The sampler polls far faster than production (1ms vs 250ms) so the
+// measured overhead bounds the real deployment from above.
+func benchTelemetryTrial(b *testing.B, sampled bool) {
+	b.Helper()
+	if sampled {
+		s := telemetry.NewSampler(nil, time.Millisecond, 1024)
+		s.Start()
+		defer s.Stop()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := rand.New(rand.NewSource(7))
+		set := workload.DefaultTaskSetParams()
+		set.TargetUtilization = 0.6 * 8
+		tasks, err := workload.TaskSet(r, set)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := rtsim.Run(tasks, rtsim.KindProp, rtsim.DefaultConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTelemetryOff is the baseline half of the overhead pair.
+func BenchmarkTelemetryOff(b *testing.B) { benchTelemetryTrial(b, false) }
+
+// BenchmarkTelemetryOn runs under an aggressive 1ms sampler; benchjson
+// -overhead warns when it exceeds the Off half by more than 5%.
+func BenchmarkTelemetryOn(b *testing.B) { benchTelemetryTrial(b, true) }

@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"log"
 
+	"l15cache/internal/cli"
 	"l15cache/internal/experiments"
 	"l15cache/internal/kernel"
 	"l15cache/internal/memo"
@@ -47,7 +48,11 @@ func main() {
 	metricsOut := flag.String("metrics", "", "write a metrics-registry JSON snapshot to this file")
 	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON file (chrome://tracing)")
 	kernelFlag := flag.String("kernel", "events", "simulator kernel: events (time-skipping) or ticked (legacy; identical results)")
+	showVersion := cli.VersionFlag()
+	startTelemetry := cli.TelemetryFlag()
 	flag.Parse()
+	showVersion()
+	flushTelemetry := startTelemetry()
 
 	kern, err := kernel.Parse(*kernelFlag)
 	if err != nil {
@@ -62,6 +67,9 @@ func main() {
 	// leaves complete files behind.
 	die := func(err error) {
 		if werr := metrics.WriteFiles(*metricsOut, *traceOut); werr != nil {
+			log.Print(werr)
+		}
+		if werr := flushTelemetry(); werr != nil {
 			log.Print(werr)
 		}
 		log.Fatal(err)
@@ -126,6 +134,9 @@ func main() {
 		log.Fatalf("unknown ablation %q", *which)
 	}
 	if err := metrics.WriteFiles(*metricsOut, *traceOut); err != nil {
+		log.Fatal(err)
+	}
+	if err := flushTelemetry(); err != nil {
 		log.Fatal(err)
 	}
 }

@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"log"
 
+	"l15cache/internal/cli"
 	"l15cache/internal/experiments"
 	"l15cache/internal/kernel"
 	"l15cache/internal/memo"
@@ -45,7 +46,11 @@ func main() {
 	metricsOut := flag.String("metrics", "", "write a metrics-registry JSON snapshot to this file")
 	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON file (chrome://tracing)")
 	kernelFlag := flag.String("kernel", "events", "simulator kernel: events (time-skipping) or ticked (legacy; identical results)")
+	showVersion := cli.VersionFlag()
+	startTelemetry := cli.TelemetryFlag()
 	flag.Parse()
+	showVersion()
+	flushTelemetry := startTelemetry()
 
 	kern, err := kernel.Parse(*kernelFlag)
 	if err != nil {
@@ -60,6 +65,9 @@ func main() {
 	// leaves complete files behind.
 	die := func(err error) {
 		if werr := metrics.WriteFiles(*metricsOut, *traceOut); werr != nil {
+			log.Print(werr)
+		}
+		if werr := flushTelemetry(); werr != nil {
 			log.Print(werr)
 		}
 		log.Fatal(err)
@@ -87,6 +95,9 @@ func main() {
 		fmt.Print(experiments.FormatAcceptance(points))
 	}
 	if err := metrics.WriteFiles(*metricsOut, *traceOut); err != nil {
+		log.Fatal(err)
+	}
+	if err := flushTelemetry(); err != nil {
 		log.Fatal(err)
 	}
 }

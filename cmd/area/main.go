@@ -18,6 +18,7 @@ import (
 	"log"
 
 	"l15cache/internal/area"
+	"l15cache/internal/cli"
 	"l15cache/internal/metrics"
 )
 
@@ -26,7 +27,11 @@ func main() {
 	_ = flag.Int("workers", 0, "accepted for parity with the sweep commands; the analytic model has nothing to parallelise")
 	metricsOut := flag.String("metrics", "", "write a metrics-registry JSON snapshot to this file")
 	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON file (chrome://tracing)")
+	showVersion := cli.VersionFlag()
+	startTelemetry := cli.TelemetryFlag()
 	flag.Parse()
+	showVersion()
+	flushTelemetry := startTelemetry()
 
 	p := area.Synopsys28nm()
 	r, err := area.CompareOverhead(p)
@@ -49,6 +54,9 @@ func main() {
 	}
 
 	if err := metrics.WriteFiles(*metricsOut, *traceOut); err != nil {
+		log.Fatal(err)
+	}
+	if err := flushTelemetry(); err != nil {
 		log.Fatal(err)
 	}
 }

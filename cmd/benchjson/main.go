@@ -44,6 +44,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"l15cache/internal/cli"
 )
 
 // Result is one benchmark line: the name with the "Benchmark" prefix and
@@ -273,7 +275,9 @@ func main() {
 	overheadPair := flag.String("overhead", "",
 		"OFF:ON benchmark-name pair gated within the -against run (e.g. FlightRecorderOff:FlightRecorderOn)")
 	overheadTol := flag.Float64("overhead-tolerance", 0.05, "relative ns/op tolerance for -overhead")
+	showVersion := cli.VersionFlag()
 	flag.Parse()
+	showVersion()
 
 	blocking := *strict || *failOnRegress
 	annotateCmd := ""

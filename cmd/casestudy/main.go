@@ -27,6 +27,7 @@ import (
 	"log"
 	"math/rand"
 
+	"l15cache/internal/cli"
 	"l15cache/internal/experiments"
 	"l15cache/internal/flight"
 	"l15cache/internal/kernel"
@@ -55,7 +56,11 @@ func main() {
 	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON file (chrome://tracing)")
 	flightOut := flag.String("flight", "", "record one representative trial to this flight file (.jsonl or .bin)")
 	kernelFlag := flag.String("kernel", "events", "simulator kernel: events (time-skipping) or ticked (legacy; identical results)")
+	showVersion := cli.VersionFlag()
+	startTelemetry := cli.TelemetryFlag()
 	flag.Parse()
+	showVersion()
+	flushTelemetry := startTelemetry()
 
 	kern, err := kernel.Parse(*kernelFlag)
 	if err != nil {
@@ -74,6 +79,9 @@ func main() {
 	// leaves complete partial files behind.
 	flush := func() error {
 		if err := metrics.WriteFiles(*metricsOut, *traceOut); err != nil {
+			return err
+		}
+		if err := flushTelemetry(); err != nil {
 			return err
 		}
 		if *flightOut != "" {

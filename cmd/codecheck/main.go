@@ -58,6 +58,7 @@ import (
 	"os"
 	"sort"
 
+	"l15cache/internal/cli"
 	"l15cache/internal/lint"
 )
 
@@ -75,7 +76,9 @@ func main() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: codecheck [flags] [packages]\n\n")
 		flag.PrintDefaults()
 	}
+	showVersion := cli.VersionFlag()
 	flag.Parse()
+	showVersion()
 
 	if *list {
 		for _, a := range lint.All() {

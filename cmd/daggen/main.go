@@ -15,6 +15,7 @@ import (
 	"math/rand"
 	"os"
 
+	"l15cache/internal/cli"
 	"l15cache/internal/dag"
 	"l15cache/internal/metrics"
 	"l15cache/internal/sched"
@@ -40,9 +41,16 @@ func main() {
 	zeta := flag.Int("zeta", 16, "L1.5 ways ζ for -schedule")
 	metricsOut := flag.String("metrics", "", "write a metrics-registry JSON snapshot to this file")
 	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON file (chrome://tracing)")
+	showVersion := cli.VersionFlag()
+	startTelemetry := cli.TelemetryFlag()
 	flag.Parse()
+	showVersion()
+	flushTelemetry := startTelemetry()
 	defer func() {
 		if err := metrics.WriteFiles(*metricsOut, *traceOut); err != nil {
+			log.Fatal(err)
+		}
+		if err := flushTelemetry(); err != nil {
 			log.Fatal(err)
 		}
 	}()

@@ -25,6 +25,7 @@ import (
 	"sort"
 	"strings"
 
+	"l15cache/internal/cli"
 	"l15cache/internal/flight"
 	"l15cache/internal/forensics"
 )
@@ -37,7 +38,9 @@ func main() {
 	jobIdx := flag.Int("job", -1, "focus job (release) index (-1 = auto)")
 	width := flag.Int("width", 72, "timeline width in characters")
 	chrome := flag.String("chrome", "", "also write a Chrome trace_event JSON file")
+	showVersion := cli.VersionFlag()
 	flag.Parse()
+	showVersion()
 
 	if flag.NArg() != 1 {
 		log.Fatal("usage: explain [flags] recording.{jsonl,bin}")

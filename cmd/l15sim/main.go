@@ -8,22 +8,26 @@
 //
 //	l15sim [-program file.s]... [-max N] [-stats] [-kernel events|ticked]
 //	       [-metrics out.json] [-trace out.json] [-flight out.jsonl]
-//	       [-http addr] [-pprof addr]
-//	       [-cpuprofile out.pb.gz] [-memprofile out.pb.gz]
+//	       [-telemetry out.jsonl] [-http addr] [-pprof addr]
+//	       [-cpuprofile out.pb.gz] [-memprofile out.pb.gz] [-version]
 //
 // -metrics serialises the metrics registry (L1/L1.5/L2/TLB counters, SDU
 // latency histograms) as JSON; -trace writes a Chrome trace_event file for
 // chrome://tracing; -flight writes a flight recording of every Walloc way
-// reassignment and gv_set (dissect it with cmd/explain). -http serves the
-// live-inspection endpoint (/metrics JSON snapshot, /events SSE stream of
-// flight events, /healthz) during and after the run — the process then
-// stays up until interrupted. An interrupt (Ctrl-C) at any point still
-// flushes the requested -metrics/-trace/-flight files before exiting.
-// -pprof serves net/http/pprof on the given address for live profiling,
-// and -cpuprofile/-memprofile write offline profiles.
+// reassignment and gv_set (dissect it with cmd/explain); -telemetry
+// writes the wall-clock sampler's time series as JSONL. -http serves the
+// live-inspection endpoint (/metrics Prometheus exposition or JSON,
+// /metrics/history, /metrics/stream, /events SSE stream of flight events,
+// /dashboard, /healthz) during and after the run — the process then stays
+// up until interrupted. An interrupt (Ctrl-C) at any point still flushes
+// the requested artifact files and drains live SSE clients through a
+// graceful server shutdown before exiting. -pprof serves net/http/pprof
+// on the given address for live profiling, and -cpuprofile/-memprofile
+// write offline profiles.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -33,7 +37,9 @@ import (
 	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"time"
 
+	"l15cache/internal/cli"
 	"l15cache/internal/flight"
 	"l15cache/internal/isa"
 	"l15cache/internal/kernel"
@@ -67,7 +73,11 @@ func main() {
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file")
 	kernelFlag := flag.String("kernel", "events", "simulator kernel: events (time-skipping) or ticked (legacy; identical results)")
+	showVersion := cli.VersionFlag()
+	startTelemetry := cli.TelemetryFlag()
 	flag.Parse()
+	showVersion()
+	flushTelemetry := startTelemetry()
 
 	kern, err := kernel.Parse(*kernelFlag)
 	if err != nil {
@@ -78,11 +88,18 @@ func main() {
 	if *flightOut != "" || *httpAddr != "" {
 		rec = flight.New()
 	}
+	var srv *flight.Server
+	if *httpAddr != "" {
+		srv = &flight.Server{Recorder: rec}
+	}
 	// flush writes every requested artifact; it runs on the normal exit
 	// path and again from the interrupt handler, so a Ctrl-C mid-run
 	// still leaves complete (if shorter) files behind.
 	flush := func() error {
 		if err := metrics.WriteFiles(*metricsOut, *traceOut); err != nil {
+			return err
+		}
+		if err := flushTelemetry(); err != nil {
 			return err
 		}
 		if *flightOut != "" {
@@ -98,15 +115,25 @@ func main() {
 		if err := flush(); err != nil {
 			log.Print(err)
 		}
+		if srv != nil {
+			// Drain SSE clients and finish in-flight requests before the
+			// process goes away.
+			ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+			if err := srv.Shutdown(ctx); err != nil {
+				log.Print(err)
+			}
+			cancel()
+		}
 		os.Exit(130)
 	}()
-	if *httpAddr != "" {
-		srv := &flight.Server{Recorder: rec}
+	if srv != nil {
 		go func() {
 			err := srv.ListenAndServe(*httpAddr, func(addr string) {
-				log.Printf("live inspection on http://%s/ (/metrics, /events, /healthz)", addr)
+				log.Printf("live inspection on http://%s/ (/metrics, /dashboard, /events, /healthz)", addr)
 			})
-			log.Printf("http server: %v", err)
+			if err != nil {
+				log.Printf("http server: %v", err)
+			}
 		}()
 	}
 

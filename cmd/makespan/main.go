@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"log"
 
+	"l15cache/internal/cli"
 	"l15cache/internal/experiments"
 	"l15cache/internal/kernel"
 	"l15cache/internal/memo"
@@ -49,7 +50,11 @@ func main() {
 	metricsOut := flag.String("metrics", "", "write a metrics-registry JSON snapshot to this file")
 	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON file (chrome://tracing)")
 	kernelFlag := flag.String("kernel", "events", "simulator kernel: events (time-skipping) or ticked (legacy; identical results)")
+	showVersion := cli.VersionFlag()
+	startTelemetry := cli.TelemetryFlag()
 	flag.Parse()
+	showVersion()
+	flushTelemetry := startTelemetry()
 
 	kern, err := kernel.Parse(*kernelFlag)
 	if err != nil {
@@ -64,6 +69,9 @@ func main() {
 	// leaves complete files behind.
 	die := func(err error) {
 		if werr := metrics.WriteFiles(*metricsOut, *traceOut); werr != nil {
+			log.Print(werr)
+		}
+		if werr := flushTelemetry(); werr != nil {
 			log.Print(werr)
 		}
 		log.Fatal(err)
@@ -119,6 +127,9 @@ func main() {
 		log.Fatalf("unknown sweep %q (want u, p, cpr or all)", *sweep)
 	}
 	if err := metrics.WriteFiles(*metricsOut, *traceOut); err != nil {
+		log.Fatal(err)
+	}
+	if err := flushTelemetry(); err != nil {
 		log.Fatal(err)
 	}
 }

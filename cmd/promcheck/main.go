@@ -1,0 +1,106 @@
+// Command promcheck validates Prometheus text exposition against the
+// strict in-repo parser (internal/telemetry): every sample must belong to
+// a declared family, no family or series may repeat, histogram buckets
+// must be cumulative over strictly increasing le bounds with a +Inf
+// bucket agreeing with _count. The CI smoke job points it at a live
+// `l15sim -http` endpoint to prove the /metrics scrape is well-formed.
+//
+// Usage:
+//
+//	promcheck [-min-families N] file.prom...
+//	promcheck -url http://127.0.0.1:8080/metrics
+//
+// With no file arguments and no -url it reads stdin. Exit status is 0
+// when every input parses, 1 otherwise.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+
+	"l15cache/internal/cli"
+	"l15cache/internal/telemetry"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("promcheck: ")
+
+	url := flag.String("url", "", "scrape this URL instead of reading files/stdin")
+	minFamilies := flag.Int("min-families", 1, "fail when an input declares fewer families")
+	quiet := flag.Bool("q", false, "suppress the per-input summary line")
+	showVersion := cli.VersionFlag()
+	flag.Parse()
+	showVersion()
+
+	type input struct {
+		name string
+		data []byte
+	}
+	var inputs []input
+	switch {
+	case *url != "":
+		resp, err := http.Get(*url)
+		if err != nil {
+			log.Fatal(err)
+		}
+		data, err := io.ReadAll(resp.Body)
+		if cerr := resp.Body.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			log.Fatalf("%s: status %s", *url, resp.Status)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != telemetry.ContentType {
+			log.Fatalf("%s: Content-Type %q, want %q", *url, ct, telemetry.ContentType)
+		}
+		inputs = append(inputs, input{name: *url, data: data})
+	case flag.NArg() == 0:
+		data, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			log.Fatal(err)
+		}
+		inputs = append(inputs, input{name: "stdin", data: data})
+	default:
+		for _, path := range flag.Args() {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				log.Fatal(err)
+			}
+			inputs = append(inputs, input{name: path, data: data})
+		}
+	}
+
+	failed := false
+	for _, in := range inputs {
+		families, err := telemetry.Parse(in.data)
+		if err != nil {
+			log.Printf("%s: INVALID: %v", in.name, err)
+			failed = true
+			continue
+		}
+		if len(families) < *minFamilies {
+			log.Printf("%s: INVALID: %d families, want at least %d",
+				in.name, len(families), *minFamilies)
+			failed = true
+			continue
+		}
+		if !*quiet {
+			samples := 0
+			for _, f := range families {
+				samples += len(f.Samples)
+			}
+			fmt.Printf("%s: ok: %d families, %d samples\n", in.name, len(families), samples)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -38,6 +38,7 @@ import (
 	"strings"
 
 	"l15cache/internal/area"
+	"l15cache/internal/cli"
 	"l15cache/internal/experiments"
 	"l15cache/internal/flight"
 	"l15cache/internal/kernel"
@@ -141,7 +142,11 @@ func main() {
 	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON file (chrome://tracing)")
 	flightOut := flag.String("flight", "", "write a flight recording (.jsonl or .bin) of a representative trial")
 	kernelFlag := flag.String("kernel", "events", "simulator kernel: events (time-skipping) or ticked (legacy; identical results)")
+	showVersion := cli.VersionFlag()
+	startTelemetry := cli.TelemetryFlag()
 	flag.Parse()
+	showVersion()
+	flushTelemetry := startTelemetry()
 
 	kern, err := kernel.Parse(*kernelFlag)
 	if err != nil {
@@ -166,6 +171,9 @@ func main() {
 	// output files.
 	die := func(err error) {
 		if werr := metrics.WriteFiles(*metricsOut, *traceOut); werr != nil {
+			log.Print(werr)
+		}
+		if werr := flushTelemetry(); werr != nil {
 			log.Print(werr)
 		}
 		if *flightOut != "" {
@@ -344,6 +352,9 @@ func main() {
 	sb.WriteString("\n```\n")
 
 	if err := metrics.WriteFiles(*metricsOut, *traceOut); err != nil {
+		die(err)
+	}
+	if err := flushTelemetry(); err != nil {
 		die(err)
 	}
 	if *metricsOut != "" {

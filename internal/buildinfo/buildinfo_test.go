@@ -1,0 +1,37 @@
+package buildinfo
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMap(t *testing.T) {
+	m := Map()
+	for _, key := range []string{"go", "module", "version"} {
+		if m[key] == "" {
+			t.Errorf("Map()[%q] empty", key)
+		}
+	}
+	if !strings.HasPrefix(m["go"], "go") {
+		t.Errorf("go version = %q", m["go"])
+	}
+	if m["module"] != "l15cache" {
+		t.Errorf("module = %q, want l15cache", m["module"])
+	}
+}
+
+func TestString(t *testing.T) {
+	s := String()
+	if !strings.Contains(s, "l15cache") || !strings.Contains(s, "go") {
+		t.Errorf("String() = %q, want module and go version", s)
+	}
+}
+
+// TestMapCopies guards the accessor against callers mutating shared state.
+func TestMapCopies(t *testing.T) {
+	a := Map()
+	a["go"] = "tampered"
+	if b := Map(); b["go"] == "tampered" {
+		t.Error("Map returns a shared map")
+	}
+}

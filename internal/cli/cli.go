@@ -1,0 +1,46 @@
+// Package cli holds the flag plumbing shared by every cmd/ tool: the
+// -version build-attribution flag and the -telemetry time-series sampler
+// flag. Both are two-phase — register before flag.Parse, act right after
+// — so each tool adds one line per phase instead of re-implementing the
+// behaviour.
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"l15cache/internal/buildinfo"
+	"l15cache/internal/telemetry"
+)
+
+// VersionFlag registers -version on the default flag set. Call the
+// returned handler immediately after flag.Parse: when the flag was given
+// it prints the build attribution line (module, revision, toolchain) and
+// exits 0.
+func VersionFlag() func() {
+	v := flag.Bool("version", false, "print build/version information and exit")
+	return func() {
+		if *v {
+			fmt.Println(buildinfo.String())
+			os.Exit(0)
+		}
+	}
+}
+
+// TelemetryFlag registers -telemetry on the default flag set. Call the
+// returned activator after flag.Parse: when a path was given it starts
+// the wall-clock sampler over the merged metrics registries and returns
+// the flush writing the sampled ring there as JSONL; with no path both
+// steps are no-ops. Tools flush wherever they write their -metrics
+// artifacts (normal exit and the interrupt path) — the flush is safe to
+// call more than once. Sampling observes the run and never feeds a value
+// back, so the flag can never change a result.
+func TelemetryFlag() func() func() error {
+	path := flag.String("telemetry", "",
+		"sample merged metrics on a wall-clock ticker and write the series as JSONL to this file (never changes results)")
+	return func() func() error {
+		_, flush := telemetry.StartFlag(*path)
+		return flush
+	}
+}

@@ -167,7 +167,10 @@ func TestServerEndpoints(t *testing.T) {
 	if got := get("/healthz"); !strings.Contains(got, "ok") {
 		t.Errorf("/healthz = %q", got)
 	}
-	if got := get("/metrics"); !strings.Contains(got, "counters") {
-		t.Errorf("/metrics = %q", got)
+	if got := get("/metrics?format=json"); !strings.Contains(got, "counters") {
+		t.Errorf("/metrics?format=json = %q", got)
+	}
+	if got := get("/metrics"); !strings.Contains(got, "# TYPE") {
+		t.Errorf("/metrics (exposition) = %q", got)
 	}
 }

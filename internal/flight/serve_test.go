@@ -1,0 +1,355 @@
+package flight
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"l15cache/internal/metrics"
+	"l15cache/internal/telemetry"
+)
+
+// testServer builds a Server over private registries so tests never
+// touch the process-wide defaults.
+func testServer(events int) (*Server, *metrics.Registry) {
+	rec := NewCap(64)
+	for i := 0; i < events; i++ {
+		rec.Emit(Event{Kind: KindDispatch, Time: float64(i), Task: 0, Job: 0, Node: int32(i), Core: 0, Cluster: 0, Wave: -1})
+	}
+	det := metrics.NewRegistry()
+	det.Counter("soc.l1.hits").Add(7)
+	rt := metrics.NewRegistry()
+	return &Server{
+		Registry: det,
+		Runtime:  rt,
+		Recorder: rec,
+		Poll:     2 * time.Millisecond,
+	}, rt
+}
+
+func TestMetricsContentNegotiation(t *testing.T) {
+	s, _ := testServer(0)
+	h := s.Handler()
+
+	// Default: Prometheus text exposition, valid under the strict parser.
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := w.Header().Get("Content-Type"); ct != telemetry.ContentType {
+		t.Errorf("default Content-Type = %q, want %q", ct, telemetry.ContentType)
+	}
+	if _, err := telemetry.Parse(w.Body.Bytes()); err != nil {
+		t.Errorf("default /metrics not valid exposition: %v", err)
+	}
+	if !strings.Contains(w.Body.String(), `soc_l1_hits_total{name="soc.l1.hits"} 7`) {
+		t.Errorf("deterministic counter missing:\n%s", w.Body.String())
+	}
+
+	// ?format=json and Accept: application/json negotiate the snapshot.
+	for _, build := range []func() *http.Request{
+		func() *http.Request { return httptest.NewRequest("GET", "/metrics?format=json", nil) },
+		func() *http.Request {
+			r := httptest.NewRequest("GET", "/metrics", nil)
+			r.Header.Set("Accept", "application/json")
+			return r
+		},
+	} {
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, build())
+		if ct := w.Header().Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+			t.Fatalf("negotiated Content-Type = %q", ct)
+		}
+		var snap struct {
+			Counters map[string]uint64 `json:"counters"`
+		}
+		if err := json.Unmarshal(w.Body.Bytes(), &snap); err != nil {
+			t.Fatalf("JSON form: %v", err)
+		}
+		if snap.Counters["soc.l1.hits"] != 7 {
+			t.Errorf("JSON counters = %v", snap.Counters)
+		}
+	}
+}
+
+func TestHealthzBuildInfo(t *testing.T) {
+	s, _ := testServer(3)
+	w := httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, httptest.NewRequest("GET", "/healthz", nil))
+	var body struct {
+		OK     bool              `json:"ok"`
+		Events int               `json:"events"`
+		Build  map[string]string `json:"build"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	if !body.OK || body.Events != 3 {
+		t.Errorf("healthz = %+v", body)
+	}
+	if body.Build["module"] != "l15cache" || body.Build["go"] == "" {
+		t.Errorf("healthz build attribution = %v", body.Build)
+	}
+}
+
+func TestHistoryEndpoint(t *testing.T) {
+	s, _ := testServer(0)
+	sam := telemetry.NewSampler(s.Registry.Snapshot, time.Hour, 8)
+	s.Sampler = sam
+	sam.SampleNow()
+	sam.SampleNow()
+
+	w := httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, httptest.NewRequest("GET", "/metrics/history", nil))
+	if ct := w.Header().Get("Content-Type"); !strings.HasPrefix(ct, "application/jsonl") {
+		t.Errorf("history Content-Type = %q", ct)
+	}
+	lines := strings.Split(strings.TrimRight(w.Body.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("history returned %d lines, want 2:\n%s", len(lines), w.Body.String())
+	}
+	var sample telemetry.Sample
+	if err := json.Unmarshal([]byte(lines[1]), &sample); err != nil {
+		t.Fatal(err)
+	}
+	if sample.Seq != 1 || sample.Counters["soc.l1.hits"] != 7 {
+		t.Errorf("history sample = %+v", sample)
+	}
+}
+
+func TestDashboardServed(t *testing.T) {
+	s, _ := testServer(0)
+	w := httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, httptest.NewRequest("GET", "/dashboard", nil))
+	if ct := w.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/html") {
+		t.Errorf("dashboard Content-Type = %q", ct)
+	}
+	if !strings.Contains(w.Body.String(), "EventSource") {
+		t.Error("dashboard page missing the SSE wiring")
+	}
+}
+
+// sseClient connects to path on a live server and returns the body
+// reader plus a cancel tearing the connection down.
+func sseClient(t *testing.T, base, path string) (*bufio.Reader, context.CancelFunc) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, "GET", base+path, nil)
+	if err != nil {
+		cancel()
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		cancel()
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		cancel()
+		t.Fatalf("SSE Content-Type = %q", ct)
+	}
+	t.Cleanup(func() { _ = resp.Body.Close() })
+	return bufio.NewReader(resp.Body), cancel
+}
+
+// readSSEEvent reads one "event:"/"data:" pair from an SSE stream. It
+// reads synchronously on the caller's goroutine so successive calls on
+// one reader never race for lines; the per-test timeout (each caller
+// cancels its client context via t.Cleanup) bounds a stuck stream.
+func readSSEEvent(t *testing.T, r *bufio.Reader) (event, data string) {
+	t.Helper()
+	for {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			t.Fatalf("SSE read (have event=%q): %v", event, err)
+		}
+		line = strings.TrimRight(line, "\n")
+		if v, ok := strings.CutPrefix(line, "event: "); ok {
+			event = v
+		}
+		if v, ok := strings.CutPrefix(line, "data: "); ok {
+			return event, v
+		}
+	}
+}
+
+func TestEventsSSE(t *testing.T) {
+	s, rt := testServer(2)
+	hs := httptest.NewServer(s.Handler())
+	defer hs.Close()
+
+	r, cancel := sseClient(t, hs.URL, "/events")
+	defer cancel() // also mid-test below; idempotent
+
+	// Delivery: the retained events replay in order.
+	for want := 0; want < 2; want++ {
+		event, data := readSSEEvent(t, r)
+		if event != "flight" {
+			t.Fatalf("event type = %q", event)
+		}
+		var e struct {
+			Seq  uint64 `json:"seq"`
+			Kind string `json:"k"`
+		}
+		if err := json.Unmarshal([]byte(data), &e); err != nil {
+			t.Fatalf("event payload %q: %v", data, err)
+		}
+		if e.Seq != uint64(want) || e.Kind != "dispatch" {
+			t.Errorf("event %d = %+v", want, e)
+		}
+	}
+
+	// A connected client is visible in the operational gauge.
+	if g := rt.Snapshot().Gauges["flight.sse_clients"]; g != 1 {
+		t.Errorf("flight.sse_clients = %v while connected, want 1", g)
+	}
+
+	// A live event published after connect is delivered on a later poll.
+	s.Recorder.Emit(Event{Kind: KindFinish, Wave: -1})
+	if event, _ := readSSEEvent(t, r); event != "flight" {
+		t.Fatalf("live event type = %q", event)
+	}
+
+	// Disconnect cleanup: the gauge returns to zero.
+	cancel()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if rt.Snapshot().Gauges["flight.sse_clients"] == 0 {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Errorf("flight.sse_clients = %v after disconnect, want 0",
+		rt.Snapshot().Gauges["flight.sse_clients"])
+}
+
+func TestEventsSince(t *testing.T) {
+	s, _ := testServer(5)
+	hs := httptest.NewServer(s.Handler())
+	defer hs.Close()
+	r, cancel := sseClient(t, hs.URL, "/events?since=3")
+	defer cancel()
+	_, data := readSSEEvent(t, r)
+	var e struct {
+		Seq uint64 `json:"seq"`
+	}
+	if err := json.Unmarshal([]byte(data), &e); err != nil {
+		t.Fatal(err)
+	}
+	if e.Seq != 3 {
+		t.Errorf("first replayed seq = %d, want 3", e.Seq)
+	}
+}
+
+func TestStreamSSE(t *testing.T) {
+	s, _ := testServer(0)
+	hs := httptest.NewServer(s.Handler())
+	defer hs.Close()
+	defer func() {
+		if err := s.Shutdown(context.Background()); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	}()
+
+	r, cancel := sseClient(t, hs.URL, "/metrics/stream")
+	defer cancel()
+	event, data := readSSEEvent(t, r)
+	if event != "sample" {
+		t.Fatalf("stream event type = %q", event)
+	}
+	var sample telemetry.Sample
+	if err := json.Unmarshal([]byte(data), &sample); err != nil {
+		t.Fatalf("stream payload %q: %v", data, err)
+	}
+	if sample.Counters["soc.l1.hits"] != 7 {
+		t.Errorf("stream sample counters = %v", sample.Counters)
+	}
+}
+
+// failingFlusher satisfies http.ResponseWriter + http.Flusher but fails
+// every body write, imitating a slow client whose connection backed up.
+type failingFlusher struct {
+	header http.Header
+}
+
+func (f *failingFlusher) Header() http.Header       { return f.header }
+func (f *failingFlusher) WriteHeader(int)           {}
+func (f *failingFlusher) Flush()                    {}
+func (f *failingFlusher) Write([]byte) (int, error) { return 0, errors.New("client gone") }
+
+func TestSlowClientDropCounter(t *testing.T) {
+	s, rt := testServer(1)
+	w := &failingFlusher{header: make(http.Header)}
+	s.handleEvents(w, httptest.NewRequest("GET", "/events", nil))
+	if c := rt.Snapshot().Counters["flight.sse_client_drops"]; c != 1 {
+		t.Errorf("flight.sse_client_drops = %d, want 1", c)
+	}
+	// The events stream also keeps the client gauge balanced on the error
+	// path.
+	if g := rt.Snapshot().Gauges["flight.sse_clients"]; g != 0 {
+		t.Errorf("flight.sse_clients = %v after drop, want 0", g)
+	}
+	// Same accounting on the sampler stream.
+	s.handleStream(w, httptest.NewRequest("GET", "/metrics/stream", nil))
+	if c := rt.Snapshot().Counters["flight.sse_client_drops"]; c != 2 {
+		t.Errorf("flight.sse_client_drops = %d after stream drop, want 2", c)
+	}
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShutdownDrainsSSE proves Shutdown unblocks open SSE streams: a
+// connected /events client sees EOF and Serve returns nil.
+func TestShutdownDrainsSSE(t *testing.T) {
+	s, _ := testServer(1)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- s.Serve(ln) }()
+
+	r, cancel := sseClient(t, "http://"+ln.Addr().String(), "/events")
+	defer cancel()
+	readSSEEvent(t, r) // the stream is live
+
+	ctx, cancelCtx := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancelCtx()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	select {
+	case err := <-serveErr:
+		if err != nil {
+			t.Errorf("Serve returned %v after Shutdown, want nil", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve did not return after Shutdown")
+	}
+	// The drained client hits EOF rather than hanging.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			if _, err := r.ReadString('\n'); err != nil {
+				return
+			}
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("SSE client still blocked after Shutdown")
+	}
+
+	// Shutdown is idempotent.
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("second Shutdown: %v", err)
+	}
+}

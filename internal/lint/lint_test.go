@@ -25,6 +25,11 @@ func TestWallTimeHarness(t *testing.T) { runAnalyzerTest(t, WallTime, "walltime/
 // clock to pace its live /events stream, while the global-rand ban holds.
 func TestWallTimeFlightRecorder(t *testing.T) { runAnalyzerTest(t, WallTime, "walltime/flightrec") }
 
+// TestWallTimeTelemetry pins the telemetry exemption: the sampler layer
+// may read the wall clock to timestamp operator-facing observations, while
+// the global-rand ban holds.
+func TestWallTimeTelemetry(t *testing.T) { runAnalyzerTest(t, WallTime, "walltime/telemetry") }
+
 func TestBitMaskFlagged(t *testing.T) { runAnalyzerTest(t, BitMask, "bitmask/flagged") }
 func TestBitMaskClean(t *testing.T)   { runAnalyzerTest(t, BitMask, "bitmask/clean") }
 
@@ -251,5 +256,29 @@ func TestPurityCheckMemoCarveOut(t *testing.T) {
 			continue
 		}
 		t.Errorf("purity finding across the memo chain: %s", d)
+	}
+}
+
+// TestPurityCheckTelemetryCarveOut loads the real telemetry chain —
+// experiments sweeps fan out through runner.Map, whose span layer
+// publishes into telemetry.Runtime, while the flight server samples the
+// merged registries — and asserts the interprocedural purity check stays
+// clean: package telemetry's wall-clock carve-out must keep the sampler's
+// clock reads from registering as determinism hazards, while every other
+// rule still applies across the chain.
+func TestPurityCheckTelemetryCarveOut(t *testing.T) {
+	pkgs, err := Load("", "../experiments", "../runner", "../memo", "../flight", "../telemetry")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	diags, err := RunModule(pkgs, []*Analyzer{PurityCheck})
+	if err != nil {
+		t.Fatalf("RunModule: %v", err)
+	}
+	for _, d := range diags {
+		if d.Suppressed {
+			continue
+		}
+		t.Errorf("purity finding across the telemetry chain: %s", d)
 	}
 }

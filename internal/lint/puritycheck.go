@@ -28,6 +28,10 @@ import (
 //   - package flight keeps the matching wall-clock carve-out only: its
 //     recorded events are cycle-stamped sim-time, and the clock merely
 //     paces the live /events SSE polling loop;
+//   - package telemetry keeps the same wall-clock-only carve-out: its
+//     sampler and runtime collector timestamp operator-facing observations
+//     of the simulation, and nothing in the deterministic artifact path
+//     ever reads a telemetry value back;
 //   - package memo keeps a filesystem-read carve-out: the content-addressed
 //     trial cache (DESIGN.md §12) keys disk entries by a hash of the full
 //     trial input, so a verified read only ever replaces a computation with
@@ -128,6 +132,7 @@ func runPurityCheck(mp *ModulePass) error {
 		runnerExempt := node.Pkg.Types.Name() == "runner"
 		flightExempt := node.Pkg.Types.Name() == "flight"
 		memoExempt := node.Pkg.Types.Name() == "memo"
+		telemetryExempt := node.Pkg.Types.Name() == "telemetry"
 		for _, edge := range node.Calls {
 			callee := g.Nodes[edge.Callee]
 			kind := classifySink(callee.Fn)
@@ -139,6 +144,9 @@ func runPurityCheck(mp *ModulePass) error {
 			}
 			if flightExempt && kind == "wall-clock" {
 				continue // SSE poll pacing; events are cycle-stamped (see doc)
+			}
+			if telemetryExempt && kind == "wall-clock" {
+				continue // sampler timestamps observations only (see doc)
 			}
 			if memoExempt && kind == "fs-read" {
 				continue // content-addressed cache: a hit replays the trial's own bytes (see doc)

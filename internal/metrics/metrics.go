@@ -31,6 +31,8 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"l15cache/internal/buildinfo"
 )
 
 // Counter is a monotonic (or externally mirrored) event count.
@@ -191,7 +193,11 @@ func (s HistogramSnapshot) Quantile(q float64) float64 {
 
 // Snapshot is a point-in-time copy of a registry. encoding/json emits map
 // keys sorted, so the serialised form is deterministic for identical values.
+// Build is the attribution header (internal/buildinfo): a pure function of
+// the binary, so archived snapshots stay byte-comparable across runs of one
+// build while naming the revision and toolchain that produced them.
 type Snapshot struct {
+	Build      map[string]string            `json:"build"`
 	Counters   map[string]uint64            `json:"counters"`
 	Gauges     map[string]float64           `json:"gauges"`
 	Histograms map[string]HistogramSnapshot `json:"histograms"`
@@ -287,6 +293,7 @@ func (r *Registry) Snapshot() Snapshot {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	s := Snapshot{
+		Build:      buildinfo.Map(),
 		Counters:   make(map[string]uint64, len(r.counters)),
 		Gauges:     make(map[string]float64, len(r.gauges)),
 		Histograms: make(map[string]HistogramSnapshot, len(r.hists)),

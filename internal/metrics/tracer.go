@@ -10,9 +10,12 @@ import (
 // Event is one traced occurrence inside the simulated system: a Walloc way
 // reassignment, a monitor sample, a scheduler dispatch. Cycle is the
 // component's notion of time (SDU ticks, core cycles or simulated task time
-// scaled by the caller).
+// scaled by the caller). A non-zero Dur turns the event into a span
+// covering [Cycle, Cycle+Dur] — the form the runner's sweep/trial spans
+// use, where both fields are wall-clock microseconds since sweep start.
 type Event struct {
 	Cycle     uint64
+	Dur       uint64
 	Component string
 	Name      string
 	Args      map[string]any
@@ -59,12 +62,27 @@ func NewTracer(capacity int) *Tracer {
 	return &Tracer{buf: make([]Event, 0, capacity)}
 }
 
-// Emit records one event. Safe for concurrent use and on a nil tracer.
+// Emit records one instant event. Safe for concurrent use and on a nil
+// tracer.
 func (t *Tracer) Emit(cycle uint64, component, name string, args map[string]any) {
+	t.emit(Event{Cycle: cycle, Component: component, Name: name, Args: args})
+}
+
+// EmitSpan records one duration event covering [cycle, cycle+dur] — a
+// Chrome "complete" (X) slice. The runner's sweep/trial spans use it with
+// wall-clock microseconds; simulated components may use it with cycle
+// spans. Safe for concurrent use and on a nil tracer.
+func (t *Tracer) EmitSpan(cycle, dur uint64, component, name string, args map[string]any) {
+	if dur == 0 {
+		dur = 1 // a zero-width X slice is invisible in the viewers
+	}
+	t.emit(Event{Cycle: cycle, Dur: dur, Component: component, Name: name, Args: args})
+}
+
+func (t *Tracer) emit(ev Event) {
 	if t == nil {
 		return
 	}
-	ev := Event{Cycle: cycle, Component: component, Name: name, Args: args}
 	t.mu.Lock()
 	if len(t.buf) < cap(t.buf) {
 		t.buf = append(t.buf, ev)
@@ -121,6 +139,7 @@ type chromeEvent struct {
 	Cat   string         `json:"cat"`
 	Phase string         `json:"ph"`
 	TS    uint64         `json:"ts"` // simulated cycles, displayed as µs
+	Dur   uint64         `json:"dur,omitempty"`
 	PID   int            `json:"pid"`
 	TID   int            `json:"tid"`
 	Scope string         `json:"s,omitempty"`
@@ -156,7 +175,7 @@ func (t *Tracer) ChromeJSON() ([]byte, error) {
 				Args:  map[string]any{"name": ev.Component},
 			})
 		}
-		out = append(out, chromeEvent{
+		ce := chromeEvent{
 			Name:  ev.Name,
 			Cat:   ev.Component,
 			Phase: "i",
@@ -165,7 +184,11 @@ func (t *Tracer) ChromeJSON() ([]byte, error) {
 			TID:   tid,
 			Scope: "t",
 			Args:  ev.Args,
-		})
+		}
+		if ev.Dur > 0 { // duration events render as complete (X) slices
+			ce.Phase, ce.Scope, ce.Dur = "X", "", ev.Dur
+		}
+		out = append(out, ce)
 	}
 	if out == nil {
 		out = []chromeEvent{}

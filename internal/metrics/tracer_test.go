@@ -138,3 +138,44 @@ func TestTracerDroppedExposed(t *testing.T) {
 		t.Errorf("Chrome export missing drop metadata:\n%s", data)
 	}
 }
+
+func TestEmitSpan(t *testing.T) {
+	tr := NewTracer(8)
+	tr.EmitSpan(100, 50, "runner/x", "trial.run", map[string]any{"span": "abc"})
+	tr.EmitSpan(200, 0, "runner/x", "trial.queue", nil) // zero-width widens to 1
+	events := tr.Events()
+	if len(events) != 2 {
+		t.Fatalf("got %d events", len(events))
+	}
+	if events[0].Cycle != 100 || events[0].Dur != 50 {
+		t.Errorf("span event = %+v", events[0])
+	}
+	if events[1].Dur != 1 {
+		t.Errorf("zero-duration span rendered with Dur=%d, want 1", events[1].Dur)
+	}
+
+	data, err := tr.ChromeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc []struct {
+		Ph  string  `json:"ph"`
+		Ts  float64 `json:"ts"`
+		Dur float64 `json:"dur"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	found := 0
+	for _, e := range doc {
+		if e.Ph == "X" {
+			found++
+			if e.Dur <= 0 {
+				t.Errorf("X slice with dur %v", e.Dur)
+			}
+		}
+	}
+	if found != 2 {
+		t.Errorf("Chrome export has %d X slices, want 2", found)
+	}
+}

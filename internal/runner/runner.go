@@ -191,11 +191,24 @@ func restoreCheckpoint[T any](cp *checkpoint, results []T, finished []bool) int 
 	return restored
 }
 
-// outcome carries one finished shard from a worker to the reducer.
+// outcome carries one finished shard from a worker to the reducer,
+// together with the wall-clock span marks (dispatch, shard-function start
+// and end) the reducer turns into trace spans. The marks are operational
+// data only — they never touch a result.
 type outcome[T any] struct {
 	index int
 	value T
 	err   error
+	enq   time.Time
+	start time.Time
+	end   time.Time
+}
+
+// dispatch hands one shard index to a worker, stamped with its enqueue
+// time so the trial's queue span covers dispatcher → worker pickup.
+type dispatch struct {
+	index int
+	enq   time.Time
 }
 
 // Map evaluates fn over n shards on a bounded worker pool and returns the
@@ -288,7 +301,13 @@ func Map[T any](ctx context.Context, cfg Config, n int, fn func(context.Context,
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
-	indices := make(chan int)
+	// The sweep's wall-clock epoch anchors the ETA estimate and every
+	// span timestamp.
+	start := time.Now()
+	spans := newSweepSpans(cfg.Name, cfg.RootSeed, start)
+	poolSize := cfg.workers(pending)
+
+	indices := make(chan dispatch)
 	go func() { // dispatcher
 		defer close(indices)
 		for i := 0; i < n; i++ {
@@ -296,7 +315,7 @@ func Map[T any](ctx context.Context, cfg Config, n int, fn func(context.Context,
 				continue
 			}
 			select {
-			case indices <- i:
+			case indices <- dispatch{index: i, enq: time.Now()}:
 			case <-runCtx.Done():
 				return
 			}
@@ -305,20 +324,23 @@ func Map[T any](ctx context.Context, cfg Config, n int, fn func(context.Context,
 
 	outs := make(chan outcome[T])
 	var wg sync.WaitGroup
-	for w := 0; w < cfg.workers(pending); w++ {
+	for w := 0; w < poolSize; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range indices {
-				v, err := fn(runCtx, Shard{Index: i, Seed: Seed(cfg.RootSeed, i)})
-				outs <- outcome[T]{index: i, value: v, err: err}
+			for d := range indices {
+				fnStart := time.Now()
+				v, err := fn(runCtx, Shard{Index: d.index, Seed: Seed(cfg.RootSeed, d.index)})
+				outs <- outcome[T]{
+					index: d.index, value: v, err: err,
+					enq: d.enq, start: fnStart, end: time.Now(),
+				}
 			}
 		}()
 	}
 	go func() { wg.Wait(); close(outs) }()
 
 	// Index-ordered state lives only on this, the reducing goroutine.
-	start := time.Now()
 	doneNew := 0
 	var firstErr error
 	firstErrIdx := n
@@ -333,6 +355,7 @@ func Map[T any](ctx context.Context, cfg Config, n int, fn func(context.Context,
 			cancel()
 			continue
 		}
+		redStart := time.Now()
 		results[o.index] = o.value
 		finished[o.index] = true
 		if memoKeys != nil {
@@ -362,12 +385,14 @@ func Map[T any](ctx context.Context, cfg Config, n int, fn func(context.Context,
 				}
 			}
 		}
+		spans.trial(o.index, o.enq, o.start, o.end, redStart)
 	}
 	if cp != nil {
 		if err := cp.flush(); err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}
+	spans.finish(poolSize, n, restored)
 
 	if firstErr != nil {
 		if firstErrIdx < n {

@@ -1,0 +1,130 @@
+// Sweep/trial span instrumentation: every Map call emits a hierarchy of
+// duration events into the Chrome-trace tracer — per computed trial a
+// queue span (dispatch → worker pickup), a run span (the shard function)
+// and a reduce span (checkpoint/memo/progress accounting), plus one sweep
+// span covering the whole fan-out — and publishes wall-clock latency
+// summaries (exact p50/p95/p99, worker occupancy) into the operational
+// telemetry registry at sweep end.
+//
+// Span identity is deterministic: SpanID is a pure function of
+// (RootSeed, index), the same derivation the shard seeds use, so the same
+// trial carries the same ID across runs, worker counts and kernels. The
+// spans' timestamps are wall-clock microseconds since sweep start and are
+// therefore operational data only: they flow to the -trace artifact and
+// telemetry.Runtime, never into a deterministic metrics snapshot. The
+// *number* of span events per sweep is itself deterministic (three per
+// computed trial plus one sweep span), so the `trace.events` counter in
+// archived snapshots stays byte-identical with telemetry on or off.
+
+package runner
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"l15cache/internal/metrics"
+	"l15cache/internal/telemetry"
+)
+
+// SpanID derives the deterministic span identifier of shard index under
+// root: the fixed-width hex rendering of the shard's Seed. Trial spans in
+// the trace, flight annotations and operator tooling can therefore be
+// joined on it across runs.
+func SpanID(root int64, index int) string {
+	return fmt.Sprintf("%016x", uint64(Seed(root, index)))
+}
+
+// trialRunBounds are the bucket upper bounds (seconds) of the operational
+// trial-latency histogram.
+var trialRunBounds = []float64{
+	1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 0.1, 0.3, 1, 3, 10, 30,
+}
+
+// sweepSpans accumulates one Map call's span emission and latency
+// summary. It lives on the reducing goroutine only, so plain fields
+// suffice.
+type sweepSpans struct {
+	name    string
+	root    int64
+	epoch   time.Time
+	tracer  *metrics.Tracer
+	runDurs []time.Duration
+	sumRun  time.Duration
+}
+
+// newSweepSpans starts the span hierarchy of one sweep; epoch anchors all
+// span timestamps (µs offsets).
+func newSweepSpans(name string, root int64, epoch time.Time) *sweepSpans {
+	return &sweepSpans{name: name, root: root, epoch: epoch, tracer: metrics.Trace}
+}
+
+// us converts an absolute time to the sweep's µs timeline.
+func (s *sweepSpans) us(t time.Time) uint64 {
+	d := t.Sub(s.epoch)
+	if d < 0 {
+		return 0
+	}
+	return uint64(d.Microseconds())
+}
+
+// trial emits the queue/run/reduce spans of one computed trial and
+// records its run latency. enq is the dispatch time, start/end bound the
+// shard function, redStart bounds the reducer's bookkeeping (its end is
+// now).
+func (s *sweepSpans) trial(index int, enq, start, end, redStart time.Time) {
+	comp := "runner/" + s.name
+	args := map[string]any{"span": SpanID(s.root, index), "trial": index}
+	s.tracer.EmitSpan(s.us(enq), s.us(start)-s.us(enq), comp, "trial.queue", args)
+	s.tracer.EmitSpan(s.us(start), s.us(end)-s.us(start), comp, "trial.run", args)
+	s.tracer.EmitSpan(s.us(redStart), s.us(time.Now())-s.us(redStart), comp, "trial.reduce", args)
+
+	run := end.Sub(start)
+	s.runDurs = append(s.runDurs, run)
+	s.sumRun += run
+	telemetry.Runtime.Histogram("runner.trial_run_seconds", trialRunBounds).Observe(run.Seconds())
+}
+
+// finish emits the sweep span and publishes the latency summary — exact
+// p50/p95/p99 over the computed trials' run durations and the worker
+// occupancy (Σ run time over workers × wall time) — into
+// telemetry.Runtime. Restored (checkpoint/memo) trials never ran, so they
+// are excluded from the distribution by construction.
+func (s *sweepSpans) finish(workers, total, restored int) {
+	now := time.Now()
+	s.tracer.EmitSpan(0, s.us(now), "runner/"+s.name, "sweep", map[string]any{
+		"trials":   total,
+		"computed": len(s.runDurs),
+		"restored": restored,
+		"workers":  workers,
+	})
+
+	if len(s.runDurs) == 0 {
+		return
+	}
+	sort.Slice(s.runDurs, func(i, j int) bool { return s.runDurs[i] < s.runDurs[j] })
+	prefix := "runner." + s.name + "."
+	telemetry.Runtime.Gauge(prefix + "trial_run_p50_seconds").Set(exactPercentile(s.runDurs, 0.50))
+	telemetry.Runtime.Gauge(prefix + "trial_run_p95_seconds").Set(exactPercentile(s.runDurs, 0.95))
+	telemetry.Runtime.Gauge(prefix + "trial_run_p99_seconds").Set(exactPercentile(s.runDurs, 0.99))
+	if wall := now.Sub(s.epoch); wall > 0 && workers > 0 {
+		occ := s.sumRun.Seconds() / (float64(workers) * wall.Seconds())
+		telemetry.Runtime.Gauge(prefix + "worker_occupancy").Set(occ)
+	}
+}
+
+// exactPercentile returns the q-th percentile of sorted durations in
+// seconds, nearest-rank convention (ceil(q·n), 1-based).
+func exactPercentile(sorted []time.Duration, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(q*float64(len(sorted)) + 0.9999999)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1].Seconds()
+}

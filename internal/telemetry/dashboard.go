@@ -1,0 +1,145 @@
+// The live dashboard: a single self-contained HTML page (no external
+// assets, no third-party script) that subscribes to the flight server's
+// /metrics/stream SSE feed of sampler points and renders sparklines for
+// the busiest series on <canvas>. The page is static — all state lives in
+// the browser — so serving it cannot perturb the simulation.
+
+package telemetry
+
+import "net/http"
+
+// HandleDashboard serves the live dashboard page. The flight server
+// mounts it at /dashboard.
+func HandleDashboard(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	if _, err := w.Write([]byte(dashboardHTML)); err != nil {
+		logf("telemetry: dashboard response write: %v", err)
+	}
+}
+
+// dashboardHTML is the complete dashboard document. It expects the SSE
+// endpoint at ./metrics/stream (each event one sampler Sample as JSON)
+// and the snapshot endpoint at ./metrics?format=json for the header.
+const dashboardHTML = `<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>l15cache telemetry</title>
+<style>
+  :root { color-scheme: dark; }
+  body { background:#14161a; color:#d6dae2; font:13px/1.45 ui-monospace,SFMono-Regular,Menlo,monospace; margin:0; padding:1.2em 1.6em; }
+  h1 { font-size:15px; margin:0 0 2px; color:#fff; }
+  #build { color:#7d8590; margin-bottom:1em; }
+  #status { float:right; color:#7d8590; }
+  #status.live { color:#3fb950; }
+  #grid { display:grid; grid-template-columns:repeat(auto-fill,minmax(310px,1fr)); gap:10px; }
+  .card { background:#1b1e24; border:1px solid #2b3036; border-radius:6px; padding:8px 10px 6px; }
+  .card .name { color:#9aa3af; overflow:hidden; text-overflow:ellipsis; white-space:nowrap; }
+  .card .val { color:#e6edf3; font-size:16px; }
+  .card .unit { color:#58606a; font-size:11px; margin-left:4px; }
+  canvas { display:block; width:100%; height:42px; margin-top:4px; }
+  a { color:#539bf5; }
+  #links { margin-top:1.2em; color:#7d8590; }
+</style>
+</head>
+<body>
+<div id="status">connecting&hellip;</div>
+<h1>l15cache telemetry</h1>
+<div id="build">&nbsp;</div>
+<div id="grid"></div>
+<div id="links">
+  <a href="metrics">/metrics</a> &middot;
+  <a href="metrics?format=json">/metrics?format=json</a> &middot;
+  <a href="metrics/history">/metrics/history</a> &middot;
+  <a href="events">/events</a> &middot;
+  <a href="healthz">/healthz</a>
+</div>
+<script>
+"use strict";
+var HISTORY = 120, MAXCARDS = 24;
+var series = {};   // name -> {points:[], rate:bool, card, canvas, valEl}
+var grid = document.getElementById("grid");
+
+fetch("metrics?format=json").then(function (r) { return r.json(); }).then(function (s) {
+  if (s.build) {
+    var b = s.build;
+    document.getElementById("build").textContent =
+      (b.module || "l15cache") + " " + (b.revision || b.version || "dev") +
+      (b.modified === "true" ? "+dirty" : "") + " · " + (b.go || "");
+  }
+}).catch(function () {});
+
+function card(name, rate) {
+  var s = series[name];
+  if (s) { return s; }
+  var el = document.createElement("div");
+  el.className = "card";
+  el.innerHTML = '<div class="name"></div><div><span class="val">&ndash;</span>' +
+    '<span class="unit">' + (rate ? "/s" : "") + '</span></div><canvas></canvas>';
+  el.querySelector(".name").textContent = name;
+  s = series[name] = { points: [], rate: rate, card: el,
+    canvas: el.querySelector("canvas"), valEl: el.querySelector(".val") };
+  if (grid.childElementCount < MAXCARDS) { grid.appendChild(el); }
+  return s;
+}
+
+function fmt(v) {
+  if (!isFinite(v)) { return String(v); }
+  var a = Math.abs(v);
+  if (a >= 1e9) { return (v / 1e9).toFixed(2) + "G"; }
+  if (a >= 1e6) { return (v / 1e6).toFixed(2) + "M"; }
+  if (a >= 1e3) { return (v / 1e3).toFixed(1) + "k"; }
+  if (a > 0 && a < 0.01) { return v.toExponential(1); }
+  return a >= 100 || v === Math.round(v) ? String(Math.round(v)) : v.toFixed(2);
+}
+
+function push(name, v, rate) {
+  var s = card(name, rate);
+  s.points.push(v);
+  if (s.points.length > HISTORY) { s.points.shift(); }
+  s.valEl.textContent = fmt(v);
+  draw(s);
+}
+
+function draw(s) {
+  var c = s.canvas, ctx = c.getContext("2d");
+  var w = c.width = c.clientWidth, h = c.height = c.clientHeight;
+  ctx.clearRect(0, 0, w, h);
+  var p = s.points;
+  if (p.length < 2) { return; }
+  var min = Math.min.apply(null, p), max = Math.max.apply(null, p);
+  if (max === min) { max = min + 1; }
+  ctx.beginPath();
+  for (var i = 0; i < p.length; i++) {
+    var x = (i / (HISTORY - 1)) * w;
+    var y = h - 1 - ((p[i] - min) / (max - min)) * (h - 2);
+    if (i === 0) { ctx.moveTo(x, y); } else { ctx.lineTo(x, y); }
+  }
+  ctx.strokeStyle = s.rate ? "#539bf5" : "#3fb950";
+  ctx.lineWidth = 1.25;
+  ctx.stroke();
+}
+
+var status = document.getElementById("status");
+var lastMs = 0;
+var es = new EventSource("metrics/stream");
+es.onopen = function () { status.textContent = "live"; status.className = "live"; };
+es.onerror = function () { status.textContent = "reconnecting…"; status.className = ""; };
+es.onmessage = function (ev) {
+  var s;
+  try { s = JSON.parse(ev.data); } catch (e) { return; }
+  var dt = lastMs ? (s.unix_ms - lastMs) / 1000 : 0;
+  lastMs = s.unix_ms;
+  var names = Object.keys(s.deltas || {}).sort();
+  for (var i = 0; i < names.length; i++) {
+    push(names[i], dt > 0 ? s.deltas[names[i]] / dt : s.deltas[names[i]], true);
+  }
+  names = Object.keys(s.gauges || {}).sort();
+  for (var j = 0; j < names.length; j++) {
+    push(names[j], s.gauges[names[j]], false);
+  }
+};
+</script>
+</body>
+</html>
+`

@@ -1,0 +1,205 @@
+// Prometheus text-exposition encoder (format version 0.0.4), stdlib only.
+//
+// The registry's dotted, slash-bearing names (`runner.makespan/U=0.6.progress`)
+// are not legal Prometheus metric names, so every series is exported under
+// its sanitised family name with the exact registry name preserved in a
+// `name` label: the exposition stays loss-free (Parse can recover the
+// original name) and two registry names that collide after sanitisation
+// remain distinct series inside one family. Counters follow the
+// `_total` convention; histograms emit cumulative `_bucket` series, `_sum`
+// and `_count`. Families are sorted by name and series by label value, so
+// the output is deterministic for identical snapshots — the same guarantee
+// the JSON form gives.
+
+package telemetry
+
+import (
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"l15cache/internal/metrics"
+)
+
+// ContentType is the Content-Type of the text exposition format.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// family is one exposition family under construction.
+type family struct {
+	name string // sanitised family name (including any _total suffix)
+	typ  string // counter | gauge | histogram
+	// originals are the registry names grouped under this family, sorted;
+	// each becomes one series carrying its original name as a label.
+	originals []string
+}
+
+// Exposition renders a snapshot in the Prometheus text format. The output
+// is deterministic: families sorted by name, series sorted by original
+// registry name, fixed float formatting.
+func Exposition(snap metrics.Snapshot) []byte {
+	byName := map[string]*family{}
+	var order []string
+
+	claim := func(base, typ string) *family {
+		// A family name may only carry one type. On a cross-type collision
+		// (a gauge `a.b` and a histogram `a_b`), later types get a
+		// deterministic `_<type>` suffix.
+		name := base
+		for {
+			f, ok := byName[name]
+			if !ok {
+				f = &family{name: name, typ: typ}
+				byName[name] = f
+				order = append(order, name)
+				return f
+			}
+			if f.typ == typ {
+				return f
+			}
+			name += "_" + typ
+		}
+	}
+
+	for _, name := range sortedKeys(snap.Counters) {
+		f := claim(sanitizeName(name)+"_total", "counter")
+		f.originals = append(f.originals, name)
+	}
+	for _, name := range sortedKeys(snap.Gauges) {
+		f := claim(sanitizeName(name), "gauge")
+		f.originals = append(f.originals, name)
+	}
+	for _, name := range sortedKeys(snap.Histograms) {
+		f := claim(sanitizeName(name), "histogram")
+		f.originals = append(f.originals, name)
+	}
+
+	sort.Strings(order)
+	var b []byte
+	for _, fname := range order {
+		f := byName[fname]
+		b = append(b, "# TYPE "...)
+		b = append(b, f.name...)
+		b = append(b, ' ')
+		b = append(b, f.typ...)
+		b = append(b, '\n')
+		for _, orig := range f.originals {
+			switch f.typ {
+			case "counter":
+				b = appendSeries(b, f.name, orig, "", float64(snap.Counters[orig]), true)
+			case "gauge":
+				b = appendSeries(b, f.name, orig, "", snap.Gauges[orig], false)
+			case "histogram":
+				b = appendHistogram(b, f.name, orig, snap.Histograms[orig])
+			}
+		}
+	}
+	return b
+}
+
+// appendSeries emits one sample line: `family{name="orig"[,extra]} value`.
+// extra is a pre-rendered extra label ("" for none); integer counters are
+// formatted without float rounding.
+func appendSeries(b []byte, fam, orig, extra string, v float64, integer bool) []byte {
+	b = append(b, fam...)
+	b = append(b, `{name="`...)
+	b = appendEscaped(b, orig)
+	b = append(b, '"')
+	if extra != "" {
+		b = append(b, ',')
+		b = append(b, extra...)
+	}
+	b = append(b, "} "...)
+	if integer {
+		b = strconv.AppendUint(b, uint64(v), 10)
+	} else {
+		b = appendFloat(b, v)
+	}
+	return append(b, '\n')
+}
+
+// appendHistogram emits the cumulative bucket series, sum and count of one
+// histogram under fam.
+func appendHistogram(b []byte, fam, orig string, h metrics.HistogramSnapshot) []byte {
+	var cum uint64
+	for i, bound := range h.Bounds {
+		if i < len(h.Counts) {
+			cum += h.Counts[i]
+		}
+		le := `le="` + string(appendFloat(nil, bound)) + `"`
+		b = appendSeries(b, fam+"_bucket", orig, le, float64(cum), true)
+	}
+	b = appendSeries(b, fam+"_bucket", orig, `le="+Inf"`, float64(h.Count), true)
+	b = appendSeries(b, fam+"_sum", orig, "", h.Sum, false)
+	b = appendSeries(b, fam+"_count", orig, "", float64(h.Count), true)
+	return b
+}
+
+// appendFloat renders v with the exposition format's special values and
+// Go's shortest round-trip formatting otherwise.
+func appendFloat(b []byte, v float64) []byte {
+	switch {
+	case math.IsNaN(v):
+		return append(b, "NaN"...)
+	case math.IsInf(v, 1):
+		return append(b, "+Inf"...)
+	case math.IsInf(v, -1):
+		return append(b, "-Inf"...)
+	}
+	return strconv.AppendFloat(b, v, 'g', -1, 64)
+}
+
+// appendEscaped escapes a label value: backslash, double quote and
+// newline, per the exposition format.
+func appendEscaped(b []byte, s string) []byte {
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '\\':
+			b = append(b, `\\`...)
+		case '"':
+			b = append(b, `\"`...)
+		case '\n':
+			b = append(b, `\n`...)
+		default:
+			b = append(b, c)
+		}
+	}
+	return b
+}
+
+// sanitizeName maps a registry name onto the metric-name alphabet
+// [a-zA-Z0-9_:], replacing every other byte with '_' and prefixing '_'
+// when the first byte would be a digit.
+func sanitizeName(name string) string {
+	if name == "" {
+		return "_"
+	}
+	var sb strings.Builder
+	sb.Grow(len(name) + 1)
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			sb.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				sb.WriteByte('_')
+			}
+			sb.WriteByte(c)
+		default:
+			sb.WriteByte('_')
+		}
+	}
+	return sb.String()
+}
+
+// sortedKeys returns the sorted keys of m — the deterministic iteration
+// idiom the detmap analyzer expects.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

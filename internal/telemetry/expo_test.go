@@ -1,0 +1,174 @@
+package telemetry
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"l15cache/internal/metrics"
+)
+
+// testSnapshot builds a registry exercising the encoder's corner cases:
+// dotted/slashed names, label-escaping bytes, a leading digit, and a
+// histogram.
+func testSnapshot() metrics.Snapshot {
+	r := metrics.NewRegistry()
+	r.Counter("soc.l1.hits").Add(42)
+	r.Counter(`weird"name` + "\nwith\\bytes").Add(7)
+	r.Gauge("runner.makespan/U=0.6.progress").Set(0.5)
+	r.Gauge("1leading.digit").Set(-3)
+	r.Gauge("inf.gauge").Set(math.Inf(1))
+	h := r.Histogram("sdu.latency_cycles", []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 5, 5, 50, 500} {
+		h.Observe(v)
+	}
+	return r.Snapshot()
+}
+
+// TestExpositionRoundTrip proves Exposition output satisfies the strict
+// parser and preserves every value and original name.
+func TestExpositionRoundTrip(t *testing.T) {
+	snap := testSnapshot()
+	data := Exposition(snap)
+	families, err := Parse(data)
+	if err != nil {
+		t.Fatalf("Parse rejected Exposition output: %v\n%s", err, data)
+	}
+
+	byOrig := map[string]float64{}
+	types := map[string]string{}
+	for _, f := range families {
+		for _, s := range f.Samples {
+			if f.Type != "histogram" {
+				byOrig[s.Labels["name"]] = s.Value
+				types[s.Labels["name"]] = f.Type
+			}
+		}
+	}
+	if got := byOrig["soc.l1.hits"]; got != 42 {
+		t.Errorf("counter soc.l1.hits = %v, want 42", got)
+	}
+	if types["soc.l1.hits"] != "counter" {
+		t.Errorf("soc.l1.hits type = %q", types["soc.l1.hits"])
+	}
+	if got := byOrig[`weird"name`+"\nwith\\bytes"]; got != 7 {
+		t.Errorf("escaped-name counter = %v, want 7 (escaping not loss-free)", got)
+	}
+	if got := byOrig["runner.makespan/U=0.6.progress"]; got != 0.5 {
+		t.Errorf("gauge progress = %v, want 0.5", got)
+	}
+	if got := byOrig["1leading.digit"]; got != -3 {
+		t.Errorf("leading-digit gauge = %v, want -3", got)
+	}
+	if got := byOrig["inf.gauge"]; !math.IsInf(got, 1) {
+		t.Errorf("inf gauge = %v, want +Inf", got)
+	}
+}
+
+// TestExpositionCounterConvention pins the _total suffix and integer
+// formatting of counters.
+func TestExpositionCounterConvention(t *testing.T) {
+	data := string(Exposition(testSnapshot()))
+	if !strings.Contains(data, "# TYPE soc_l1_hits_total counter") {
+		t.Errorf("no _total counter family:\n%s", data)
+	}
+	if !strings.Contains(data, `soc_l1_hits_total{name="soc.l1.hits"} 42`) {
+		t.Errorf("counter sample malformed:\n%s", data)
+	}
+}
+
+// TestExpositionHistogramCumulative pins the cumulative-bucket rendering:
+// non-cumulative registry counts {1,2,1,1} become 1,3,4 and +Inf = 5.
+func TestExpositionHistogramCumulative(t *testing.T) {
+	data := string(Exposition(testSnapshot()))
+	for _, want := range []string{
+		`sdu_latency_cycles_bucket{name="sdu.latency_cycles",le="1"} 1`,
+		`sdu_latency_cycles_bucket{name="sdu.latency_cycles",le="10"} 3`,
+		`sdu_latency_cycles_bucket{name="sdu.latency_cycles",le="100"} 4`,
+		`sdu_latency_cycles_bucket{name="sdu.latency_cycles",le="+Inf"} 5`,
+		`sdu_latency_cycles_count{name="sdu.latency_cycles"} 5`,
+		`sdu_latency_cycles_sum{name="sdu.latency_cycles"} 560.5`,
+	} {
+		if !strings.Contains(data, want) {
+			t.Errorf("missing %q in:\n%s", want, data)
+		}
+	}
+}
+
+// TestExpositionDeterministic renders the same snapshot twice and demands
+// byte equality — the property the archived-artifact contract needs.
+func TestExpositionDeterministic(t *testing.T) {
+	snap := testSnapshot()
+	if a, b := Exposition(snap), Exposition(snap); !bytes.Equal(a, b) {
+		t.Error("two Exposition calls over one snapshot differ")
+	}
+}
+
+// TestExpositionSanitizationCollision pins the collision behaviour: two
+// registry names mapping onto one family name become two series in that
+// family, distinguished by the name label.
+func TestExpositionSanitizationCollision(t *testing.T) {
+	r := metrics.NewRegistry()
+	r.Counter("a.b").Add(1)
+	r.Counter("a/b").Add(2)
+	data := Exposition(r.Snapshot())
+	families, err := Parse(data)
+	if err != nil {
+		t.Fatalf("Parse: %v\n%s", err, data)
+	}
+	counters := 0
+	for _, f := range families {
+		if f.Name == "a_b_total" {
+			counters = len(f.Samples)
+		}
+	}
+	if counters != 2 {
+		t.Fatalf("a_b_total has %d series, want 2 (name-label disambiguation)\n%s", counters, data)
+	}
+}
+
+// TestExpositionCrossTypeCollision: a gauge and a histogram that sanitise
+// to the same family name must land in distinct families (deterministic
+// suffix), and the output must still parse.
+func TestExpositionCrossTypeCollision(t *testing.T) {
+	r := metrics.NewRegistry()
+	r.Gauge("x.y").Set(1)
+	r.Histogram("x/y", []float64{1}).Observe(0.5)
+	data := Exposition(r.Snapshot())
+	if _, err := Parse(data); err != nil {
+		t.Fatalf("cross-type collision output invalid: %v\n%s", err, data)
+	}
+	if !strings.Contains(string(data), "# TYPE x_y gauge") ||
+		!strings.Contains(string(data), "# TYPE x_y_histogram histogram") {
+		t.Errorf("expected x_y gauge and x_y_histogram families:\n%s", data)
+	}
+}
+
+func TestSanitizeName(t *testing.T) {
+	for in, want := range map[string]string{
+		"soc.l1.hits":   "soc_l1_hits",
+		"a/b=c d":       "a_b_c_d",
+		"9lives":        "_9lives",
+		"":              "_",
+		"ok_name:colon": "ok_name:colon",
+	} {
+		if got := sanitizeName(in); got != want {
+			t.Errorf("sanitizeName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestAppendFloatSpecials(t *testing.T) {
+	for v, want := range map[float64]string{
+		math.NaN():   "NaN",
+		math.Inf(1):  "+Inf",
+		math.Inf(-1): "-Inf",
+		0.25:         "0.25",
+		-1e21:        "-1e+21",
+	} {
+		if got := string(appendFloat(nil, v)); got != want {
+			t.Errorf("appendFloat(%v) = %q, want %q", v, got, want)
+		}
+	}
+}

@@ -1,0 +1,10 @@
+// Package-level log sink, indirected so tests can capture operator-facing
+// diagnostics without scraping stderr.
+
+package telemetry
+
+import "log"
+
+// logf is the sink for operator-facing diagnostics (response write
+// failures and the like). Tests swap it to assert on messages.
+var logf = log.Printf

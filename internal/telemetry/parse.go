@@ -1,0 +1,320 @@
+// Strict parser/validator for the subset of the Prometheus text exposition
+// format that Exposition emits. It is the receiving half of the encoder's
+// round-trip tests and the `cmd/promcheck` scrape validator the CI smoke
+// job runs against a live `l15sim -http` endpoint. Beyond syntax it
+// enforces the structural invariants a scraper relies on: every sample
+// belongs to a declared family, no family or series is declared twice,
+// histogram buckets are cumulative (non-decreasing) over strictly
+// increasing `le` bounds, the `+Inf` bucket exists and equals `_count`.
+
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ParsedSample is one sample line of an exposition.
+type ParsedSample struct {
+	// Metric is the sample's metric name (family name, or the
+	// _bucket/_sum/_count member of a histogram family).
+	Metric string
+	// Labels holds the label pairs in source order.
+	Labels map[string]string
+	// Value is the parsed sample value.
+	Value float64
+}
+
+// ParsedFamily is one `# TYPE` family and its samples.
+type ParsedFamily struct {
+	// Name is the family name as declared by the TYPE line.
+	Name string
+	// Type is "counter", "gauge", "histogram" or "untyped".
+	Type string
+	// Samples are the family's samples in source order.
+	Samples []ParsedSample
+}
+
+// Parse validates data as Prometheus text exposition and returns its
+// families in declaration order. It rejects, with line-numbered errors:
+// samples outside any declared family, duplicate family declarations,
+// duplicate series (same metric name and label set), malformed label
+// escapes, non-cumulative or mis-ordered histogram buckets, a missing
+// +Inf bucket, and a +Inf bucket disagreeing with _count.
+func Parse(data []byte) ([]ParsedFamily, error) {
+	var (
+		families []ParsedFamily
+		cur      *ParsedFamily
+		declared = map[string]bool{}
+		seen     = map[string]bool{} // metric name + rendered label set
+	)
+	for ln, line := range strings.Split(string(data), "\n") {
+		lineNo := ln + 1
+		line = strings.TrimRight(line, "\r")
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) >= 2 && fields[1] == "TYPE" {
+				if len(fields) != 4 {
+					return nil, fmt.Errorf("line %d: malformed TYPE line %q", lineNo, line)
+				}
+				name, typ := fields[2], fields[3]
+				switch typ {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return nil, fmt.Errorf("line %d: unknown family type %q", lineNo, typ)
+				}
+				if declared[name] {
+					return nil, fmt.Errorf("line %d: duplicate family %q", lineNo, name)
+				}
+				declared[name] = true
+				families = append(families, ParsedFamily{Name: name, Type: typ})
+				cur = &families[len(families)-1]
+			}
+			continue // HELP and free comments
+		}
+
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		if cur == nil || !memberOf(cur, s.Metric) {
+			return nil, fmt.Errorf("line %d: sample %q outside its family (TYPE line missing or out of order)", lineNo, s.Metric)
+		}
+		key := seriesKey(s)
+		if seen[key] {
+			return nil, fmt.Errorf("line %d: duplicate series %s", lineNo, key)
+		}
+		seen[key] = true
+		cur.Samples = append(cur.Samples, s)
+	}
+	for i := range families {
+		if families[i].Type == "histogram" {
+			if err := checkHistogram(&families[i]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return families, nil
+}
+
+// memberOf reports whether metric belongs to family f: the family name
+// itself, or its _bucket/_sum/_count members for histograms.
+func memberOf(f *ParsedFamily, metric string) bool {
+	if metric == f.Name {
+		return f.Type != "histogram" // histogram samples always carry a suffix
+	}
+	if f.Type != "histogram" {
+		return false
+	}
+	switch strings.TrimPrefix(metric, f.Name) {
+	case "_bucket", "_sum", "_count":
+		return true
+	}
+	return false
+}
+
+// seriesKey renders the identity of a sample: metric name plus its label
+// pairs sorted by key.
+func seriesKey(s ParsedSample) string {
+	pairs := make([]string, 0, len(s.Labels))
+	for k, v := range s.Labels {
+		pairs = append(pairs, k+"="+strconv.Quote(v))
+	}
+	sort.Strings(pairs)
+	return s.Metric + "{" + strings.Join(pairs, ",") + "}"
+}
+
+// parseSample parses one `metric{labels} value` line.
+func parseSample(line string) (ParsedSample, error) {
+	s := ParsedSample{Labels: map[string]string{}}
+	i := 0
+	for i < len(line) && isNameByte(line[i], i == 0) {
+		i++
+	}
+	if i == 0 {
+		return s, fmt.Errorf("malformed sample %q: no metric name", line)
+	}
+	s.Metric = line[:i]
+	rest := line[i:]
+	if strings.HasPrefix(rest, "{") {
+		end, err := parseLabels(rest, s.Labels)
+		if err != nil {
+			return s, fmt.Errorf("sample %q: %w", line, err)
+		}
+		rest = rest[end:]
+	}
+	rest = strings.TrimSpace(rest)
+	if rest == "" {
+		return s, fmt.Errorf("sample %q: missing value", line)
+	}
+	// An optional timestamp may follow the value; Exposition never emits
+	// one but scrapes of other sources may carry it.
+	if sp := strings.IndexByte(rest, ' '); sp >= 0 {
+		rest = rest[:sp]
+	}
+	v, err := strconv.ParseFloat(rest, 64)
+	if err != nil {
+		return s, fmt.Errorf("sample %q: bad value %q", line, rest)
+	}
+	s.Value = v
+	return s, nil
+}
+
+// parseLabels parses a `{k="v",...}` block starting at s[0]=='{' into out,
+// returning the index just past the closing brace.
+func parseLabels(s string, out map[string]string) (int, error) {
+	i := 1
+	for {
+		for i < len(s) && (s[i] == ' ' || s[i] == ',') {
+			i++
+		}
+		if i < len(s) && s[i] == '}' {
+			return i + 1, nil
+		}
+		start := i
+		for i < len(s) && isNameByte(s[i], i == start) {
+			i++
+		}
+		if i == start {
+			return 0, fmt.Errorf("bad label name at %q", s[i:])
+		}
+		name := s[start:i]
+		if i >= len(s) || s[i] != '=' {
+			return 0, fmt.Errorf("label %q: missing '='", name)
+		}
+		i++
+		if i >= len(s) || s[i] != '"' {
+			return 0, fmt.Errorf("label %q: unquoted value", name)
+		}
+		i++
+		var val strings.Builder
+		for {
+			if i >= len(s) {
+				return 0, fmt.Errorf("label %q: unterminated value", name)
+			}
+			c := s[i]
+			if c == '"' {
+				i++
+				break
+			}
+			if c == '\\' {
+				i++
+				if i >= len(s) {
+					return 0, fmt.Errorf("label %q: dangling escape", name)
+				}
+				switch s[i] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return 0, fmt.Errorf("label %q: bad escape \\%c", name, s[i])
+				}
+				i++
+				continue
+			}
+			val.WriteByte(c)
+			i++
+		}
+		if _, dup := out[name]; dup {
+			return 0, fmt.Errorf("duplicate label %q", name)
+		}
+		out[name] = val.String()
+	}
+}
+
+// isNameByte reports whether c is legal in a metric/label name at the
+// given position (first bytes may not be digits).
+func isNameByte(c byte, first bool) bool {
+	switch {
+	case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		return true
+	case c >= '0' && c <= '9':
+		return !first
+	}
+	return false
+}
+
+// checkHistogram validates the bucket invariants of one histogram family,
+// grouping its samples into series by their non-le labels.
+func checkHistogram(f *ParsedFamily) error {
+	type hist struct {
+		les    []float64
+		counts []float64
+		count  float64
+		gotCnt bool
+	}
+	series := map[string]*hist{}
+	order := []string{}
+	get := func(s ParsedSample) *hist {
+		pairs := make([]string, 0, len(s.Labels))
+		for k, v := range s.Labels {
+			if k == "le" {
+				continue
+			}
+			pairs = append(pairs, k+"="+strconv.Quote(v))
+		}
+		sort.Strings(pairs)
+		key := strings.Join(pairs, ",")
+		h, ok := series[key]
+		if !ok {
+			h = &hist{}
+			series[key] = h
+			order = append(order, key)
+		}
+		return h
+	}
+	for _, s := range f.Samples {
+		switch strings.TrimPrefix(s.Metric, f.Name) {
+		case "_bucket":
+			leStr, ok := s.Labels["le"]
+			if !ok {
+				return fmt.Errorf("family %s: bucket without le label", f.Name)
+			}
+			le, err := strconv.ParseFloat(leStr, 64)
+			if err != nil {
+				return fmt.Errorf("family %s: bad le %q", f.Name, leStr)
+			}
+			h := get(s)
+			h.les = append(h.les, le)
+			h.counts = append(h.counts, s.Value)
+		case "_count":
+			h := get(s)
+			h.count, h.gotCnt = s.Value, true
+		}
+	}
+	for _, key := range order {
+		h := series[key]
+		where := f.Name
+		if key != "" {
+			where += "{" + key + "}"
+		}
+		if len(h.les) == 0 {
+			return fmt.Errorf("histogram %s: no buckets", where)
+		}
+		for i := 1; i < len(h.les); i++ {
+			if !(h.les[i] > h.les[i-1]) {
+				return fmt.Errorf("histogram %s: le bounds not strictly increasing (%g after %g)", where, h.les[i], h.les[i-1])
+			}
+			if h.counts[i] < h.counts[i-1] {
+				return fmt.Errorf("histogram %s: non-cumulative buckets (%g after %g at le=%g)", where, h.counts[i], h.counts[i-1], h.les[i])
+			}
+		}
+		last := len(h.les) - 1
+		if !math.IsInf(h.les[last], 1) {
+			return fmt.Errorf("histogram %s: missing +Inf bucket", where)
+		}
+		if h.gotCnt && h.counts[last] != h.count {
+			return fmt.Errorf("histogram %s: +Inf bucket %g != _count %g", where, h.counts[last], h.count)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,88 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParseRejects feeds the strict parser structurally broken
+// expositions and demands a diagnostic for each.
+func TestParseRejects(t *testing.T) {
+	cases := map[string]string{
+		"sample outside family":    "orphan 1\n",
+		"duplicate family":         "# TYPE a counter\na 1\n# TYPE a counter\n",
+		"unknown type":             "# TYPE a exotic\na 1\n",
+		"malformed TYPE":           "# TYPE a\n",
+		"duplicate series":         "# TYPE a counter\na{name=\"x\"} 1\na{name=\"x\"} 2\n",
+		"missing value":            "# TYPE a gauge\na{name=\"x\"}\n",
+		"bad escape":               "# TYPE a gauge\na{name=\"x\\q\"} 1\n",
+		"unterminated label":       "# TYPE a gauge\na{name=\"x} 1\n",
+		"duplicate label":          "# TYPE a gauge\na{l=\"1\",l=\"2\"} 1\n",
+		"foreign sample in family": "# TYPE a gauge\nb 1\n",
+		"non-cumulative buckets": "# TYPE h histogram\n" +
+			"h_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\n" +
+			"h_sum 1\nh_count 5\n",
+		"unordered le": "# TYPE h histogram\n" +
+			"h_bucket{le=\"2\"} 1\nh_bucket{le=\"1\"} 2\nh_bucket{le=\"+Inf\"} 3\n" +
+			"h_sum 1\nh_count 3\n",
+		"missing +Inf bucket": "# TYPE h histogram\n" +
+			"h_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n",
+		"+Inf disagrees with count": "# TYPE h histogram\n" +
+			"h_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 3\n",
+	}
+	for name, input := range cases {
+		if _, err := Parse([]byte(input)); err == nil {
+			t.Errorf("%s: Parse accepted\n%s", name, input)
+		}
+	}
+}
+
+// TestParseAccepts covers tolerated variations: HELP lines, comments,
+// blank lines, timestamps, escaped label bytes, untyped families.
+func TestParseAccepts(t *testing.T) {
+	input := strings.Join([]string{
+		"# HELP a helpful words",
+		"# TYPE a counter",
+		"",
+		`a{name="x\\y\"z\nw"} 3 1700000000`,
+		"# a free comment",
+		"# TYPE b untyped",
+		"b 2.5",
+		"# TYPE h histogram",
+		`h_bucket{le="1"} 1`,
+		`h_bucket{le="+Inf"} 4`,
+		"h_sum 9.5",
+		"h_count 4",
+		"",
+	}, "\n")
+	families, err := Parse([]byte(input))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(families) != 3 {
+		t.Fatalf("got %d families, want 3", len(families))
+	}
+	if got := families[0].Samples[0].Labels["name"]; got != "x\\y\"z\nw" {
+		t.Errorf("unescaped label = %q", got)
+	}
+	if families[0].Samples[0].Value != 3 {
+		t.Errorf("timestamped sample value = %v", families[0].Samples[0].Value)
+	}
+}
+
+// TestParseHistogramPerSeries checks the bucket invariants are enforced
+// per label-set, not across the whole family.
+func TestParseHistogramPerSeries(t *testing.T) {
+	input := "# TYPE h histogram\n" +
+		`h_bucket{name="a",le="1"} 5` + "\n" +
+		`h_bucket{name="a",le="+Inf"} 5` + "\n" +
+		`h_sum{name="a"} 1` + "\n" +
+		`h_count{name="a"} 5` + "\n" +
+		`h_bucket{name="b",le="1"} 1` + "\n" +
+		`h_bucket{name="b",le="+Inf"} 2` + "\n" +
+		`h_sum{name="b"} 1` + "\n" +
+		`h_count{name="b"} 2` + "\n"
+	if _, err := Parse([]byte(input)); err != nil {
+		t.Fatalf("per-series histogram rejected: %v", err)
+	}
+}

@@ -1,0 +1,142 @@
+// The Go-runtime health collector: a RegisterCollector bridge from the
+// runtime/metrics package into a metrics.Registry, publishing heap and GC
+// state, goroutine count and scheduling latency under the `go.*` prefix.
+// These series are functions of the host, never of the simulation, so the
+// collector registers on the operational Runtime registry — archived
+// artifacts from metrics.Default never see them.
+
+package telemetry
+
+import (
+	"math"
+	runtimemetrics "runtime/metrics"
+	"sync"
+
+	"l15cache/internal/metrics"
+)
+
+// runtimeSeries maps the runtime/metrics names the collector publishes to
+// their exported registry names. Availability is probed at registration
+// (runtimemetrics.All), so a name absent from the running toolchain is
+// skipped instead of reading KindBad.
+var runtimeSeries = []struct {
+	src     string
+	name    string
+	counter bool // cumulative uint64 → counter; otherwise gauge
+}{
+	{src: "/gc/cycles/total:gc-cycles", name: "go.gc_cycles", counter: true},
+	{src: "/gc/heap/allocs:bytes", name: "go.heap_allocs_bytes", counter: true},
+	{src: "/memory/classes/heap/objects:bytes", name: "go.heap_objects_bytes"},
+	{src: "/memory/classes/total:bytes", name: "go.memory_total_bytes"},
+	{src: "/sched/goroutines:goroutines", name: "go.goroutines"},
+}
+
+// runtimeQuantiles maps runtime histogram distributions to quantile gauge
+// families: `<name>_p50`, `<name>_p95`, `<name>_p99` in seconds.
+var runtimeQuantiles = []struct {
+	src  string
+	name string
+}{
+	{src: "/gc/pauses:seconds", name: "go.gc_pause_seconds"},
+	{src: "/sched/latencies:seconds", name: "go.sched_latency_seconds"},
+}
+
+// RegisterRuntimeCollector registers a collector on r that mirrors the Go
+// runtime's own health — heap bytes, GC cycles and pause quantiles,
+// goroutine count, scheduler latency quantiles — into `go.*` series at
+// every Snapshot. Names missing from this toolchain's runtime/metrics set
+// are skipped. Safe under concurrent Snapshots (the reusable read buffer
+// is mutex-guarded).
+func RegisterRuntimeCollector(r *metrics.Registry) {
+	avail := map[string]bool{}
+	for _, d := range runtimemetrics.All() {
+		avail[d.Name] = true
+	}
+	var (
+		mu      sync.Mutex
+		samples []runtimemetrics.Sample
+		publish []func(*metrics.Registry, runtimemetrics.Value)
+	)
+	for _, s := range runtimeSeries {
+		if !avail[s.src] {
+			continue
+		}
+		s := s
+		samples = append(samples, runtimemetrics.Sample{Name: s.src})
+		publish = append(publish, func(r *metrics.Registry, v runtimemetrics.Value) {
+			switch v.Kind() {
+			case runtimemetrics.KindUint64:
+				if s.counter {
+					r.Counter(s.name).Store(v.Uint64())
+				} else {
+					r.Gauge(s.name).Set(float64(v.Uint64()))
+				}
+			case runtimemetrics.KindFloat64:
+				r.Gauge(s.name).Set(v.Float64())
+			}
+		})
+	}
+	for _, q := range runtimeQuantiles {
+		if !avail[q.src] {
+			continue
+		}
+		q := q
+		samples = append(samples, runtimemetrics.Sample{Name: q.src})
+		publish = append(publish, func(r *metrics.Registry, v runtimemetrics.Value) {
+			if v.Kind() != runtimemetrics.KindFloat64Histogram {
+				return
+			}
+			h := v.Float64Histogram()
+			r.Gauge(q.name + "_p50").Set(histQuantile(h, 0.50))
+			r.Gauge(q.name + "_p95").Set(histQuantile(h, 0.95))
+			r.Gauge(q.name + "_p99").Set(histQuantile(h, 0.99))
+		})
+	}
+	if len(samples) == 0 {
+		return
+	}
+	r.RegisterCollector(func(r *metrics.Registry) {
+		mu.Lock()
+		defer mu.Unlock()
+		runtimemetrics.Read(samples)
+		for i := range samples {
+			publish[i](r, samples[i].Value)
+		}
+	})
+}
+
+// histQuantile estimates the q-th quantile of a runtime Float64Histogram
+// by rank scan, reporting the upper bound of the straddling bucket (the
+// convention runtime histograms are built for; -Inf/+Inf edges clamp to
+// the nearest finite bound). An empty histogram returns 0.
+func histQuantile(h *runtimemetrics.Float64Histogram, q float64) float64 {
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum float64
+	for i, c := range h.Counts {
+		cum += float64(c)
+		if cum < rank {
+			continue
+		}
+		// Bucket i covers [Buckets[i], Buckets[i+1]); report the upper edge.
+		hi := h.Buckets[i+1]
+		if math.IsInf(hi, 1) {
+			hi = h.Buckets[i] // clamp the overflow bucket to its lower edge
+		}
+		if math.IsInf(hi, -1) {
+			hi = 0
+		}
+		return hi
+	}
+	last := h.Buckets[len(h.Buckets)-1]
+	if math.IsInf(last, 1) {
+		last = h.Buckets[len(h.Buckets)-2]
+	}
+	return last
+}

@@ -1,0 +1,267 @@
+// The time-series sampler: a wall-clock loop capturing periodic snapshot
+// deltas of the merged registries into a bounded ring, exported as JSONL
+// (`/metrics/history`, the `-telemetry` flag) and streamed over SSE to the
+// dashboard. Wall-clock reads live behind the same carve-out discipline as
+// internal/flight's SSE pacing: a sample timestamps *observations of* the
+// simulation, never anything the simulation reads back, so sampling cannot
+// perturb results (DESIGN.md §13).
+
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+
+	"l15cache/internal/metrics"
+)
+
+// DefaultInterval is the sampling period used when NewSampler gets a
+// non-positive interval.
+const DefaultInterval = 250 * time.Millisecond
+
+// DefaultRingCap is the sample-ring capacity used when NewSampler gets a
+// non-positive capacity: at DefaultInterval it retains ~8.5 minutes.
+const DefaultRingCap = 2048
+
+// Sample is one captured point of the sampled time series. Counter values
+// are cumulative; Deltas carries the increment since the previous sample
+// (the rate numerator the dashboard plots). Histograms are folded into
+// scalar series: `<name>.count` (counter), `<name>.sum`, `<name>.p50` and
+// `<name>.p95` (gauges).
+type Sample struct {
+	// Seq is the dense sample index since the sampler was created; the
+	// SSE stream resumes from it.
+	Seq uint64 `json:"seq"`
+	// UnixMillis is the wall-clock capture time.
+	UnixMillis int64 `json:"unix_ms"`
+	// ElapsedMillis is the time since the sampler started.
+	ElapsedMillis int64 `json:"elapsed_ms"`
+	// Counters holds the cumulative counter values.
+	Counters map[string]uint64 `json:"counters"`
+	// Deltas holds each counter's increment since the previous sample.
+	// A counter that did not move is omitted; on the first sample the
+	// whole cumulative value counts as the delta.
+	Deltas map[string]uint64 `json:"deltas"`
+	// Gauges holds the gauge values (plus folded histogram scalars).
+	Gauges map[string]float64 `json:"gauges"`
+}
+
+// Sampler periodically captures a snapshot function into a bounded ring.
+// Construct with NewSampler; Start/Stop bound the sampling goroutine. All
+// methods are safe for concurrent use.
+type Sampler struct {
+	snap     func() metrics.Snapshot
+	interval time.Duration
+
+	mu      sync.Mutex
+	ring    []Sample
+	next    int
+	wrapped bool
+	seq     uint64
+	prev    map[string]uint64
+	start   time.Time
+	stop    chan struct{}
+	done    chan struct{}
+}
+
+// NewSampler returns a sampler over snap (nil means MergedSnapshot) with
+// the given period and ring capacity (non-positive values take the
+// defaults). The sampler is idle until Start.
+func NewSampler(snap func() metrics.Snapshot, interval time.Duration, capacity int) *Sampler {
+	if snap == nil {
+		snap = MergedSnapshot
+	}
+	if interval <= 0 {
+		interval = DefaultInterval
+	}
+	if capacity < 1 {
+		capacity = DefaultRingCap
+	}
+	return &Sampler{
+		snap:     snap,
+		interval: interval,
+		ring:     make([]Sample, 0, capacity),
+		start:    time.Now(),
+	}
+}
+
+// Interval returns the sampling period.
+func (s *Sampler) Interval() time.Duration { return s.interval }
+
+// Start launches the sampling loop; a second Start while running is a
+// no-op. Each tick captures one sample into the ring.
+func (s *Sampler) Start() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stop != nil {
+		return
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	s.stop, s.done = stop, done
+
+	go func() {
+		defer close(done)
+		tick := time.NewTicker(s.interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				s.SampleNow()
+			}
+		}
+	}()
+}
+
+// Stop halts the sampling loop and waits for it to exit; safe to call on
+// a never-started or already-stopped sampler. The ring is retained.
+func (s *Sampler) Stop() {
+	s.mu.Lock()
+	stop, done := s.stop, s.done
+	s.stop, s.done = nil, nil
+	s.mu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	<-done
+}
+
+// SampleNow synchronously captures one sample into the ring and returns
+// it. The snapshot runs outside the sampler lock, so a slow collector
+// never blocks readers.
+func (s *Sampler) SampleNow() Sample {
+	snap := s.snap()
+	now := time.Now()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sample := Sample{
+		Seq:           s.seq,
+		UnixMillis:    now.UnixMilli(),
+		ElapsedMillis: now.Sub(s.start).Milliseconds(),
+		Counters:      make(map[string]uint64, len(snap.Counters)+len(snap.Histograms)),
+		Deltas:        make(map[string]uint64),
+		Gauges:        make(map[string]float64, len(snap.Gauges)+3*len(snap.Histograms)),
+	}
+	s.seq++
+	for name, v := range snap.Counters {
+		sample.Counters[name] = v
+	}
+	for name, v := range snap.Gauges {
+		sample.Gauges[name] = v
+	}
+	for name, h := range snap.Histograms {
+		sample.Counters[name+".count"] = h.Count
+		sample.Gauges[name+".sum"] = h.Sum
+		if h.Count > 0 {
+			sample.Gauges[name+".p50"] = h.Quantile(0.50)
+			sample.Gauges[name+".p95"] = h.Quantile(0.95)
+		}
+	}
+	for name, v := range sample.Counters {
+		if d := v - s.prev[name]; d != 0 {
+			sample.Deltas[name] = d
+		}
+	}
+	s.prev = sample.Counters
+
+	if len(s.ring) < cap(s.ring) {
+		s.ring = append(s.ring, sample)
+	} else {
+		s.ring[s.next] = sample
+		s.next = (s.next + 1) % cap(s.ring)
+		s.wrapped = true
+	}
+	return sample
+}
+
+// Samples returns a copy of the retained ring, oldest first.
+func (s *Sampler) Samples() []Sample {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Sample, 0, len(s.ring))
+	if s.wrapped {
+		out = append(out, s.ring[s.next:]...)
+		out = append(out, s.ring[:s.next]...)
+	} else {
+		out = append(out, s.ring...)
+	}
+	return out
+}
+
+// SamplesSince returns the retained samples with Seq >= seq, oldest first
+// — the polling primitive behind the dashboard's SSE stream.
+func (s *Sampler) SamplesSince(seq uint64) []Sample {
+	all := s.Samples()
+	lo := 0
+	for lo < len(all) && all[lo].Seq < seq {
+		lo++
+	}
+	return all[lo:]
+}
+
+// WriteJSONL writes the retained ring as JSON Lines, one sample per line.
+// encoding/json sorts map keys, so the serialisation of given samples is
+// deterministic (the sampled values are wall-clock-coupled, of course).
+func (s *Sampler) WriteJSONL(w io.Writer) error {
+	for _, sample := range s.Samples() {
+		line, err := json.Marshal(sample)
+		if err != nil {
+			return fmt.Errorf("telemetry: sample %d: %w", sample.Seq, err)
+		}
+		if _, err := w.Write(append(line, '\n')); err != nil {
+			return fmt.Errorf("telemetry: %w", err)
+		}
+	}
+	return nil
+}
+
+// WriteFile captures one final sample (so short runs never flush an empty
+// ring) and writes the ring as JSONL to path.
+func (s *Sampler) WriteFile(path string) error {
+	s.SampleNow()
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("telemetry: %w", err)
+	}
+	if err := s.WriteJSONL(f); err != nil {
+		_ = f.Close() // the write error is the one worth reporting
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("telemetry: %w", err)
+	}
+	return nil
+}
+
+// HandleHistory is the /metrics/history endpoint: the retained ring as
+// application/jsonl, one sample per line.
+func (s *Sampler) HandleHistory(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/jsonl; charset=utf-8")
+	if err := s.WriteJSONL(w); err != nil {
+		// The response is committed; surface the truncation in the logs.
+		logf("telemetry: history response write: %v", err)
+	}
+}
+
+// StartFlag implements the cmd tools' -telemetry flag: for a non-empty
+// path it starts a sampler over the merged default registries and returns
+// it with a flush function writing the ring (plus one final sample) to
+// path; for "" it returns a nil sampler and a no-op flush. The flush is
+// idempotent — the interrupt and normal exit paths may both call it.
+func StartFlag(path string) (*Sampler, func() error) {
+	if path == "" {
+		return nil, func() error { return nil }
+	}
+	s := NewSampler(nil, 0, 0)
+	s.Start()
+	return s, func() error { return s.WriteFile(path) }
+}

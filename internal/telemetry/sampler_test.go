@@ -1,0 +1,200 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"l15cache/internal/metrics"
+)
+
+// samplerOver builds a manual-tick sampler over a private registry so
+// tests control exactly when samples are captured.
+func samplerOver(r *metrics.Registry, capacity int) *Sampler {
+	return NewSampler(r.Snapshot, time.Hour, capacity)
+}
+
+func TestSamplerDeltas(t *testing.T) {
+	r := metrics.NewRegistry()
+	c := r.Counter("work.items")
+	idle := r.Counter("work.idle")
+	g := r.Gauge("work.progress")
+	h := r.Histogram("work.latency", []float64{1, 10})
+
+	s := samplerOver(r, 16)
+	c.Add(5)
+	idle.Add(1)
+	g.Set(0.25)
+	h.Observe(0.5)
+	h.Observe(5)
+	first := s.SampleNow()
+
+	// The first sample treats the whole cumulative value as the delta.
+	if first.Seq != 0 || first.Counters["work.items"] != 5 || first.Deltas["work.items"] != 5 {
+		t.Errorf("first sample: %+v", first)
+	}
+	if first.Gauges["work.progress"] != 0.25 {
+		t.Errorf("gauge = %v", first.Gauges["work.progress"])
+	}
+	if first.Counters["work.latency.count"] != 2 {
+		t.Errorf("folded histogram count = %v", first.Counters["work.latency.count"])
+	}
+	if first.Gauges["work.latency.sum"] != 5.5 {
+		t.Errorf("folded histogram sum = %v", first.Gauges["work.latency.sum"])
+	}
+	if _, ok := first.Gauges["work.latency.p50"]; !ok {
+		t.Error("folded p50 missing")
+	}
+
+	c.Add(3)
+	second := s.SampleNow()
+	if second.Seq != 1 || second.Counters["work.items"] != 8 || second.Deltas["work.items"] != 3 {
+		t.Errorf("second sample: %+v", second)
+	}
+	// An unmoved counter is omitted from Deltas but stays in Counters.
+	if _, ok := second.Deltas["work.idle"]; ok {
+		t.Error("zero delta not omitted")
+	}
+	if second.Counters["work.idle"] != 1 {
+		t.Error("cumulative value lost for idle counter")
+	}
+}
+
+func TestSamplerRingWrap(t *testing.T) {
+	r := metrics.NewRegistry()
+	c := r.Counter("n")
+	s := samplerOver(r, 4)
+	for i := 0; i < 10; i++ {
+		c.Add(1)
+		s.SampleNow()
+	}
+	got := s.Samples()
+	if len(got) != 4 {
+		t.Fatalf("ring holds %d samples, want 4", len(got))
+	}
+	for i, sample := range got {
+		if want := uint64(6 + i); sample.Seq != want {
+			t.Errorf("sample %d: Seq %d, want %d (oldest-first after wrap)", i, sample.Seq, want)
+		}
+	}
+	// Deltas must survive eviction of the samples they were computed from.
+	if got[3].Counters["n"] != 10 || got[3].Deltas["n"] != 1 {
+		t.Errorf("last sample: %+v", got[3])
+	}
+
+	since := s.SamplesSince(8)
+	if len(since) != 2 || since[0].Seq != 8 {
+		t.Errorf("SamplesSince(8) = %+v", since)
+	}
+	if n := len(s.SamplesSince(999)); n != 0 {
+		t.Errorf("SamplesSince(999) returned %d samples", n)
+	}
+}
+
+func TestSamplerWriteJSONL(t *testing.T) {
+	r := metrics.NewRegistry()
+	c := r.Counter("n")
+	s := samplerOver(r, 8)
+	for i := 0; i < 3; i++ {
+		c.Add(2)
+		s.SampleNow()
+	}
+	var buf bytes.Buffer
+	if err := s.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	var seqs []uint64
+	for sc.Scan() {
+		var sample Sample
+		if err := json.Unmarshal(sc.Bytes(), &sample); err != nil {
+			t.Fatalf("line %q: %v", sc.Text(), err)
+		}
+		seqs = append(seqs, sample.Seq)
+	}
+	if len(seqs) != 3 || seqs[0] != 0 || seqs[2] != 2 {
+		t.Errorf("JSONL seqs = %v", seqs)
+	}
+}
+
+func TestSamplerStartStopIdempotent(t *testing.T) {
+	r := metrics.NewRegistry()
+	s := NewSampler(r.Snapshot, time.Millisecond, 8)
+	s.Start()
+	s.Start() // second Start while running must be a no-op
+	deadline := time.Now().Add(2 * time.Second)
+	for len(s.Samples()) == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if len(s.Samples()) == 0 {
+		t.Fatal("ticker loop captured nothing")
+	}
+	s.Stop()
+	s.Stop() // double Stop must not panic or hang
+	n := len(s.Samples())
+	time.Sleep(5 * time.Millisecond)
+	if got := len(s.Samples()); got != n {
+		t.Errorf("sampler kept running after Stop: %d -> %d samples", n, got)
+	}
+	s.Start() // restart after Stop must work
+	s.Stop()
+}
+
+func TestStartFlag(t *testing.T) {
+	// Empty path: nil sampler, no-op flush.
+	s, flush := StartFlag("")
+	if s != nil {
+		t.Error("StartFlag(\"\") returned a sampler")
+	}
+	if err := flush(); err != nil {
+		t.Errorf("no-op flush: %v", err)
+	}
+
+	path := filepath.Join(t.TempDir(), "telemetry.jsonl")
+	s, flush = StartFlag(path)
+	if s == nil {
+		t.Fatal("StartFlag returned nil sampler for a real path")
+	}
+	defer s.Stop()
+	// Flush twice: idempotent, and each writes at least one sample even
+	// though no ticker interval has elapsed.
+	for i := 0; i < 2; i++ {
+		if err := flush(); err != nil {
+			t.Fatalf("flush %d: %v", i, err)
+		}
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	lines := 0
+	for sc.Scan() {
+		var sample Sample
+		if err := json.Unmarshal(sc.Bytes(), &sample); err != nil {
+			t.Fatalf("line %d: %v", lines, err)
+		}
+		// The merged default snapshot includes the runtime collector.
+		if lines == 0 {
+			if _, ok := sample.Gauges["go.goroutines"]; !ok {
+				t.Error("flushed sample missing go.goroutines")
+			}
+		}
+		lines++
+	}
+	if lines == 0 {
+		t.Fatal("flush wrote an empty file")
+	}
+}
+
+func TestSamplerWriteFileError(t *testing.T) {
+	r := metrics.NewRegistry()
+	s := samplerOver(r, 4)
+	if err := s.WriteFile(filepath.Join(t.TempDir(), "no", "such", "dir.jsonl")); err == nil {
+		t.Error("WriteFile to a missing directory succeeded")
+	}
+}

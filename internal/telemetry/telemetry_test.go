@@ -1,0 +1,111 @@
+package telemetry
+
+import (
+	"math"
+	"testing"
+
+	"l15cache/internal/metrics"
+)
+
+func TestMergeOverlay(t *testing.T) {
+	a := metrics.NewRegistry()
+	a.Counter("shared").Add(1)
+	a.Counter("only.a").Add(2)
+	a.Gauge("g").Set(1)
+	a.Histogram("h.a", []float64{1}).Observe(0.5)
+
+	b := metrics.NewRegistry()
+	b.Counter("shared").Add(10)
+	b.Counter("only.b").Add(3)
+	b.Gauge("g").Set(2)
+	b.Histogram("h.b", []float64{1}).Observe(0.5)
+
+	m := Merge(a.Snapshot(), b.Snapshot())
+
+	// b overlays a on collisions; everything else is the union.
+	if m.Counters["shared"] != 10 {
+		t.Errorf("shared counter = %d, want b's 10", m.Counters["shared"])
+	}
+	if m.Counters["only.a"] != 2 || m.Counters["only.b"] != 3 {
+		t.Errorf("union lost a side: %v", m.Counters)
+	}
+	if m.Gauges["g"] != 2 {
+		t.Errorf("gauge g = %v, want b's 2", m.Gauges["g"])
+	}
+	if _, ok := m.Histograms["h.a"]; !ok {
+		t.Error("histogram h.a dropped")
+	}
+	if _, ok := m.Histograms["h.b"]; !ok {
+		t.Error("histogram h.b dropped")
+	}
+	// Build metadata rides on the first (deterministic) snapshot.
+	if len(m.Build) == 0 {
+		t.Error("merged snapshot lost build info")
+	}
+}
+
+// TestMergeDoesNotMutateInputs guards against the merged view aliasing
+// either source snapshot's maps.
+func TestMergeDoesNotMutateInputs(t *testing.T) {
+	a := metrics.NewRegistry()
+	a.Counter("c").Add(1)
+	b := metrics.NewRegistry()
+	sa, sb := a.Snapshot(), b.Snapshot()
+	m := Merge(sa, sb)
+	m.Counters["c"] = 99
+	m.Gauges["new"] = 1
+	if sa.Counters["c"] != 1 {
+		t.Error("Merge aliased the first snapshot's counters")
+	}
+	if _, ok := sb.Gauges["new"]; ok {
+		t.Error("Merge aliased the second snapshot's gauges")
+	}
+}
+
+func TestRuntimeCollector(t *testing.T) {
+	r := metrics.NewRegistry()
+	RegisterRuntimeCollector(r)
+	snap := r.Snapshot()
+
+	if g, ok := snap.Gauges["go.goroutines"]; !ok || g < 1 {
+		t.Errorf("go.goroutines = %v, %v", g, ok)
+	}
+	for _, name := range []string{"go.heap_objects_bytes", "go.memory_total_bytes"} {
+		if v := snap.Gauges[name]; v <= 0 {
+			t.Errorf("%s = %v, want > 0", name, v)
+		}
+	}
+	for _, name := range []string{"go.gc_cycles", "go.heap_allocs_bytes"} {
+		if _, ok := snap.Counters[name]; !ok {
+			t.Errorf("counter %s missing", name)
+		}
+	}
+	// Quantile gauges appear once their histograms have data; at minimum
+	// the names must be absent-or-finite, never NaN.
+	for name, v := range snap.Gauges {
+		if math.IsNaN(v) {
+			t.Errorf("gauge %s is NaN", name)
+		}
+	}
+
+	// Counters must be monotone across snapshots (allocate in between).
+	sink := make([]byte, 1<<20)
+	_ = sink
+	again := r.Snapshot()
+	if again.Counters["go.heap_allocs_bytes"] < snap.Counters["go.heap_allocs_bytes"] {
+		t.Error("go.heap_allocs_bytes regressed between snapshots")
+	}
+}
+
+// TestMergedSnapshot exercises the package-level default wiring: the
+// merged view must contain the runtime series without ever writing them
+// into metrics.Default.
+func TestMergedSnapshot(t *testing.T) {
+	m := MergedSnapshot()
+	if _, ok := m.Gauges["go.goroutines"]; !ok {
+		t.Error("merged snapshot missing runtime series")
+	}
+	if _, ok := metrics.Default.Snapshot().Gauges["go.goroutines"]; ok {
+		t.Error("runtime series leaked into metrics.Default — determinism contract broken")
+	}
+}
